@@ -1,0 +1,81 @@
+// DVFS-extension ablation (§7 outlook): does adding per-application
+// frequency selection to the allocation space buy further energy savings?
+//
+// Compares HARP (Offline, max frequency) against the DVFS-integrated
+// prototype (allocation × {1.0, 0.85, 0.70} frequency levels) on the
+// Raptor Lake, both against CFS. Expected shape: the DVFS variant trades a
+// little execution time for additional energy savings on compute-bound
+// applications whose chosen partitions are power-limited, and changes
+// nothing for memory-bound applications (they already sit at low-power
+// configurations where frequency barely matters).
+#include <cstdio>
+#include <map>
+
+#include "bench/report.hpp"
+#include "src/harp/dse.hpp"
+#include "src/harp/dvfs.hpp"
+#include "src/harp/policy.hpp"
+#include "src/sched/baselines.hpp"
+
+using namespace harp;
+
+int main() {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+
+  std::map<std::string, core::OperatingPointTable> offline;
+  for (const model::AppBehavior& app : catalog.apps())
+    offline[app.name] = core::run_offline_dse(app, hw);
+
+  std::vector<model::Scenario> scenarios;
+  for (const model::Scenario& s : catalog.single_scenarios())
+    if (s.name == "ep.C" || s.name == "pi" || s.name == "fractal" || s.name == "mg.C" ||
+        s.name == "bt.C" || s.name == "vgg")
+      scenarios.push_back(s);
+  scenarios.push_back(catalog.multi_scenarios()[1]);  // ep+mg
+  scenarios.push_back(catalog.multi_scenarios()[6]);  // ep+is+lu+mg
+
+  const std::vector<std::string> managers = {"harp-off", "harp-dvfs"};
+  bench::print_header("§7 outlook — DVFS-integrated allocation vs CFS", managers);
+  std::vector<bench::FactorGeomean> geo(managers.size());
+  for (const model::Scenario& scenario : scenarios) {
+    bench::ScenarioOutcome base = bench::run_scenario(
+        hw, catalog, scenario, [] { return std::make_unique<sched::CfsPolicy>(); });
+    std::vector<bench::PolicyFactory> factories = {
+        [&] {
+          core::HarpOptions o;
+          o.mode = core::HarpOptions::Mode::kOffline;
+          o.offline_tables = offline;
+          return std::make_unique<core::HarpPolicy>(o);
+        },
+        [] { return std::make_unique<core::DvfsHarpPolicy>(); },
+    };
+    std::vector<bench::ImprovementFactor> factors;
+    for (std::size_t m = 0; m < managers.size(); ++m) {
+      bench::ScenarioOutcome outcome = bench::run_scenario(hw, catalog, scenario, factories[m]);
+      factors.push_back(bench::improvement(base, outcome));
+      geo[m].add(factors.back());
+    }
+    bench::print_row(scenario.name, base, factors);
+  }
+  bench::print_geomeans("all", managers, geo);
+
+  // Which frequencies does the prototype actually pick?
+  std::printf("\nselected frequencies (single-app runs):\n");
+  for (const model::Scenario& scenario : scenarios) {
+    if (scenario.is_multi()) continue;
+    core::DvfsHarpPolicy policy;
+    sim::RunOptions options;
+    options.seed = 11;
+    options.max_sim_seconds = 400.0;
+    double freq = 1.0;
+    options.tick_hook = [&](double) {
+      auto active = policy.active_frequencies();
+      if (!active.empty()) freq = active.begin()->second;
+    };
+    sim::ScenarioRunner runner(hw, catalog, scenario, options);
+    (void)runner.run(policy);
+    std::printf("  %-10s f=%.2f\n", scenario.name.c_str(), freq);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Figure 1: performance and energy of ep.C and mg.C across
+// thread-placement configurations on the Raptor Lake (E-cores × P-core
+// hyperthreads), with the 4-objective Pareto-optimal configurations
+// highlighted (execution time, energy, #P-cores, #E-cores — all minimised).
+//
+// Expected shapes (paper §2.1):
+//  - ep.C scales smoothly towards the upper-right (more of everything) and
+//    its Pareto front favours even P-hyperthread counts (full SMT pairs);
+//  - mg.C gains no speed from extra resources (memory bound) but burns more
+//    energy; its best points sit on the energy-efficient cores.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/harp/dse.hpp"
+#include "src/mlmodels/pareto.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+using namespace harp;
+
+namespace {
+
+struct Sample {
+  int p_threads;
+  int e_cores;
+  double time_s;
+  double energy_j;
+};
+
+void sweep(const model::AppBehavior& app, const platform::HardwareDescription& hw) {
+  std::printf("\n== Fig. 1 — %s on Raptor Lake ==\n", app.name.c_str());
+  std::printf("%8s %8s %9s %10s %7s\n", "P-HT", "E-cores", "time[s]", "energy[J]", "pareto");
+
+  double rebalance = core::managed_rebalance_factor(app.adaptivity);
+  std::vector<Sample> samples;
+  for (int p = 0; p <= hw.hardware_threads(0); ++p) {
+    for (int e = 0; e <= hw.core_types[1].core_count; ++e) {
+      if (p == 0 && e == 0) continue;
+      platform::ExtendedResourceVector erv =
+          platform::ExtendedResourceVector::from_threads(hw, {p, e});
+      model::AppRates rates = model::exclusive_rates(app, hw, erv, rebalance);
+      double time = app.startup_seconds + app.total_work_gi / rates.useful_gips;
+      double energy = time * (rates.power_w + hw.uncore_power_w);
+      samples.push_back(Sample{p, e, time, energy});
+    }
+  }
+
+  // 4-objective Pareto front: time, energy, #P-cores, #E-cores (minimised).
+  std::vector<std::vector<double>> objectives;
+  for (const Sample& s : samples)
+    objectives.push_back({s.time_s, s.energy_j, std::ceil(s.p_threads / 2.0),
+                          static_cast<double>(s.e_cores)});
+  std::vector<std::size_t> front = ml::pareto_front(objectives);
+  std::vector<bool> is_pareto(samples.size(), false);
+  for (std::size_t i : front) is_pareto[i] = true;
+
+  int even_p = 0, odd_p = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    // Print the Pareto points plus a coarse grid of the rest.
+    if (is_pareto[i] || (s.p_threads % 4 == 0 && s.e_cores % 4 == 0))
+      std::printf("%8d %8d %9.2f %10.1f %7s\n", s.p_threads, s.e_cores, s.time_s, s.energy_j,
+                  is_pareto[i] ? "*" : "");
+    if (is_pareto[i] && s.p_threads > 0) (s.p_threads % 2 == 0 ? even_p : odd_p) += 1;
+  }
+  std::printf("Pareto points: %zu | with even P-HT: %d, odd P-HT: %d\n", front.size(), even_p,
+              odd_p);
+
+  // Scaling summary: fastest and most efficient corner points.
+  const Sample* fastest = &samples.front();
+  const Sample* least_energy = &samples.front();
+  for (const Sample& s : samples) {
+    if (s.time_s < fastest->time_s) fastest = &s;
+    if (s.energy_j < least_energy->energy_j) least_energy = &s;
+  }
+  std::printf("fastest: %dP-HT+%dE %.2fs %.0fJ | least energy: %dP-HT+%dE %.2fs %.0fJ\n",
+              fastest->p_threads, fastest->e_cores, fastest->time_s, fastest->energy_j,
+              least_energy->p_threads, least_energy->e_cores, least_energy->time_s,
+              least_energy->energy_j);
+}
+
+}  // namespace
+
+int main() {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  sweep(catalog.app("ep.C"), hw);
+  sweep(catalog.app("mg.C"), hw);
+  return 0;
+}

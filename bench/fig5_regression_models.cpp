@@ -1,0 +1,131 @@
+// Reproduces Figure 5: comparison of regression models (polynomial degrees
+// 1–3, a neural network, an SVM) for approximating utility (IPS) and power
+// of unmeasured operating points, across training-set sizes, over the 15
+// NAS+TBB applications on the Raptor Lake.
+//
+// Reported metrics, as in the paper: MAPE for IPS and power (lower better),
+// Inverted Generational Distance between the predicted and reference Pareto
+// fronts (lower better), and the ratio of common Pareto operating points
+// (higher better). Expected shape: polynomial models dominate the front
+// metrics; degree 2 converges by ~20 training points, making it the model
+// HARP uses at runtime (§5.2).
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/harp/dse.hpp"
+#include "src/mlmodels/pareto.hpp"
+#include "src/mlmodels/regressors.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+using namespace harp;
+
+namespace {
+
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<double> utility;
+  std::vector<double> power;
+  std::vector<std::size_t> reference_front;  // config indices (true Pareto)
+};
+
+Dataset measure_app(const model::AppBehavior& app, const platform::HardwareDescription& hw,
+                    Rng& rng) {
+  Dataset data;
+  double rebalance = core::managed_rebalance_factor(app.adaptivity);
+  for (const platform::ExtendedResourceVector& erv : platform::enumerate_coarse_points(hw)) {
+    model::AppRates rates = model::exclusive_rates(app, hw, erv, rebalance);
+    data.features.push_back(erv.feature_vector());
+    // "Pre-measured data" carries residual measurement noise (§5.2).
+    data.utility.push_back(rates.measured_gips * rng.noise_factor(0.02));
+    data.power.push_back(rates.power_w * rng.noise_factor(0.02));
+  }
+  std::vector<std::vector<double>> objectives;
+  for (std::size_t i = 0; i < data.features.size(); ++i)
+    objectives.push_back({-data.utility[i], data.power[i]});
+  data.reference_front = ml::pareto_front(objectives);
+  return data;
+}
+
+struct Metrics {
+  RunningStats mape_ips, mape_power, igd, common;
+};
+
+}  // namespace
+
+int main() {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  std::vector<std::string> app_names = catalog.regression_study_apps();
+
+  const std::vector<std::string> kinds = {"poly1", "poly2", "poly3", "nn", "svm"};
+  const std::vector<int> train_sizes = {5, 10, 20, 40, 80};
+  const int seeds = 5;
+
+  // Pre-measure all applications once per seed.
+  std::printf("\n== Fig. 5 — regression model comparison (%zu apps, %d seeds) ==\n",
+              app_names.size(), seeds);
+  std::printf("%-6s %5s | %9s %9s | %7s %8s\n", "model", "train", "MAPE-ips", "MAPE-pow", "IGD",
+              "common");
+
+  for (const std::string& kind : kinds) {
+    for (int train : train_sizes) {
+      Metrics metrics;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+        for (const std::string& name : app_names) {
+          Dataset data = measure_app(catalog.app(name), hw, rng);
+          std::size_t n = data.features.size();
+
+          // Random training subset.
+          std::vector<std::size_t> order(n);
+          std::iota(order.begin(), order.end(), 0u);
+          std::shuffle(order.begin(), order.end(), rng.engine());
+          std::vector<std::vector<double>> x;
+          std::vector<double> yu, yp;
+          for (int i = 0; i < train; ++i) {
+            x.push_back(data.features[order[static_cast<std::size_t>(i)]]);
+            yu.push_back(data.utility[order[static_cast<std::size_t>(i)]]);
+            yp.push_back(data.power[order[static_cast<std::size_t>(i)]]);
+          }
+
+          auto utility_model = ml::make_regressor(kind, static_cast<std::uint64_t>(seed));
+          auto power_model = ml::make_regressor(kind, static_cast<std::uint64_t>(seed) + 1);
+          utility_model->fit(x, yu);
+          power_model->fit(x, yp);
+
+          std::vector<double> pred_u(n), pred_p(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            pred_u[i] = utility_model->predict(data.features[i]);
+            pred_p[i] = power_model->predict(data.features[i]);
+          }
+          metrics.mape_ips.add(mape(pred_u, data.utility));
+          metrics.mape_power.add(mape(pred_p, data.power));
+
+          // Predicted Pareto front vs the measured reference front.
+          std::vector<std::vector<double>> pred_objectives;
+          for (std::size_t i = 0; i < n; ++i)
+            pred_objectives.push_back({-pred_u[i], pred_p[i]});
+          std::vector<std::size_t> pred_front = ml::pareto_front(pred_objectives);
+
+          std::vector<std::vector<double>> ref_points, approx_points;
+          for (std::size_t i : data.reference_front)
+            ref_points.push_back({data.utility[i], data.power[i]});
+          for (std::size_t i : pred_front)
+            approx_points.push_back({data.utility[i], data.power[i]});
+          metrics.igd.add(ml::igd(ref_points, approx_points));
+          metrics.common.add(ml::common_point_ratio(data.reference_front, pred_front));
+        }
+      }
+      std::printf("%-6s %5d | %8.1f%% %8.1f%% | %7.4f %7.1f%%\n", kind.c_str(), train,
+                  100.0 * metrics.mape_ips.mean(), 100.0 * metrics.mape_power.mean(),
+                  metrics.igd.mean(), 100.0 * metrics.common.mean());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

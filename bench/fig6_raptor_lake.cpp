@@ -1,0 +1,82 @@
+// Reproduces Figure 6: relative improvement factors of ITD, HARP, HARP
+// (Offline), and HARP (No Scaling) over the CFS baseline on the Intel
+// Raptor Lake Core i9-13900K, for single- and multi-application scenarios.
+//
+// Paper reference values (geometric means):
+//   single-app: ITD ≈ 1.02×/1.04×, HARP ≈ 0.92×/1.34×,
+//               HARP(Offline) ≈ 1.22×/1.44×, HARP(NoScaling) ≈ 0.60×/0.74×
+//   multi-app : ITD ≈ 0.84×/0.88×, HARP ≈ 1.40×/1.52×,
+//               HARP(Offline) ≈ 1.58×/1.73×, HARP(NoScaling) ≈ 0.52×/0.74×
+#include <cstdio>
+#include <map>
+
+#include "bench/report.hpp"
+#include "src/harp/dse.hpp"
+#include "src/harp/policy.hpp"
+#include "src/sched/baselines.hpp"
+
+using namespace harp;
+
+int main() {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+
+  // Offline operating-point tables from design-time DSE (§3.2.1).
+  std::map<std::string, core::OperatingPointTable> offline;
+  for (const model::AppBehavior& app : catalog.apps())
+    offline[app.name] = core::run_offline_dse(app, hw);
+
+  const std::vector<std::string> managers = {"itd", "harp", "harp-off", "no-scale"};
+
+  auto run_block = [&](const std::vector<model::Scenario>& scenarios, const std::string& label) {
+    bench::print_header("Fig. 6 (" + label + ") — improvement over CFS, Raptor Lake", managers);
+    std::vector<bench::FactorGeomean> geo(managers.size());
+    for (const model::Scenario& scenario : scenarios) {
+      // The paper evaluates HARP with *stable* operating points (§6.3); the
+      // learning transient is Fig. 8. Warm up online HARP first and carry
+      // the learned tables into the measured runs.
+      std::map<std::string, core::OperatingPointTable> learned =
+          bench::learn_tables(hw, catalog, scenario);
+
+      std::vector<bench::PolicyFactory> factories = {
+          [] { return std::make_unique<sched::ItdPolicy>(); },
+          [&] {
+            core::HarpOptions o;
+            o.offline_tables = learned;
+            return std::make_unique<core::HarpPolicy>(o);
+          },
+          [&] {
+            core::HarpOptions o;
+            o.mode = core::HarpOptions::Mode::kOffline;
+            o.offline_tables = offline;
+            return std::make_unique<core::HarpPolicy>(o);
+          },
+          // "HARP (No Scaling)": identical RM decisions from the same
+          // learned tables, but libharp applies them as affinity masks only
+          // — applications keep their default thread counts (§6.3).
+          [&] {
+            core::HarpOptions o;
+            o.offline_tables = learned;
+            o.apply_scaling = false;
+            return std::make_unique<core::HarpPolicy>(o);
+          },
+      };
+
+      bench::ScenarioOutcome base = bench::run_scenario(
+          hw, catalog, scenario, [] { return std::make_unique<sched::CfsPolicy>(); });
+      std::vector<bench::ImprovementFactor> factors;
+      for (std::size_t m = 0; m < managers.size(); ++m) {
+        bench::ScenarioOutcome outcome =
+            bench::run_scenario(hw, catalog, scenario, factories[m]);
+        factors.push_back(bench::improvement(base, outcome));
+        geo[m].add(factors.back());
+      }
+      bench::print_row(scenario.name, base, factors);
+    }
+    bench::print_geomeans(label, managers, geo);
+  };
+
+  run_block(catalog.single_scenarios(), "single-app");
+  run_block(catalog.multi_scenarios(), "multi-app");
+  return 0;
+}

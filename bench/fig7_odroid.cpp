@@ -1,0 +1,53 @@
+// Reproduces Figure 7: improvement of HARP (with offline-generated
+// operating points) over the Linux Energy-Aware Scheduler on the Odroid
+// XU3-E, including the KPN applications with custom adaptivity knobs.
+//
+// Paper reference values: single-app ≈ 1.07× time / 1.27× energy;
+// multi-app ≈ 1.20× / 1.38×, with ep+ft as the one regressing scenario.
+// The Odroid cannot run performance counters on both clusters at once, so
+// only HARP (Offline) is evaluated (§6.4).
+#include <cstdio>
+#include <map>
+
+#include "bench/report.hpp"
+#include "src/harp/dse.hpp"
+#include "src/harp/policy.hpp"
+#include "src/sched/baselines.hpp"
+
+using namespace harp;
+
+int main() {
+  platform::HardwareDescription hw = platform::odroid_xu3e();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::odroid();
+
+  std::map<std::string, core::OperatingPointTable> offline;
+  for (const model::AppBehavior& app : catalog.apps())
+    offline[app.name] = core::run_offline_dse(app, hw);
+
+  const std::vector<std::string> managers = {"harp-off"};
+  bench::PolicyFactory harp_factory = [&] {
+    core::HarpOptions o;
+    o.mode = core::HarpOptions::Mode::kOffline;
+    o.offline_tables = offline;
+    return std::make_unique<core::HarpPolicy>(o);
+  };
+
+  auto run_block = [&](const std::vector<model::Scenario>& scenarios, const std::string& label) {
+    bench::print_header("Fig. 7 (" + label + ") — improvement over EAS, Odroid XU3-E",
+                        managers);
+    std::vector<bench::FactorGeomean> geo(1);
+    for (const model::Scenario& scenario : scenarios) {
+      bench::ScenarioOutcome base = bench::run_scenario(
+          hw, catalog, scenario, [] { return std::make_unique<sched::EasPolicy>(); });
+      bench::ScenarioOutcome outcome = bench::run_scenario(hw, catalog, scenario, harp_factory);
+      bench::ImprovementFactor factor = bench::improvement(base, outcome);
+      geo[0].add(factor);
+      bench::print_row(scenario.name, base, {factor});
+    }
+    bench::print_geomeans(label, managers, geo);
+  };
+
+  run_block(catalog.single_scenarios(), "single-app");
+  run_block(catalog.multi_scenarios(), "multi-app");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the RM's hot paths: these bound
+// the §6.6 overhead story from below — every operation the RM performs per
+// measurement tick or reallocation must be microseconds-cheap.
+#include <benchmark/benchmark.h>
+
+#include "src/harp/allocator.hpp"
+#include "src/harp/dse.hpp"
+#include "src/harp/exploration.hpp"
+#include "src/mlmodels/pareto.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+using namespace harp;
+
+namespace {
+
+std::vector<core::AllocationGroup> sample_groups(int n_apps) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  std::vector<core::AllocationGroup> groups;
+  for (int i = 0; i < n_apps; ++i) {
+    const model::AppBehavior& app =
+        catalog.apps()[static_cast<std::size_t>(i) % catalog.apps().size()];
+    core::OperatingPointTable table = core::run_offline_dse(app, hw);
+    core::AllocationGroup group;
+    group.app_name = app.name;
+    double v_max = table.utility_max();
+    for (const core::OperatingPoint& p : table.points(0)) {
+      group.candidates.push_back(p);
+      group.costs.push_back(core::energy_utility_cost(p.nfc, v_max));
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+void BM_EnumerateCoarsePoints(benchmark::State& state) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  for (auto _ : state) benchmark::DoNotOptimize(platform::enumerate_coarse_points(hw));
+}
+BENCHMARK(BM_EnumerateCoarsePoints);
+
+void BM_LagrangianSolve(benchmark::State& state) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  std::vector<core::AllocationGroup> groups = sample_groups(static_cast<int>(state.range(0)));
+  core::Allocator allocator(hw, core::SolverKind::kLagrangian);
+  for (auto _ : state) benchmark::DoNotOptimize(allocator.solve(groups));
+}
+BENCHMARK(BM_LagrangianSolve)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SurrogateFitPredict(benchmark::State& state) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  core::OperatingPointTable table = core::run_offline_dse(catalog.app("ft.C"), hw);
+  std::vector<core::OperatingPoint> measured = table.points(0);
+  std::vector<platform::ExtendedResourceVector> all = platform::enumerate_coarse_points(hw);
+  for (auto _ : state) {
+    core::NfcModel model(2);
+    model.fit(measured, 3, true);
+    double sum = 0.0;
+    for (const platform::ExtendedResourceVector& erv : all) sum += model.predict(erv).utility;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SurrogateFitPredict);
+
+void BM_ExplorerSelectNext(benchmark::State& state) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  core::ExplorationConfig config;
+  core::AppExplorer explorer(hw, config);
+  core::OperatingPointTable table("ft.C");
+  // Ten measured configurations: mid-exploration refinement stage.
+  int added = 0;
+  for (const platform::ExtendedResourceVector& erv : platform::enumerate_coarse_points(hw)) {
+    if (added >= 10) break;
+    if (erv.total_threads() % 3 != 0) continue;
+    model::AppRates rates = model::exclusive_rates(catalog.app("ft.C"), hw, erv, 0.0);
+    for (int i = 0; i < config.measurements_per_point; ++i)
+      table.record_measurement(erv, rates.measured_gips, rates.power_w);
+    ++added;
+  }
+  std::vector<int> budget{8, 16};
+  for (auto _ : state) benchmark::DoNotOptimize(explorer.select_next(table, budget));
+}
+BENCHMARK(BM_ExplorerSelectNext);
+
+void BM_ParetoFront764(benchmark::State& state) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  std::vector<std::vector<double>> objectives;
+  for (const platform::ExtendedResourceVector& erv : platform::enumerate_coarse_points(hw)) {
+    model::AppRates rates = model::exclusive_rates(catalog.app("sp.C"), hw, erv, 0.0);
+    objectives.push_back({-rates.measured_gips, rates.power_w,
+                          static_cast<double>(erv.cores_used(0)),
+                          static_cast<double>(erv.cores_used(1))});
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(ml::pareto_front(objectives));
+}
+BENCHMARK(BM_ParetoFront764);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Phase-awareness ablation (§7 outlook, second item): "many applications
+// exhibit distinct performance-energy characteristics across different
+// execution stages. … the communication interface can be extended to allow
+// applications to notify HARP of these stage transitions."
+//
+// A synthetic two-stage application (a GEMM-like compute stage followed by
+// a STREAM-like bandwidth-bound stage — the classic HPC solver profile) is
+// managed by (a) plain online HARP, which learns ONE blurred table across
+// both stages, and (b) phase-aware HARP, which keeps a table per stage and
+// reallocates on the notified transition. Expected shape: the phase-aware
+// variant runs the compute stage on a wide P-heavy allocation and drops to
+// an E-heavy one for the memory stage, beating the blurred single-table
+// compromise on energy without losing time.
+#include <cstdio>
+
+#include "bench/report.hpp"
+#include "src/harp/policy.hpp"
+#include "src/sched/baselines.hpp"
+
+using namespace harp;
+
+namespace {
+
+model::AppBehavior make_phased_app() {
+  model::AppBehavior app;
+  app.name = "solver-phased";
+  app.framework = "openmp";
+  app.adaptivity = model::AdaptivityType::kScalable;
+  app.total_work_gi = 2600;
+  app.ipc = {1.1, 1.0};
+  app.smt_friendliness = 0.7;
+  app.imbalance_sensitivity = 0.3;
+  app.sync_ips_inflation = 0.3;
+  // Stage 1: dense factorisation — compute bound. Stage 2: triangular
+  // solves and residuals — bandwidth bound.
+  model::AppBehavior::Phase compute;
+  compute.fraction = 0.6;
+  compute.mem_fraction = 0.05;
+  compute.ipc_scale = 1.1;
+  compute.serial_fraction = 0.005;
+  model::AppBehavior::Phase memory;
+  memory.fraction = 0.4;
+  memory.mem_fraction = 0.85;
+  memory.ipc_scale = 0.6;
+  memory.serial_fraction = 0.03;
+  app.phases = {compute, memory};
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  catalog.add_app(make_phased_app());
+  model::Scenario scenario{"solver-phased", {{"solver-phased", 0.0}}};
+  model::Scenario paired{"solver+mg", {{"solver-phased", 0.0}, {"mg.C", 0.0}}};
+
+  const std::vector<std::string> managers = {"harp", "harp-phase"};
+  bench::print_header("§7 outlook — phase-aware HARP vs CFS", managers);
+  std::vector<bench::FactorGeomean> geo(managers.size());
+  for (const model::Scenario& sc : {scenario, paired}) {
+    // Warm up both variants on their own table layouts.
+    core::HarpOptions plain_learn;
+    auto plain_tables = bench::learn_tables(hw, catalog, sc, plain_learn, 100.0);
+    core::HarpOptions phase_learn;
+    phase_learn.phase_aware = true;
+    auto phase_tables = bench::learn_tables(hw, catalog, sc, phase_learn, 100.0);
+
+    bench::ScenarioOutcome base = bench::run_scenario(
+        hw, catalog, sc, [] { return std::make_unique<sched::CfsPolicy>(); });
+    std::vector<bench::PolicyFactory> factories = {
+        [&] {
+          core::HarpOptions o;
+          o.offline_tables = plain_tables;
+          return std::make_unique<core::HarpPolicy>(o);
+        },
+        [&] {
+          core::HarpOptions o;
+          o.phase_aware = true;
+          o.offline_tables = phase_tables;
+          return std::make_unique<core::HarpPolicy>(o);
+        },
+    };
+    std::vector<bench::ImprovementFactor> factors;
+    for (std::size_t m = 0; m < managers.size(); ++m) {
+      bench::ScenarioOutcome outcome = bench::run_scenario(hw, catalog, sc, factories[m]);
+      factors.push_back(bench::improvement(base, outcome));
+      geo[m].add(factors.back());
+    }
+    bench::print_row(sc.name, base, factors);
+  }
+  bench::print_geomeans("all", managers, geo);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Shared experiment-harness helpers for the paper-reproduction benches:
+// repeated scenario runs, improvement factors over a baseline, and the
+// report tables the benches print (one bench binary per paper table/figure,
+// see DESIGN.md's experiment index).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/harp/policy.hpp"
+#include "src/model/catalog.hpp"
+#include "src/sim/runner.hpp"
+
+namespace harp::bench {
+
+/// Warm-up pass: run the scenario under online HARP with repeated
+/// executions until `horizon_s`, and return the learned operating-point
+/// tables. Fig. 6/7 evaluate HARP *after* it reached stable points; the
+/// learning transient itself is the subject of Fig. 8 (§6.5).
+inline std::map<std::string, core::OperatingPointTable> learn_tables(
+    const platform::HardwareDescription& hw, const model::WorkloadCatalog& catalog,
+    const model::Scenario& scenario, core::HarpOptions harp_options = {},
+    double horizon_s = 80.0, std::uint64_t seed = 4242) {
+  sim::RunOptions options;
+  options.seed = seed;
+  options.repeat_horizon = horizon_s;
+  core::HarpPolicy policy(std::move(harp_options));
+  sim::ScenarioRunner runner(hw, catalog, scenario, options);
+  (void)runner.run(policy);
+  return policy.tables();
+}
+
+/// Factory for a fresh policy instance per repetition.
+using PolicyFactory = std::function<std::unique_ptr<sim::Policy>()>;
+
+struct ScenarioOutcome {
+  double makespan_s = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Run `scenario` under `make_policy` for `repetitions` seeds and average
+/// makespan and package energy (the paper reports averages of 10 runs;
+/// benches default to 3 to keep the harness fast).
+inline ScenarioOutcome run_scenario(const platform::HardwareDescription& hw,
+                                    const model::WorkloadCatalog& catalog,
+                                    const model::Scenario& scenario,
+                                    const PolicyFactory& make_policy, int repetitions = 3,
+                                    sim::Governor governor = sim::Governor::kPowersave) {
+  ScenarioOutcome out;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    sim::RunOptions options;
+    options.seed = 1000 + static_cast<std::uint64_t>(rep) * 77;
+    options.governor = governor;
+    sim::ScenarioRunner runner(hw, catalog, scenario, options);
+    std::unique_ptr<sim::Policy> policy = make_policy();
+    sim::RunResult result = runner.run(*policy);
+    out.makespan_s += result.makespan;
+    out.energy_j += result.package_energy_j;
+  }
+  out.makespan_s /= repetitions;
+  out.energy_j /= repetitions;
+  return out;
+}
+
+/// Improvement factor F of `candidate` over `baseline`: F× faster / F× less
+/// energy (higher is better), as in Figs. 6–8.
+struct ImprovementFactor {
+  double time = 1.0;
+  double energy = 1.0;
+};
+
+inline ImprovementFactor improvement(const ScenarioOutcome& baseline,
+                                     const ScenarioOutcome& candidate) {
+  return ImprovementFactor{baseline.makespan_s / candidate.makespan_s,
+                           baseline.energy_j / candidate.energy_j};
+}
+
+/// Geometric-mean accumulator for improvement factors.
+class FactorGeomean {
+ public:
+  void add(const ImprovementFactor& factor) {
+    time_.push_back(factor.time);
+    energy_.push_back(factor.energy);
+  }
+  bool empty() const { return time_.empty(); }
+  ImprovementFactor value() const {
+    return ImprovementFactor{geometric_mean(time_), geometric_mean(energy_)};
+  }
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> energy_;
+};
+
+inline void print_header(const std::string& title, const std::vector<std::string>& managers) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-22s %10s", "scenario", "base[s/J]");
+  for (const std::string& m : managers) std::printf(" | %-8s t/E", m.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(const std::string& scenario, const ScenarioOutcome& baseline,
+                      const std::vector<ImprovementFactor>& factors) {
+  std::printf("%-22s %5.1f/%-7.0f", scenario.c_str(), baseline.makespan_s, baseline.energy_j);
+  for (const ImprovementFactor& f : factors) std::printf(" | %5.2fx %5.2fx", f.time, f.energy);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void print_geomeans(const std::string& label,
+                           const std::vector<std::string>& managers,
+                           const std::vector<FactorGeomean>& accumulators) {
+  std::printf("%-22s %13s", ("geomean (" + label + ")").c_str(), "");
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    ImprovementFactor f = accumulators[i].value();
+    std::printf(" | %5.2fx %5.2fx", f.time, f.energy);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace harp::bench

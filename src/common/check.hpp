@@ -1,0 +1,46 @@
+// Invariant/precondition checking for programming errors. Violations are bugs,
+// not recoverable conditions, so they throw harp::CheckFailure which is left
+// to terminate (or be caught by tests asserting on contracts).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace harp {
+
+/// Thrown when a HARP_CHECK precondition or invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& extra) {
+  std::ostringstream oss;
+  oss << "check failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) oss << " — " << extra;
+  throw CheckFailure(oss.str());
+}
+}  // namespace detail
+
+}  // namespace harp
+
+/// Always-on invariant check (cheap conditions only on hot paths).
+#define HARP_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::harp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Invariant check with a formatted context message, e.g.
+///   HARP_CHECK_MSG(i < n, "index " << i << " out of range " << n);
+#define HARP_CHECK_MSG(expr, stream_expr)                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      std::ostringstream harp_check_oss;                        \
+      harp_check_oss << stream_expr;                            \
+      ::harp::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                   harp_check_oss.str());       \
+    }                                                           \
+  } while (false)

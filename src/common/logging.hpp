@@ -1,0 +1,51 @@
+// Small leveled logger. Single global sink (stderr by default); thread-safe.
+// Kept deliberately simple: the simulator and RM log sparsely, and benches
+// silence logging entirely.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace harp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// tests/benches stay quiet unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, oss_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace harp
+
+#define HARP_LOG(level)                                  \
+  if (static_cast<int>(::harp::LogLevel::level) <        \
+      static_cast<int>(::harp::log_level())) {           \
+  } else                                                 \
+    ::harp::detail::LogLine(::harp::LogLevel::level)
+
+#define HARP_DEBUG HARP_LOG(kDebug)
+#define HARP_INFO HARP_LOG(kInfo)
+#define HARP_WARN HARP_LOG(kWarn)
+#define HARP_ERROR HARP_LOG(kError)

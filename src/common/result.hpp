@@ -1,0 +1,81 @@
+// Lightweight expected-style result type for recoverable errors (I/O, parsing,
+// protocol violations). Programming errors use HARP_CHECK (check.hpp) instead.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace harp {
+
+/// Error payload carried by a failed Result. A plain message is enough for
+/// this library; callers that need to branch can match on the message prefix
+/// conventions ("parse:", "io:", "proto:").
+struct Error {
+  std::string message;
+};
+
+/// Minimal expected<T, Error>. Intentionally tiny: no monadic chaining beyond
+/// what the library needs, so the header stays cheap to include.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access. Throws std::logic_error if the result holds an error;
+  /// callers are expected to test ok() first on fallible paths.
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  T&& take() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() called on ok result");
+    return *error_;
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error_->message);
+  }
+
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error() called on ok status");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace harp

@@ -1,0 +1,56 @@
+// Deterministic random number generation. Every stochastic component in the
+// simulator and the exploration engine takes an explicit Rng (or a seed) so
+// experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "src/common/check.hpp"
+
+namespace harp {
+
+/// Seeded PRNG wrapper around mt19937_64 with the handful of distributions
+/// the library needs. Copyable (value semantics): forking an Rng forks the
+/// stream, which tests use to replay decisions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    HARP_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    HARP_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Multiplicative noise factor: 1 + N(0, rel_stddev), clamped to stay
+  /// positive. Used to model measurement noise on IPS/power telemetry.
+  double noise_factor(double rel_stddev) {
+    double f = 1.0 + gaussian(0.0, rel_stddev);
+    return f < 0.05 ? 0.05 : f;
+  }
+
+  /// Derive an independent child stream (e.g. one per application).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace harp

@@ -1,0 +1,88 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace harp {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+  HARP_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ema::add(double sample) {
+  if (!initialized_) {
+    value_ = sample;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+  }
+}
+
+double Ema::value() const {
+  HARP_CHECK(initialized_);
+  return value_;
+}
+
+void Ema::reset() {
+  initialized_ = false;
+  value_ = 0.0;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    HARP_CHECK_MSG(v > 0.0, "geometric_mean requires positive values, got " << v);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mape(const std::vector<double>& predicted, const std::vector<double>& truth,
+            double eps) {
+  HARP_CHECK(predicted.size() == truth.size());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    sum += std::abs((predicted[i] - truth[i]) / truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double percentile(std::vector<double> values, double p) {
+  HARP_CHECK(!values.empty());
+  HARP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace harp

@@ -1,0 +1,58 @@
+// Streaming statistics used across monitoring, exploration, and the benches:
+// Welford running mean/variance, exponential moving average (the paper's
+// §5.1 smoothing, α = 0.1), geometric means for improvement factors, MAPE.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harp {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average with smoothing factor alpha (paper uses 0.1):
+/// value <- alpha * sample + (1 - alpha) * value.
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.1);
+  void add(double sample);
+  bool has_value() const { return initialized_; }
+  double value() const;
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Geometric mean of strictly positive values; returns 0 for an empty input.
+double geometric_mean(const std::vector<double>& values);
+
+/// Mean absolute percentage error between predictions and ground truth.
+/// Entries with |truth| < eps are skipped to avoid division blow-ups.
+double mape(const std::vector<double>& predicted, const std::vector<double>& truth,
+            double eps = 1e-12);
+
+/// p-th percentile (0..100) by linear interpolation on a copy of `values`.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace harp

@@ -1,0 +1,25 @@
+// Small string helpers shared by the JSON parser, config loaders, and the
+// bench report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harp {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Fixed-precision double formatting ("%.*f") for report tables.
+std::string format_double(double value, int precision = 2);
+
+/// Render "1.37x"-style improvement factors used by the bench reports.
+std::string format_factor(double value);
+
+}  // namespace harp

@@ -1,0 +1,51 @@
+#include "src/energy/attribution.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace harp::energy {
+
+EnergyAttributor::EnergyAttributor(const platform::HardwareDescription& hw)
+    : num_types_(hw.core_types.size()) {
+  HARP_CHECK(!hw.core_types.empty());
+  // Coefficients relative to the most efficient (lowest active power) type.
+  double reference = hw.core_types.back().active_power_w;
+  for (const platform::CoreType& t : hw.core_types) gamma_.push_back(t.active_power_w / reference);
+  idle_baseline_w_ = hw.uncore_power_w;
+  for (const platform::CoreType& t : hw.core_types)
+    idle_baseline_w_ += t.idle_power_w * t.core_count;
+}
+
+std::vector<double> EnergyAttributor::attribute(
+    double package_energy_delta_j, double wall_seconds,
+    const std::vector<std::vector<double>>& app_cpu_time_by_type) const {
+  HARP_CHECK(wall_seconds > 0.0);
+  std::vector<double> out(app_cpu_time_by_type.size(), 0.0);
+
+  // Total CPU time per type across applications.
+  std::vector<double> total_by_type(num_types_, 0.0);
+  for (const auto& app_times : app_cpu_time_by_type) {
+    HARP_CHECK(app_times.size() == num_types_);
+    for (std::size_t t = 0; t < num_types_; ++t) {
+      HARP_CHECK(app_times[t] >= -1e-9);
+      total_by_type[t] += std::max(app_times[t], 0.0);
+    }
+  }
+
+  // Dynamic window energy above the static baseline.
+  double dynamic = std::max(package_energy_delta_j - idle_baseline_w_ * wall_seconds, 0.0);
+
+  // Solve E_dyn = Σ_t T_t · P_t with P_t = γ_t · P_ref (Eq. 3).
+  double weighted_time = 0.0;
+  for (std::size_t t = 0; t < num_types_; ++t) weighted_time += gamma_[t] * total_by_type[t];
+  if (weighted_time <= 1e-12 || dynamic <= 0.0) return out;
+  double p_ref = dynamic / weighted_time;
+
+  for (std::size_t i = 0; i < app_cpu_time_by_type.size(); ++i)
+    for (std::size_t t = 0; t < num_types_; ++t)
+      out[i] += std::max(app_cpu_time_by_type[i][t], 0.0) * gamma_[t] * p_ref;
+  return out;
+}
+
+}  // namespace harp::energy

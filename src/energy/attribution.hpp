@@ -1,0 +1,51 @@
+// EnergAt-style per-application energy attribution (§5.1).
+//
+// RAPL-class counters measure *package* energy; HARP needs per-application
+// power for its operating points. Following the paper, we extend EnergAt
+// with per-core-type power coefficients (Eq. 3):
+//
+//     E_Δ^CPU = Σ_t T_total^t · P^t        with   P^fast = γ · P^efficient
+//
+// The dynamic energy window (package minus the static idle/uncore baseline)
+// is solved for the per-type thread powers using the coefficients, then
+// attributed to applications in proportion to their CPU time on each type.
+// The paper validates this at 8.76 % MAPE; bench/energy_attribution repeats
+// that validation against the simulator's ground truth.
+#pragma once
+
+#include <vector>
+
+#include "src/platform/hardware.hpp"
+
+namespace harp::energy {
+
+/// Stateless attribution engine configured from a hardware description.
+class EnergyAttributor {
+ public:
+  explicit EnergyAttributor(const platform::HardwareDescription& hw);
+
+  /// Power a fully idle package draws (uncore + per-core idle) — the static
+  /// baseline subtracted before attribution.
+  double idle_baseline_w() const { return idle_baseline_w_; }
+
+  /// Per-type power coefficients relative to the last (most efficient)
+  /// type; derived offline from the hardware description, γ in the paper.
+  const std::vector<double>& coefficients() const { return gamma_; }
+
+  /// Attribute one accounting window.
+  ///
+  /// `package_energy_delta_j`: package energy consumed over the window.
+  /// `wall_seconds`: window length.
+  /// `app_cpu_time_by_type[i][t]`: CPU seconds application i spent on core
+  /// type t during the window.
+  /// Returns the estimated dynamic energy (J) per application.
+  std::vector<double> attribute(double package_energy_delta_j, double wall_seconds,
+                                const std::vector<std::vector<double>>& app_cpu_time_by_type) const;
+
+ private:
+  std::vector<double> gamma_;
+  double idle_baseline_w_ = 0.0;
+  std::size_t num_types_ = 0;
+};
+
+}  // namespace harp::energy

@@ -1,0 +1,332 @@
+#include "src/harp/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace harp::core {
+
+namespace {
+
+std::vector<int> total_usage(const std::vector<AllocationGroup>& groups,
+                             const std::vector<std::size_t>& selection,
+                             std::size_t num_types) {
+  std::vector<int> usage(num_types, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const platform::ExtendedResourceVector& erv =
+        groups[g].candidates[selection[g]].erv;
+    for (int t = 0; t < erv.num_types(); ++t)
+      usage[static_cast<std::size_t>(t)] += erv.cores_used(t);
+  }
+  return usage;
+}
+
+}  // namespace
+
+bool selection_feasible(const std::vector<AllocationGroup>& groups,
+                        const std::vector<std::size_t>& selection,
+                        const std::vector<int>& capacity) {
+  std::vector<int> usage = total_usage(groups, selection, capacity.size());
+  for (std::size_t t = 0; t < capacity.size(); ++t)
+    if (usage[t] > capacity[t]) return false;
+  return true;
+}
+
+double selection_cost(const std::vector<AllocationGroup>& groups,
+                      const std::vector<std::size_t>& selection) {
+  double cost = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) cost += groups[g].costs[selection[g]];
+  return cost;
+}
+
+Allocator::Allocator(platform::HardwareDescription hw, SolverKind kind)
+    : hw_(std::move(hw)), kind_(kind) {}
+
+AllocationResult Allocator::solve(const std::vector<AllocationGroup>& groups) const {
+  HARP_CHECK(!groups.empty());
+  for (const AllocationGroup& g : groups) {
+    HARP_CHECK_MSG(!g.candidates.empty(), "group '" << g.app_name << "' has no candidates");
+    HARP_CHECK(g.costs.size() == g.candidates.size());
+  }
+  std::vector<int> capacity;
+  for (const platform::CoreType& t : hw_.core_types) capacity.push_back(t.core_count);
+
+  std::vector<std::size_t> selection;
+  switch (kind_) {
+    case SolverKind::kLagrangian: selection = solve_lagrangian(groups, capacity); break;
+    case SolverKind::kGreedy: selection = solve_greedy(groups, capacity); break;
+    case SolverKind::kExhaustive: selection = solve_exhaustive(groups, capacity); break;
+  }
+
+  AllocationResult result;
+  if (selection.empty()) return result;  // co-allocation required
+
+  result.selection = selection;
+  result.total_cost = selection_cost(groups, selection);
+  result.feasible = selection_feasible(groups, selection, capacity);
+  HARP_CHECK(result.feasible);
+
+  std::vector<platform::ExtendedResourceVector> demands;
+  demands.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    demands.push_back(groups[g].candidates[selection[g]].erv);
+  auto assigned = platform::assign_cores(hw_, demands);
+  HARP_CHECK_MSG(assigned.ok(), "feasible selection failed concrete assignment");
+  result.allocations = std::move(assigned).take();
+  return result;
+}
+
+std::optional<std::vector<std::size_t>> Allocator::repair(
+    const std::vector<AllocationGroup>& groups, std::vector<std::size_t> selection,
+    const std::vector<int>& capacity) const {
+  // Total violation Σ_t max(0, usage_t − capacity_t) of a selection.
+  auto violation_of = [&](const std::vector<std::size_t>& sel) {
+    std::vector<int> usage = total_usage(groups, sel, capacity.size());
+    int v = 0;
+    for (std::size_t t = 0; t < capacity.size(); ++t) v += std::max(usage[t] - capacity[t], 0);
+    return v;
+  };
+
+  int violation = violation_of(selection);
+  // Plateau moves (violation-neutral swaps) are allowed a bounded number of
+  // times so multi-swap escape paths can be found without risking cycles.
+  int plateau_budget = 25 * static_cast<int>(groups.size());
+  while (violation > 0) {
+    // Prefer the cheapest swap that strictly reduces total violation; fall
+    // back to the cheapest violation-neutral swap while budget remains.
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_group = groups.size();
+    std::size_t best_candidate = 0;
+    int best_violation = violation;
+    double best_neutral_delta = std::numeric_limits<double>::infinity();
+    std::size_t neutral_group = groups.size();
+    std::size_t neutral_candidate = 0;
+    std::vector<int> usage = total_usage(groups, selection, capacity.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const AllocationGroup& group = groups[g];
+      const platform::ExtendedResourceVector& current = group.candidates[selection[g]].erv;
+      for (std::size_t c = 0; c < group.candidates.size(); ++c) {
+        if (c == selection[g]) continue;
+        int new_violation = 0;
+        for (std::size_t t = 0; t < capacity.size(); ++t) {
+          int u = usage[t] - current.cores_used(static_cast<int>(t)) +
+                  group.candidates[c].erv.cores_used(static_cast<int>(t));
+          new_violation += std::max(u - capacity[t], 0);
+        }
+        double delta = group.costs[c] - group.costs[selection[g]];
+        int reduced = violation - new_violation;
+        if (reduced > 0) {
+          double ratio = delta / static_cast<double>(reduced);
+          if (ratio < best_ratio) {
+            best_ratio = ratio;
+            best_group = g;
+            best_candidate = c;
+            best_violation = new_violation;
+          }
+        } else if (reduced == 0 && delta < best_neutral_delta) {
+          best_neutral_delta = delta;
+          neutral_group = g;
+          neutral_candidate = c;
+        }
+      }
+    }
+    if (best_group != groups.size()) {
+      selection[best_group] = best_candidate;
+      violation = best_violation;
+      continue;
+    }
+    if (neutral_group != groups.size() && plateau_budget-- > 0) {
+      selection[neutral_group] = neutral_candidate;
+      continue;
+    }
+    return std::nullopt;  // cannot repair further
+  }
+  return selection;
+}
+
+std::vector<std::size_t> Allocator::solve_lagrangian(const std::vector<AllocationGroup>& groups,
+                                                     const std::vector<int>& capacity) const {
+  std::size_t num_types = capacity.size();
+  std::vector<double> lambda(num_types, 0.0);
+
+  // Scale the subgradient step by the *median* cost so the multipliers are
+  // commensurate with typical ζ values regardless of the utility units.
+  // (The maximum would be hijacked by near-zero-utility outlier points whose
+  // ζ explodes, collapsing every group to its minimum-resource candidate.)
+  std::vector<double> all_costs;
+  for (const AllocationGroup& g : groups)
+    for (double c : g.costs) all_costs.push_back(std::abs(c));
+  std::nth_element(all_costs.begin(), all_costs.begin() + all_costs.size() / 2,
+                   all_costs.end());
+  double cost_scale = std::max(all_costs[all_costs.size() / 2], 1e-9);
+
+  std::vector<std::size_t> best_feasible;
+  double best_feasible_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> last_selection(groups.size(), 0);
+
+  // The λ = 0 selection (per-group global cost minimum) — the ideal point —
+  // is kept as a repair seed so a degenerate multiplier trajectory cannot
+  // lock the solver into minimum-resource selections.
+  std::vector<std::size_t> ideal(groups.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t c = 1; c < groups[g].costs.size(); ++c)
+      if (groups[g].costs[c] < groups[g].costs[ideal[g]]) ideal[g] = c;
+  }
+
+  const int iterations = 120;
+  for (int it = 1; it <= iterations; ++it) {
+    // Per-group argmin of ζ + λ·r under the current multipliers.
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const AllocationGroup& group = groups[g];
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t pick = 0;
+      for (std::size_t c = 0; c < group.candidates.size(); ++c) {
+        double relaxed = group.costs[c];
+        const platform::ExtendedResourceVector& erv = group.candidates[c].erv;
+        for (std::size_t t = 0; t < num_types; ++t)
+          relaxed += lambda[t] * erv.cores_used(static_cast<int>(t));
+        if (relaxed < best) {
+          best = relaxed;
+          pick = c;
+        }
+      }
+      last_selection[g] = pick;
+    }
+
+    std::vector<int> usage = total_usage(groups, last_selection, num_types);
+    bool feasible = true;
+    for (std::size_t t = 0; t < num_types; ++t)
+      if (usage[t] > capacity[t]) feasible = false;
+    if (feasible) {
+      double cost = selection_cost(groups, last_selection);
+      if (cost < best_feasible_cost) {
+        best_feasible_cost = cost;
+        best_feasible = last_selection;
+      }
+    }
+
+    // Subgradient step on the capacity violation.
+    double step = 0.05 * cost_scale / std::sqrt(static_cast<double>(it));
+    for (std::size_t t = 0; t < num_types; ++t) {
+      double violation =
+          static_cast<double>(usage[t] - capacity[t]) / std::max(capacity[t], 1);
+      lambda[t] = std::max(0.0, lambda[t] + step * violation);
+    }
+  }
+
+  // Final selection: repair the last relaxed selection, the ideal point,
+  // and the minimum-footprint selection (the most likely to be feasible),
+  // keeping the best feasible selection seen anywhere.
+  std::vector<std::size_t> min_footprint(groups.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (std::size_t c = 1; c < groups[g].candidates.size(); ++c)
+      if (groups[g].candidates[c].erv.total_cores() <
+          groups[g].candidates[min_footprint[g]].erv.total_cores())
+        min_footprint[g] = c;
+  for (const std::vector<std::size_t>& seed : {last_selection, ideal, min_footprint}) {
+    std::optional<std::vector<std::size_t>> repaired = repair(groups, seed, capacity);
+    if (!repaired.has_value()) continue;
+    double cost = selection_cost(groups, *repaired);
+    if (cost < best_feasible_cost) {
+      best_feasible_cost = cost;
+      best_feasible = std::move(*repaired);
+    }
+  }
+  return best_feasible;  // empty -> co-allocation
+}
+
+std::vector<std::size_t> Allocator::solve_greedy(const std::vector<AllocationGroup>& groups,
+                                                 const std::vector<int>& capacity) const {
+  std::size_t num_types = capacity.size();
+  // Start from each group's minimum-footprint candidate (fewest total cores,
+  // cheapest among ties), then repeatedly apply the single upgrade with the
+  // best cost reduction per added core while capacity allows.
+  std::vector<std::size_t> selection(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::size_t pick = 0;
+    for (std::size_t c = 1; c < groups[g].candidates.size(); ++c) {
+      int cur = groups[g].candidates[pick].erv.total_cores();
+      int cand = groups[g].candidates[c].erv.total_cores();
+      if (cand < cur || (cand == cur && groups[g].costs[c] < groups[g].costs[pick]))
+        pick = c;
+    }
+    selection[g] = pick;
+  }
+  if (!selection_feasible(groups, selection, capacity)) {
+    auto repaired = repair(groups, selection, capacity);
+    if (!repaired.has_value()) return {};
+    selection = std::move(*repaired);
+  }
+
+  while (true) {
+    std::vector<int> usage = total_usage(groups, selection, num_types);
+    double best_gain = 0.0;
+    std::size_t best_group = groups.size();
+    std::size_t best_candidate = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const AllocationGroup& group = groups[g];
+      for (std::size_t c = 0; c < group.candidates.size(); ++c) {
+        double delta = group.costs[selection[g]] - group.costs[c];
+        if (delta <= 0.0) continue;
+        // Feasibility of the swap.
+        bool fits = true;
+        int added_cores = 0;
+        for (std::size_t t = 0; t < num_types && fits; ++t) {
+          int diff = group.candidates[c].erv.cores_used(static_cast<int>(t)) -
+                     group.candidates[selection[g]].erv.cores_used(static_cast<int>(t));
+          added_cores += std::max(diff, 0);
+          if (usage[t] + diff > capacity[t]) fits = false;
+        }
+        if (!fits) continue;
+        double gain = delta / static_cast<double>(std::max(added_cores, 1));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_group = g;
+          best_candidate = c;
+        }
+      }
+    }
+    if (best_group == groups.size()) break;
+    selection[best_group] = best_candidate;
+  }
+  return selection;
+}
+
+std::vector<std::size_t> Allocator::solve_exhaustive(const std::vector<AllocationGroup>& groups,
+                                                     const std::vector<int>& capacity) const {
+  std::vector<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> current(groups.size(), 0);
+  std::vector<int> usage(capacity.size(), 0);
+
+  // Depth-first enumeration with capacity pruning. Exponential — reference
+  // solver for tests and the allocator ablation on small instances only.
+  auto recurse = [&](auto&& self, std::size_t g, double cost) -> void {
+    if (cost >= best_cost) return;
+    if (g == groups.size()) {
+      best_cost = cost;
+      best = current;
+      return;
+    }
+    const AllocationGroup& group = groups[g];
+    for (std::size_t c = 0; c < group.candidates.size(); ++c) {
+      const platform::ExtendedResourceVector& erv = group.candidates[c].erv;
+      bool fits = true;
+      for (std::size_t t = 0; t < capacity.size(); ++t)
+        if (usage[t] + erv.cores_used(static_cast<int>(t)) > capacity[t]) fits = false;
+      if (!fits) continue;
+      for (std::size_t t = 0; t < capacity.size(); ++t)
+        usage[t] += erv.cores_used(static_cast<int>(t));
+      current[g] = c;
+      self(self, g + 1, cost + group.costs[c]);
+      for (std::size_t t = 0; t < capacity.size(); ++t)
+        usage[t] -= erv.cores_used(static_cast<int>(t));
+    }
+  };
+  recurse(recurse, 0, 0.0);
+  return best;  // empty if nothing feasible
+}
+
+}  // namespace harp::core

@@ -1,0 +1,86 @@
+// Energy-efficient resource allocation (§4.2.2): the Multiple-choice
+// Multi-dimensional Knapsack Problem of Eq. (1).
+//
+//   minimise   Σ_σ ζ(x_σ)           (energy-utility cost of selected points)
+//   subject to Σ_σ r(x_σ) ≤ R       (per-core-type capacity)
+//
+// MMKP is NP-hard; HARP uses the state-of-the-art Lagrangian-relaxation
+// approximation in the style of Wildermann et al.: subgradient iterations on
+// the relaxed problem, feasibility repair, then a concrete first-fit core
+// assignment guaranteeing spatial isolation. A greedy heuristic and an exact
+// branch-and-bound reference are provided for the allocator-quality
+// ablation (bench/allocator_ablation) and for tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/harp/operating_point.hpp"
+#include "src/platform/resource_vector.hpp"
+
+namespace harp::core {
+
+/// One application's choice group.
+struct AllocationGroup {
+  std::string app_name;
+  /// Candidate operating points; ζ must be precomputed against the app's
+  /// utility normaliser. At least one candidate required.
+  std::vector<OperatingPoint> candidates;
+  std::vector<double> costs;  ///< ζ per candidate, parallel to `candidates`
+};
+
+/// Result of one solve.
+struct AllocationResult {
+  /// Selected candidate index per group; empty if the instance forced
+  /// co-allocation (no feasible selection exists even at minimum demand).
+  std::vector<std::size_t> selection;
+  double total_cost = 0.0;
+  bool feasible = false;
+
+  /// Concrete, spatially isolated core allocations (parallel to groups);
+  /// only populated when feasible.
+  std::vector<platform::CoreAllocation> allocations;
+};
+
+enum class SolverKind { kLagrangian, kGreedy, kExhaustive };
+
+/// MMKP solver facade.
+class Allocator {
+ public:
+  explicit Allocator(platform::HardwareDescription hw,
+                     SolverKind kind = SolverKind::kLagrangian);
+
+  /// Solve the selection problem and compute concrete core assignments.
+  /// Groups must be non-empty and every group must have >= 1 candidate.
+  AllocationResult solve(const std::vector<AllocationGroup>& groups) const;
+
+  const platform::HardwareDescription& hardware() const { return hw_; }
+
+ private:
+  std::vector<std::size_t> solve_lagrangian(const std::vector<AllocationGroup>& groups,
+                                            const std::vector<int>& capacity) const;
+  std::vector<std::size_t> solve_greedy(const std::vector<AllocationGroup>& groups,
+                                        const std::vector<int>& capacity) const;
+  std::vector<std::size_t> solve_exhaustive(const std::vector<AllocationGroup>& groups,
+                                            const std::vector<int>& capacity) const;
+  /// Make an infeasible selection feasible by cost-aware downgrades; returns
+  /// nullopt when even minimum demand exceeds capacity.
+  std::optional<std::vector<std::size_t>> repair(const std::vector<AllocationGroup>& groups,
+                                                 std::vector<std::size_t> selection,
+                                                 const std::vector<int>& capacity) const;
+
+  platform::HardwareDescription hw_;
+  SolverKind kind_;
+};
+
+/// True iff the selected points jointly fit the capacity vector.
+bool selection_feasible(const std::vector<AllocationGroup>& groups,
+                        const std::vector<std::size_t>& selection,
+                        const std::vector<int>& capacity);
+
+/// Σ cost of a selection.
+double selection_cost(const std::vector<AllocationGroup>& groups,
+                      const std::vector<std::size_t>& selection);
+
+}  // namespace harp::core

@@ -1,0 +1,84 @@
+#include "src/harp/config_dir.hpp"
+
+#include <filesystem>
+
+#include "src/common/logging.hpp"
+
+namespace harp::core {
+
+namespace fs = std::filesystem;
+
+std::string sanitize_app_filename(const std::string& app_name) {
+  std::string out = app_name;
+  for (char& c : out) {
+    bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string ConfigDirectory::hardware_path() const { return root_ + "/hardware.json"; }
+
+std::string ConfigDirectory::app_path(const std::string& app_name) const {
+  return root_ + "/apps/" + sanitize_app_filename(app_name) + ".json";
+}
+
+Status ConfigDirectory::ensure_exists() const {
+  std::error_code ec;
+  fs::create_directories(root_ + "/apps", ec);
+  if (ec) return Status(make_error("io: cannot create " + root_ + ": " + ec.message()));
+  return Status{};
+}
+
+Status ConfigDirectory::initialize(const platform::HardwareDescription& hw,
+                                   const std::map<std::string, OperatingPointTable>& tables) const {
+  if (Status s = ensure_exists(); !s.ok()) return s;
+  if (Status s = save_hardware(hw); !s.ok()) return s;
+  for (const auto& [name, table] : tables)
+    if (Status s = save_table(table); !s.ok()) return s;
+  return Status{};
+}
+
+Result<platform::HardwareDescription> ConfigDirectory::load_hardware() const {
+  return platform::HardwareDescription::load(hardware_path());
+}
+
+Status ConfigDirectory::save_hardware(const platform::HardwareDescription& hw) const {
+  if (Status s = ensure_exists(); !s.ok()) return s;
+  return hw.save(hardware_path());
+}
+
+Result<std::map<std::string, OperatingPointTable>> ConfigDirectory::load_tables() const {
+  std::map<std::string, OperatingPointTable> out;
+  std::string apps_dir = root_ + "/apps";
+  std::error_code ec;
+  if (!fs::is_directory(apps_dir, ec)) return out;  // empty directory = no profiles
+  for (const fs::directory_entry& entry : fs::directory_iterator(apps_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+    Result<OperatingPointTable> table = OperatingPointTable::load(entry.path().string());
+    if (!table.ok()) {
+      HARP_WARN << "skipping corrupt profile " << entry.path().string() << ": "
+                << table.error().message;
+      continue;
+    }
+    std::string name = table.value().app_name();
+    out.insert_or_assign(name, std::move(table).take());
+  }
+  return out;
+}
+
+std::optional<OperatingPointTable> ConfigDirectory::load_table(const std::string& app_name) const {
+  Result<OperatingPointTable> table = OperatingPointTable::load(app_path(app_name));
+  if (!table.ok()) return std::nullopt;
+  return std::move(table).take();
+}
+
+Status ConfigDirectory::save_table(const OperatingPointTable& table) const {
+  if (Status s = ensure_exists(); !s.ok()) return s;
+  return table.save(app_path(table.app_name()));
+}
+
+}  // namespace harp::core

@@ -1,0 +1,61 @@
+// The /etc/harp-style configuration directory (§4.3).
+//
+// All HARP configuration lives in one user-inspectable directory:
+//
+//   <dir>/hardware.json          — the machine description (vendor-provided
+//                                  or generated at setup)
+//   <dir>/apps/<name>.json       — application description files: operating-
+//                                  point tables shipped with applications or
+//                                  persisted by the RM's runtime exploration
+//                                  ("self-improving profiles")
+//
+// The RM daemon loads this directory at startup and persists refined tables
+// back into it, so profiles survive restarts and administrators can inspect
+// or hand-tune them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/result.hpp"
+#include "src/harp/operating_point.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::core {
+
+class ConfigDirectory {
+ public:
+  explicit ConfigDirectory(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+  std::string hardware_path() const;
+  std::string app_path(const std::string& app_name) const;
+
+  /// Create `<root>` and `<root>/apps` if missing.
+  Status ensure_exists() const;
+
+  /// Write a complete configuration: hardware description + tables.
+  Status initialize(const platform::HardwareDescription& hw,
+                    const std::map<std::string, OperatingPointTable>& tables) const;
+
+  Result<platform::HardwareDescription> load_hardware() const;
+  Status save_hardware(const platform::HardwareDescription& hw) const;
+
+  /// Load every application description under apps/ (files that fail to
+  /// parse are skipped with a warning — one corrupt profile must not take
+  /// the RM down).
+  Result<std::map<std::string, OperatingPointTable>> load_tables() const;
+
+  std::optional<OperatingPointTable> load_table(const std::string& app_name) const;
+  Status save_table(const OperatingPointTable& table) const;
+
+ private:
+  std::string root_;
+};
+
+/// Sanitise an application name into a filesystem-safe file stem: anything
+/// outside [A-Za-z0-9._-] becomes '_'. ("mg.C" -> "mg.C", "a/b" -> "a_b").
+std::string sanitize_app_filename(const std::string& app_name);
+
+}  // namespace harp::core

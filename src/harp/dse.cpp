@@ -1,0 +1,68 @@
+#include "src/harp/dse.hpp"
+
+#include "src/mlmodels/pareto.hpp"
+
+namespace harp::core {
+
+double managed_rebalance_factor(model::AdaptivityType type) {
+  return type == model::AdaptivityType::kCustom ? 1.0 : 0.0;
+}
+
+OperatingPointTable run_offline_dse(const model::AppBehavior& app,
+                                    const platform::HardwareDescription& hw,
+                                    const DseOptions& options) {
+  double rebalance = options.rebalance_factor >= 0.0
+                         ? options.rebalance_factor
+                         : managed_rebalance_factor(app.adaptivity);
+
+  // Static applications cannot mold their team to the allocation: profile
+  // them with their fixed thread count time-sharing the granted slots.
+  bool is_static =
+      app.adaptivity == model::AdaptivityType::kStatic && app.default_threads > 0;
+
+  std::vector<platform::ExtendedResourceVector> candidates = enumerate_coarse_points(hw);
+  std::vector<NonFunctional> nfcs;
+  nfcs.reserve(candidates.size());
+  for (const platform::ExtendedResourceVector& erv : candidates) {
+    model::AppRates rates =
+        is_static ? model::pinned_rates(app, hw, erv, app.default_threads, rebalance,
+                                        options.freq_scale)
+                  : model::exclusive_rates(app, hw, erv, rebalance, options.freq_scale);
+    NonFunctional nfc;
+    nfc.utility = app.provides_utility ? rates.useful_gips : rates.measured_gips;
+    nfc.power_w = rates.power_w;
+    nfcs.push_back(nfc);
+  }
+
+  std::vector<std::size_t> keep;
+  if (options.pareto_filter) {
+    // Objectives, all minimised: −utility, power, cores per type.
+    std::vector<std::vector<double>> objectives;
+    objectives.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      std::vector<double> row{-nfcs[i].utility, nfcs[i].power_w};
+      for (int t = 0; t < candidates[i].num_types(); ++t)
+        row.push_back(static_cast<double>(candidates[i].cores_used(t)));
+      objectives.push_back(std::move(row));
+    }
+    keep = ml::pareto_front(objectives);
+  } else {
+    keep.resize(candidates.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+  }
+
+  OperatingPointTable table(app.name);
+  for (std::size_t i : keep) {
+    if (options.measurements_per_point <= 0) {
+      table.set_point(candidates[i], nfcs[i]);
+      continue;
+    }
+    // Record as measurements so the RM treats the table as stable (the EMA
+    // of a constant series is that constant).
+    for (int m = 0; m < options.measurements_per_point; ++m)
+      table.record_measurement(candidates[i], nfcs[i].utility, nfcs[i].power_w);
+  }
+  return table;
+}
+
+}  // namespace harp::core

@@ -1,0 +1,44 @@
+// Offline design-space exploration (§3.2.1, "HARP (Offline)" in §6.3).
+//
+// When applications ship description files, the operating points come from
+// design-time DSE: the application is executed (here: evaluated through the
+// behaviour model) on every coarse configuration and the Pareto-optimal
+// points — minimal power, maximal utility, minimal cores of each type — are
+// retained in the table.
+#pragma once
+
+#include "src/harp/operating_point.hpp"
+#include "src/model/behavior.hpp"
+
+namespace harp::core {
+
+struct DseOptions {
+  /// Keep only Pareto-optimal points (utility max; power and per-type core
+  /// counts min). The full sweep is kept when false (Fig. 1 needs it).
+  bool pareto_filter = true;
+  /// Imbalance mitigation assumed during profiling: custom apps rebalance
+  /// (1.0), scalable/static apps run pinned with static partitions (0.0).
+  /// Negative = derive from the app's adaptivity type.
+  double rebalance_factor = -1.0;
+  /// Measurements recorded per point (marks points as measured so the RM
+  /// treats offline tables as stable).
+  int measurements_per_point = 20;
+  /// DVFS setting the sweep is profiled at (1 = calibrated maximum). The
+  /// §7-outlook frequency extension generates one table per level.
+  double freq_scale = 1.0;
+};
+
+/// Sweep every coarse configuration of `hw` for `app` and build its
+/// operating-point table from the behaviour model's exclusive-run rates.
+/// Utility is the application metric when the app provides one, measured
+/// IPS otherwise — mirroring what runtime profiling would observe.
+OperatingPointTable run_offline_dse(const model::AppBehavior& app,
+                                    const platform::HardwareDescription& hw,
+                                    const DseOptions& options = {});
+
+/// The rebalance factor HARP management achieves for an adaptivity type:
+/// custom applications redistribute work (1.0); scalable/static ones keep
+/// static partitions once pinned (0.0).
+double managed_rebalance_factor(model::AdaptivityType type);
+
+}  // namespace harp::core

@@ -1,0 +1,159 @@
+#include "src/harp/exploration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace harp::core {
+
+const char* to_string(MaturityStage stage) {
+  switch (stage) {
+    case MaturityStage::kInitial: return "initial";
+    case MaturityStage::kRefinement: return "refinement";
+    case MaturityStage::kStable: return "stable";
+  }
+  return "?";
+}
+
+NfcModel::NfcModel(int degree) : utility_(degree), power_(degree) {}
+
+void NfcModel::fit(const std::vector<OperatingPoint>& measured, int feature_dim,
+                   bool zero_anchor) {
+  HARP_CHECK(!measured.empty());
+  std::vector<std::vector<double>> x;
+  std::vector<double> yu, yp;
+  for (const OperatingPoint& p : measured) {
+    x.push_back(p.erv.feature_vector());
+    HARP_CHECK(static_cast<int>(x.back().size()) == feature_dim);
+    yu.push_back(p.nfc.utility);
+    yp.push_back(p.nfc.power_w);
+  }
+  if (zero_anchor) {
+    x.emplace_back(static_cast<std::size_t>(feature_dim), 0.0);
+    yu.push_back(0.0);
+    yp.push_back(0.0);
+  }
+  utility_.fit(x, yu);
+  power_.fit(x, yp);
+  trained_ = true;
+}
+
+NonFunctional NfcModel::predict(const platform::ExtendedResourceVector& erv) const {
+  HARP_CHECK(trained_);
+  std::vector<double> f = erv.feature_vector();
+  return NonFunctional{utility_.predict(f), power_.predict(f)};
+}
+
+AppExplorer::AppExplorer(const platform::HardwareDescription& hw, ExplorationConfig config)
+    : hw_(hw), config_(config), all_candidates_(platform::enumerate_coarse_points(hw_)) {
+  HARP_CHECK(!all_candidates_.empty());
+  feature_dim_ = all_candidates_.front().feature_vector().size();
+}
+
+int AppExplorer::measured_configs(const OperatingPointTable& table) const {
+  return static_cast<int>(table.points(config_.measurements_per_point).size());
+}
+
+MaturityStage AppExplorer::stage(const OperatingPointTable& table) const {
+  int measured = measured_configs(table);
+  if (measured < config_.initial_points) return MaturityStage::kInitial;
+  if (measured < config_.stable_points) return MaturityStage::kRefinement;
+  return MaturityStage::kStable;
+}
+
+std::vector<platform::ExtendedResourceVector> AppExplorer::in_budget_candidates(
+    const std::vector<int>& core_budget) const {
+  HARP_CHECK(core_budget.size() == hw_.core_types.size());
+  std::vector<platform::ExtendedResourceVector> out;
+  for (const platform::ExtendedResourceVector& erv : all_candidates_) {
+    bool fits = true;
+    for (int t = 0; t < erv.num_types() && fits; ++t)
+      if (erv.cores_used(t) > core_budget[static_cast<std::size_t>(t)]) fits = false;
+    if (fits) out.push_back(erv);
+  }
+  return out;
+}
+
+std::optional<platform::ExtendedResourceVector> AppExplorer::select_next(
+    const OperatingPointTable& table, const std::vector<int>& core_budget) const {
+  // Unmeasured (or under-measured) configurations within the budget.
+  std::vector<platform::ExtendedResourceVector> candidates;
+  for (platform::ExtendedResourceVector& erv : in_budget_candidates(core_budget)) {
+    const OperatingPoint* point = table.find(erv);
+    if (point == nullptr || point->measurements < config_.measurements_per_point)
+      candidates.push_back(std::move(erv));
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  std::vector<OperatingPoint> measured = table.points(1);
+  if (stage(table) == MaturityStage::kInitial || measured.empty()) {
+    // Farthest-point sampling: maximise the minimum normalised distance to
+    // any measured configuration; with nothing measured yet, start from the
+    // largest in-budget configuration (it also anchors the v* normaliser).
+    if (measured.empty()) {
+      auto best = std::max_element(candidates.begin(), candidates.end(),
+                                   [](const auto& a, const auto& b) {
+                                     return a.total_threads() < b.total_threads();
+                                   });
+      return *best;
+    }
+    double best_score = -1.0;
+    const platform::ExtendedResourceVector* best = nullptr;
+    for (const platform::ExtendedResourceVector& c : candidates) {
+      double nearest = 1e300;
+      for (const OperatingPoint& m : measured)
+        nearest = std::min(nearest, c.normalized_distance(m.erv, hw_));
+      if (nearest > best_score) {
+        best_score = nearest;
+        best = &c;
+      }
+    }
+    return *best;
+  }
+
+  // Refinement stage: primary model vs anomalies / auxiliary model.
+  NfcModel primary(config_.regression_degree);
+  primary.fit(measured, static_cast<int>(feature_dim_), /*zero_anchor=*/false);
+
+  // 1) Prioritise configurations with negative predictions: largest combined
+  //    error, the geometric mean of the negative deviations with positive
+  //    values counted as zero (falling back to the sum when every candidate
+  //    has only one negative component and all products vanish).
+  double best_geo = 0.0, best_sum = 0.0;
+  const platform::ExtendedResourceVector* best_negative = nullptr;
+  for (const platform::ExtendedResourceVector& c : candidates) {
+    NonFunctional pred = primary.predict(c);
+    double nu = std::max(0.0, -pred.utility);
+    double np = std::max(0.0, -pred.power_w);
+    if (nu <= 0.0 && np <= 0.0) continue;
+    double geo = std::sqrt(nu * np);
+    double sum = nu + np;
+    if (geo > best_geo || (best_geo == 0.0 && sum > best_sum)) {
+      best_geo = std::max(best_geo, geo);
+      best_sum = std::max(best_sum, sum);
+      best_negative = &c;
+    }
+  }
+  if (best_negative != nullptr) return *best_negative;
+
+  // 2) Otherwise: largest discrepancy between the primary model and the
+  //    zero-anchored auxiliary model (geometric mean of the |Δutility| and
+  //    |Δpower| components).
+  NfcModel auxiliary(config_.regression_degree);
+  auxiliary.fit(measured, static_cast<int>(feature_dim_), /*zero_anchor=*/true);
+  double best_score = -1.0;
+  const platform::ExtendedResourceVector* best = nullptr;
+  for (const platform::ExtendedResourceVector& c : candidates) {
+    NonFunctional a = primary.predict(c);
+    NonFunctional b = auxiliary.predict(c);
+    double score = std::sqrt(std::abs(a.utility - b.utility) * std::abs(a.power_w - b.power_w));
+    if (score > best_score) {
+      best_score = score;
+      best = &c;
+    }
+  }
+  return *best;
+}
+
+}  // namespace harp::core

@@ -1,0 +1,245 @@
+#include "src/harp/rm_server.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/common/logging.hpp"
+#include "src/mlmodels/pareto.hpp"
+
+namespace harp::core {
+
+struct RmServer::Client {
+  std::unique_ptr<ipc::Channel> channel;
+  bool registered = false;
+  std::int32_t app_id = -1;
+  std::string name;
+  ipc::WireAdaptivity adaptivity = ipc::WireAdaptivity::kStatic;
+  bool provides_utility = false;
+  OperatingPointTable table;
+  OperatingPoint active_point;
+  bool has_active = false;
+  double last_utility = 0.0;
+};
+
+RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
+    : hw_(std::move(hw)), options_(options), allocator_(hw_, options.solver) {}
+
+RmServer::~RmServer() = default;
+
+Status RmServer::listen(const std::string& socket_path) {
+  Result<std::unique_ptr<ipc::UnixServer>> server = ipc::UnixServer::listen(socket_path);
+  if (!server.ok()) return Status(server.error());
+  server_ = std::move(server).take();
+  return Status{};
+}
+
+void RmServer::adopt_channel(std::unique_ptr<ipc::Channel> channel) {
+  auto client = std::make_unique<Client>();
+  client->channel = std::move(channel);
+  clients_.push_back(std::move(client));
+}
+
+double RmServer::last_utility(const std::string& app_name) const {
+  for (const auto& client : clients_)
+    if (client->registered && client->name == app_name) return client->last_utility;
+  return 0.0;
+}
+
+const OperatingPoint* RmServer::current_point(const std::string& app_name) const {
+  for (const auto& client : clients_)
+    if (client->registered && client->name == app_name && client->has_active)
+      return &client->active_point;
+  return nullptr;
+}
+
+void RmServer::poll(double now_seconds) {
+  // Accept pending connections.
+  if (server_ != nullptr) {
+    while (true) {
+      auto accepted = server_->accept();
+      if (!accepted.ok()) {
+        HARP_WARN << "accept failed: " << accepted.error().message;
+        break;
+      }
+      if (!accepted.value().has_value()) break;
+      adopt_channel(std::move(*accepted.value()));
+    }
+  }
+
+  // Drain client messages; drop broken/closed clients.
+  for (std::size_t i = 0; i < clients_.size();) {
+    process_client_messages(*clients_[i]);
+    if (clients_[i]->channel->closed()) {
+      drop_client(i);
+      continue;
+    }
+    ++i;
+  }
+
+  if (needs_realloc_) reallocate();
+
+  // Periodic utility feedback (Fig. 3 step 4).
+  if (now_seconds - last_utility_poll_ >= options_.utility_poll_interval_s) {
+    last_utility_poll_ = now_seconds;
+    for (const auto& client : clients_)
+      if (client->registered && client->provides_utility)
+        (void)client->channel->send(ipc::Message(ipc::UtilityRequest{}));
+  }
+}
+
+void RmServer::process_client_messages(Client& client) {
+  while (true) {
+    Result<std::optional<ipc::Message>> message = client.channel->poll();
+    if (!message.ok()) {
+      client.channel->close();
+      return;
+    }
+    if (!message.value().has_value()) return;
+    const ipc::Message& m = *message.value();
+
+    if (const auto* request = std::get_if<ipc::RegisterRequest>(&m)) {
+      if (client.registered) {
+        HARP_WARN << "duplicate registration from '" << request->app_name << "'";
+        client.channel->close();
+        return;
+      }
+      client.registered = true;
+      client.app_id = next_app_id_++;
+      client.name = request->app_name;
+      client.adaptivity = request->adaptivity;
+      client.provides_utility = request->provides_utility;
+      client.table = OperatingPointTable(client.name);
+      (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
+      needs_realloc_ = true;
+      HARP_INFO << "registered '" << client.name << "' (pid " << request->pid << ")";
+      continue;
+    }
+    if (!client.registered) {
+      HARP_WARN << "message before registration; dropping client";
+      client.channel->close();
+      return;
+    }
+    if (const auto* points = std::get_if<ipc::OperatingPointsMsg>(&m)) {
+      for (const ipc::OperatingPointsMsg::Point& p : points->points) {
+        if (static_cast<std::size_t>(p.erv.num_types()) != hw_.core_types.size() ||
+            !p.erv.fits(hw_)) {
+          HARP_WARN << "rejecting out-of-shape operating point from '" << client.name << "'";
+          continue;
+        }
+        client.table.set_point(p.erv, NonFunctional{p.utility, p.power_w});
+      }
+      needs_realloc_ = true;
+      continue;
+    }
+    if (const auto* report = std::get_if<ipc::UtilityReport>(&m)) {
+      client.last_utility = report->utility;
+      // Fold the live feedback into the active point so future allocations
+      // use the refined characteristic (§4.2.1).
+      if (client.has_active && report->utility >= 0.0 &&
+          client.table.contains(client.active_point.erv))
+        client.table.record_measurement(client.active_point.erv, report->utility,
+                                        client.active_point.nfc.power_w);
+      continue;
+    }
+    if (std::holds_alternative<ipc::Deregister>(m)) {
+      client.channel->close();
+      needs_realloc_ = true;
+      return;
+    }
+    HARP_WARN << "unexpected message type from '" << client.name << "'";
+  }
+}
+
+void RmServer::drop_client(std::size_t index) {
+  HARP_INFO << "client '" << clients_[index]->name << "' left";
+  clients_.erase(clients_.begin() + static_cast<long>(index));
+  needs_realloc_ = true;
+}
+
+AllocationGroup RmServer::build_group(const Client& client) const {
+  AllocationGroup group;
+  group.app_name = client.name;
+
+  std::vector<OperatingPoint> candidates = client.table.points(0);
+  if (candidates.empty()) {
+    // No description file: fair-share fallback — one candidate per feasible
+    // thread count, utility proportional to threads (optimistic), so the
+    // MMKP can still trade resources between described and undescribed apps.
+    for (const platform::ExtendedResourceVector& erv : enumerate_coarse_points(hw_)) {
+      OperatingPoint p;
+      p.erv = erv;
+      p.nfc.utility = static_cast<double>(erv.total_threads());
+      double power = 0.0;
+      for (int t = 0; t < erv.num_types(); ++t)
+        power += hw_.core_types[static_cast<std::size_t>(t)].active_power_w * erv.cores_used(t);
+      p.nfc.power_w = power;
+      candidates.push_back(std::move(p));
+    }
+  }
+
+  // Pareto-filter to keep the instance small.
+  std::vector<std::vector<double>> objectives;
+  objectives.reserve(candidates.size());
+  for (const OperatingPoint& p : candidates) {
+    std::vector<double> row{-p.nfc.utility, p.nfc.power_w};
+    for (int t = 0; t < p.erv.num_types(); ++t)
+      row.push_back(static_cast<double>(p.erv.cores_used(t)));
+    objectives.push_back(std::move(row));
+  }
+  std::vector<std::size_t> front = ml::pareto_front(objectives);
+  double v_max = 1e-9;
+  for (std::size_t i : front) v_max = std::max(v_max, candidates[i].nfc.utility);
+  for (std::size_t i : front) {
+    group.candidates.push_back(candidates[i]);
+    group.costs.push_back(energy_utility_cost(candidates[i].nfc, v_max));
+  }
+  return group;
+}
+
+void RmServer::reallocate() {
+  needs_realloc_ = false;
+  std::vector<Client*> registered;
+  for (const auto& client : clients_)
+    if (client->registered) registered.push_back(client.get());
+  if (registered.empty()) return;
+
+  std::vector<AllocationGroup> groups;
+  groups.reserve(registered.size());
+  for (Client* client : registered) groups.push_back(build_group(*client));
+
+  AllocationResult result = allocator_.solve(groups);
+  if (!result.feasible) {
+    // Co-allocation fallback (§4.2.2): every app gets the whole machine and
+    // the OS scheduler time-shares.
+    HARP_WARN << "demand exceeds capacity; falling back to co-allocation";
+    for (Client* client : registered) {
+      ipc::ActivateMsg activate;
+      activate.erv = platform::ExtendedResourceVector::full(hw_);
+      activate.parallelism = 0;
+      client->has_active = false;
+      (void)client->channel->send(ipc::Message(activate));
+    }
+    return;
+  }
+
+  for (std::size_t g = 0; g < registered.size(); ++g) {
+    Client* client = registered[g];
+    const OperatingPoint& point = groups[g].candidates[result.selection[g]];
+    const platform::CoreAllocation& alloc = result.allocations[g];
+
+    ipc::ActivateMsg activate;
+    activate.erv = point.erv;
+    for (std::size_t t = 0; t < alloc.cores.size(); ++t)
+      for (const auto& [core, threads] : alloc.cores[t])
+        activate.cores.push_back(
+            ipc::ActivateMsg::CoreGrant{static_cast<std::int32_t>(t), core, threads});
+    bool scalable = client->adaptivity != ipc::WireAdaptivity::kStatic;
+    activate.parallelism = scalable ? point.erv.total_threads() : 0;
+    activate.rebalance = client->adaptivity == ipc::WireAdaptivity::kCustom;
+    client->active_point = point;
+    client->has_active = true;
+    (void)client->channel->send(ipc::Message(activate));
+  }
+}
+
+}  // namespace harp::core

@@ -1,0 +1,78 @@
+// The HARP RM as a user-space daemon (§4.3, Fig. 4): a central service —
+// akin to systemd/launchd — that applications register with over a Unix
+// socket (or an in-process channel in tests).
+//
+// The daemon side of the Fig. 3 control flow: it accepts registrations,
+// ingests operating points from application description files, solves the
+// MMKP (Eq. 1) whenever the application set or the point tables change,
+// pushes operating-point activations with concrete spatially isolated core
+// grants, and polls utility feedback from applications that provide it.
+//
+// Unlike HarpPolicy (the simulator-embedded RM used in the evaluation
+// benches), RmServer manages real client processes; it has no telemetry of
+// its own, so applications without description files receive a fair-share
+// allocation until they submit points or report utility.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harp/allocator.hpp"
+#include "src/harp/operating_point.hpp"
+#include "src/ipc/transport.hpp"
+
+namespace harp::core {
+
+struct RmServerOptions {
+  SolverKind solver = SolverKind::kLagrangian;
+  /// Seconds between utility-feedback requests (§4.1.1 step 4).
+  double utility_poll_interval_s = 1.0;
+};
+
+class RmServer {
+ public:
+  RmServer(platform::HardwareDescription hw, RmServerOptions options = {});
+  ~RmServer();
+  RmServer(const RmServer&) = delete;
+  RmServer& operator=(const RmServer&) = delete;
+
+  /// Bind the registration socket (Fig. 3 step 1).
+  Status listen(const std::string& socket_path);
+
+  /// Adopt an already connected channel (in-process transport).
+  void adopt_channel(std::unique_ptr<ipc::Channel> channel);
+
+  /// One event-loop iteration: accept clients, process pending messages,
+  /// reallocate if anything changed, and issue due utility requests.
+  /// `now_seconds` is the caller's clock (monotonic); drives utility polls.
+  void poll(double now_seconds);
+
+  std::size_t client_count() const { return clients_.size(); }
+
+  /// Most recent utility reported by a named application (0 if none).
+  double last_utility(const std::string& app_name) const;
+
+  /// The activation most recently pushed to a named application.
+  const OperatingPoint* current_point(const std::string& app_name) const;
+
+ private:
+  struct Client;
+
+  void process_client_messages(Client& client);
+  void drop_client(std::size_t index);
+  void reallocate();
+  AllocationGroup build_group(const Client& client) const;
+
+  platform::HardwareDescription hw_;
+  RmServerOptions options_;
+  Allocator allocator_;
+  std::unique_ptr<ipc::UnixServer> server_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::int32_t next_app_id_ = 1;
+  bool needs_realloc_ = false;
+  double last_utility_poll_ = 0.0;
+};
+
+}  // namespace harp::core

@@ -1,0 +1,95 @@
+// The RM ↔ libharp message set (Fig. 3).
+//
+// Control flow: (1) the application registers with its PID, name, adaptivity
+// type and capability flags; (2) it optionally submits operating points from
+// its description file and subscribes utility feedback; (3) the RM pushes
+// operating-point activations (selected configuration + concrete resource
+// grant); (4) the RM periodically requests utility, which the application
+// reports back. Deregistration is explicit on clean shutdown (the RM also
+// treats a closed socket as an exit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/platform/resource_vector.hpp"
+
+namespace harp::ipc {
+
+enum class MessageType : std::uint16_t {
+  kRegisterRequest = 1,
+  kRegisterAck = 2,
+  kOperatingPoints = 3,
+  kActivate = 4,
+  kUtilityRequest = 5,
+  kUtilityReport = 6,
+  kDeregister = 7,
+};
+
+/// Application adaptivity classes on the wire (§4.1.3).
+enum class WireAdaptivity : std::uint8_t { kStatic = 0, kScalable = 1, kCustom = 2 };
+
+/// (1) Registration: app → RM.
+struct RegisterRequest {
+  std::int32_t pid = 0;
+  std::string app_name;
+  WireAdaptivity adaptivity = WireAdaptivity::kStatic;
+  bool provides_utility = false;
+};
+
+/// RM → app: registration accepted; `app_id` names the app in later frames.
+struct RegisterAck {
+  std::int32_t app_id = -1;
+};
+
+/// (2) Operating points from the application description file: app → RM.
+struct OperatingPointsMsg {
+  struct Point {
+    platform::ExtendedResourceVector erv;
+    double utility = 0.0;
+    double power_w = 0.0;
+  };
+  std::vector<Point> points;
+};
+
+/// (3) Operating-point activation: RM → app. Contains the selected
+/// configuration (as an extended resource vector), the concrete core grant,
+/// the parallelism degree for scalable apps, and the rebalance knob for
+/// custom apps.
+struct ActivateMsg {
+  platform::ExtendedResourceVector erv;
+  /// Concrete grant: (type, core id, busy threads) triples.
+  struct CoreGrant {
+    std::int32_t type = 0;
+    std::int32_t core = 0;
+    std::int32_t threads = 1;
+  };
+  std::vector<CoreGrant> cores;
+  std::int32_t parallelism = 0;  ///< 0 = keep application default
+  bool rebalance = false;
+};
+
+/// (4) Utility feedback: RM → app request, app → RM report.
+struct UtilityRequest {};
+struct UtilityReport {
+  double utility = 0.0;
+};
+
+/// App → RM: clean shutdown.
+struct Deregister {};
+
+using Message = std::variant<RegisterRequest, RegisterAck, OperatingPointsMsg, ActivateMsg,
+                             UtilityRequest, UtilityReport, Deregister>;
+
+MessageType type_of(const Message& message);
+
+/// Serialise a message into a complete frame (header + payload).
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decode a payload of the given type. Errors carry a "proto:" prefix.
+Result<Message> decode(MessageType type, const std::vector<std::uint8_t>& payload);
+
+}  // namespace harp::ipc

@@ -1,0 +1,247 @@
+#include "src/ipc/transport.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "src/ipc/wire.hpp"
+
+namespace harp::ipc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+/// Shared state of one direction: a queue of encoded frames.
+struct InProcQueue {
+  std::mutex mutex;
+  std::deque<std::vector<std::uint8_t>> frames;
+  bool closed = false;
+};
+
+class InProcChannel : public Channel {
+ public:
+  InProcChannel(std::shared_ptr<InProcQueue> tx, std::shared_ptr<InProcQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~InProcChannel() override { close(); }
+
+  Status send(const Message& message) override {
+    std::scoped_lock lock(tx_->mutex);
+    if (tx_->closed) return Status(make_error("io: channel closed"));
+    tx_->frames.push_back(encode(message));
+    return Status{};
+  }
+
+  Result<std::optional<Message>> poll() override {
+    std::vector<std::uint8_t> frame;
+    {
+      std::scoped_lock lock(rx_->mutex);
+      if (rx_->frames.empty()) {
+        if (rx_->closed) return Result<std::optional<Message>>(make_error("io: peer closed"));
+        return std::optional<Message>{};
+      }
+      frame = std::move(rx_->frames.front());
+      rx_->frames.pop_front();
+    }
+    auto header = decode_frame_header(frame.data(), frame.size());
+    if (!header.ok()) return Result<std::optional<Message>>(header.error());
+    auto [type, payload_size] = header.value();
+    if (frame.size() != kFrameHeaderSize + payload_size)
+      return Result<std::optional<Message>>(make_error("proto: frame size mismatch"));
+    std::vector<std::uint8_t> payload(frame.begin() + kFrameHeaderSize, frame.end());
+    Result<Message> message = decode(static_cast<MessageType>(type), payload);
+    if (!message.ok()) return Result<std::optional<Message>>(message.error());
+    return std::optional<Message>(std::move(message).take());
+  }
+
+  bool closed() const override {
+    std::scoped_lock lock(tx_->mutex);
+    return tx_->closed;
+  }
+
+  void close() override {
+    {
+      std::scoped_lock lock(tx_->mutex);
+      tx_->closed = true;
+    }
+    std::scoped_lock lock(rx_->mutex);
+    rx_->closed = true;
+  }
+
+ private:
+  std::shared_ptr<InProcQueue> tx_;
+  std::shared_ptr<InProcQueue> rx_;
+};
+
+// ---------------------------------------------------------------------------
+// Unix-socket transport
+// ---------------------------------------------------------------------------
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+class UnixChannel : public Channel {
+ public:
+  explicit UnixChannel(int fd) : fd_(fd) { set_nonblocking(fd_); }
+
+  ~UnixChannel() override { close(); }
+
+  Status send(const Message& message) override {
+    if (fd_ < 0) return Status(make_error("io: channel closed"));
+    std::vector<std::uint8_t> frame = encode(message);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Briefly wait for the peer to drain; bounded so a dead peer cannot
+        // wedge the RM.
+        struct pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, 100) <= 0) return Status(make_error("io: send timeout"));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return Status(make_error("io: send failed: " + std::string(std::strerror(errno))));
+    }
+    return Status{};
+  }
+
+  Result<std::optional<Message>> poll() override {
+    if (fd_ < 0) return Result<std::optional<Message>>(make_error("io: channel closed"));
+    // Drain whatever is available into the reassembly buffer.
+    std::uint8_t chunk[4096];
+    while (true) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.insert(buffer_.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) {
+        close();
+        return Result<std::optional<Message>>(make_error("io: peer closed"));
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close();
+      return Result<std::optional<Message>>(
+          make_error("io: recv failed: " + std::string(std::strerror(errno))));
+    }
+
+    if (buffer_.size() < kFrameHeaderSize) return std::optional<Message>{};
+    auto header = decode_frame_header(buffer_.data(), buffer_.size());
+    if (!header.ok()) {
+      close();
+      return Result<std::optional<Message>>(header.error());
+    }
+    auto [type, payload_size] = header.value();
+    if (buffer_.size() < kFrameHeaderSize + payload_size) return std::optional<Message>{};
+
+    std::vector<std::uint8_t> payload(buffer_.begin() + kFrameHeaderSize,
+                                      buffer_.begin() + kFrameHeaderSize + payload_size);
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<long>(kFrameHeaderSize + payload_size));
+    Result<Message> message = decode(static_cast<MessageType>(type), payload);
+    if (!message.ok()) {
+      close();
+      return Result<std::optional<Message>>(message.error());
+    }
+    return std::optional<Message>(std::move(message).take());
+  }
+
+  bool closed() const override { return fd_ < 0; }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_in_process_pair() {
+  auto a_to_b = std::make_shared<InProcQueue>();
+  auto b_to_a = std::make_shared<InProcQueue>();
+  return {std::make_unique<InProcChannel>(a_to_b, b_to_a),
+          std::make_unique<InProcChannel>(b_to_a, a_to_b)};
+}
+
+UnixServer::~UnixServer() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+Result<std::unique_ptr<UnixServer>> UnixServer::listen(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return Result<std::unique_ptr<UnixServer>>(make_error("io: socket path too long"));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Result<std::unique_ptr<UnixServer>>(
+        make_error("io: socket: " + std::string(std::strerror(errno))));
+  ::unlink(path.c_str());  // replace a stale socket file
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    int saved = errno;
+    ::close(fd);
+    return Result<std::unique_ptr<UnixServer>>(
+        make_error("io: bind/listen: " + std::string(std::strerror(saved))));
+  }
+  set_nonblocking(fd);
+  return std::unique_ptr<UnixServer>(new UnixServer(fd, path));
+}
+
+Result<std::optional<std::unique_ptr<Channel>>> UnixServer::accept() {
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client >= 0)
+    return std::optional<std::unique_ptr<Channel>>(std::make_unique<UnixChannel>(client));
+  if (errno == EAGAIN || errno == EWOULDBLOCK)
+    return std::optional<std::unique_ptr<Channel>>{};
+  return Result<std::optional<std::unique_ptr<Channel>>>(
+      make_error("io: accept: " + std::string(std::strerror(errno))));
+}
+
+Result<std::unique_ptr<Channel>> unix_connect(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return Result<std::unique_ptr<Channel>>(make_error("io: socket path too long"));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Result<std::unique_ptr<Channel>>(
+        make_error("io: socket: " + std::string(std::strerror(errno))));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    return Result<std::unique_ptr<Channel>>(
+        make_error("io: connect: " + std::string(std::strerror(saved))));
+  }
+  return std::unique_ptr<Channel>(std::make_unique<UnixChannel>(fd));
+}
+
+}  // namespace harp::ipc

@@ -1,0 +1,64 @@
+// Message transports: AF_UNIX sockets (as in the paper, §4.1.1) plus a
+// deterministic in-process pair for tests and simulator integration.
+//
+// Both transports move complete frames produced by the messages codec, so
+// the protocol behaviour is identical regardless of the channel; the
+// in-process pair still round-trips every message through the binary wire
+// format to keep the codec honest.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/result.hpp"
+#include "src/ipc/messages.hpp"
+
+namespace harp::ipc {
+
+/// A bidirectional, non-blocking message channel.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Send one message. Blocks briefly if the peer is slow; fails once the
+  /// channel is closed.
+  virtual Status send(const Message& message) = 0;
+
+  /// Non-blocking receive: nullopt when no complete message is pending.
+  /// A protocol violation or a closed peer yields an error.
+  virtual Result<std::optional<Message>> poll() = 0;
+
+  virtual bool closed() const = 0;
+  virtual void close() = 0;
+};
+
+/// Create a connected in-process channel pair (RM end, app end).
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_in_process_pair();
+
+/// Unix-domain-socket listener (the RM's registration socket, Fig. 3).
+class UnixServer {
+ public:
+  ~UnixServer();
+  UnixServer(const UnixServer&) = delete;
+  UnixServer& operator=(const UnixServer&) = delete;
+
+  /// Bind and listen; an existing stale socket file is replaced.
+  static Result<std::unique_ptr<UnixServer>> listen(const std::string& path);
+
+  /// Non-blocking accept: nullopt when no client is waiting.
+  Result<std::optional<std::unique_ptr<Channel>>> accept();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  UnixServer(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_;
+  std::string path_;
+};
+
+/// Connect to a UnixServer as a libharp client.
+Result<std::unique_ptr<Channel>> unix_connect(const std::string& path);
+
+}  // namespace harp::ipc

@@ -1,0 +1,134 @@
+#include "src/ipc/wire.hpp"
+
+#include <cstring>
+
+namespace harp::ipc {
+
+void WireWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void WireWriter::string(const std::string& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+bool WireReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || pos_ + n > bytes_.size()) {
+    ok_ = false;
+    return false;
+  }
+  *out = bytes_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::u8(std::uint8_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return false;
+  v = p[0];
+  return true;
+}
+
+bool WireReader::u16(std::uint16_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(2, &p)) return false;
+  v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  return true;
+}
+
+bool WireReader::u32(std::uint32_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return true;
+}
+
+bool WireReader::u64(std::uint64_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return true;
+}
+
+bool WireReader::i32(std::int32_t& v) {
+  std::uint32_t raw = 0;
+  if (!u32(raw)) return false;
+  v = static_cast<std::int32_t>(raw);
+  return true;
+}
+
+bool WireReader::f64(double& v) {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool WireReader::boolean(bool& v) {
+  std::uint8_t raw = 0;
+  if (!u8(raw)) return false;
+  v = raw != 0;
+  return true;
+}
+
+bool WireReader::string(std::string& v) {
+  std::uint32_t size = 0;
+  if (!u32(size)) return false;
+  if (size > kMaxPayloadBytes) {
+    ok_ = false;
+    return false;
+  }
+  const std::uint8_t* p = nullptr;
+  if (!take(size, &p)) return false;
+  v.assign(reinterpret_cast<const char*>(p), size);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_frame_header(std::uint16_t type, std::uint32_t payload_size) {
+  WireWriter w;
+  w.u32(payload_size);
+  w.u16(type);
+  return w.take();
+}
+
+Result<std::pair<std::uint16_t, std::uint32_t>> decode_frame_header(const std::uint8_t* data,
+                                                                    std::size_t size) {
+  if (size < kFrameHeaderSize)
+    return Result<std::pair<std::uint16_t, std::uint32_t>>(make_error("proto: short header"));
+  std::vector<std::uint8_t> header(data, data + kFrameHeaderSize);
+  WireReader r(header);
+  std::uint32_t payload = 0;
+  std::uint16_t type = 0;
+  r.u32(payload);
+  r.u16(type);
+  if (!r.ok() || payload > kMaxPayloadBytes)
+    return Result<std::pair<std::uint16_t, std::uint32_t>>(
+        make_error("proto: invalid frame header"));
+  return std::pair<std::uint16_t, std::uint32_t>{type, payload};
+}
+
+}  // namespace harp::ipc

@@ -1,0 +1,74 @@
+// Binary wire format primitives for the RM ↔ libharp protocol.
+//
+// The paper uses protobuf over Unix sockets (§4.1.1); this dependency-free
+// reproduction uses an equivalent hand-rolled little-endian codec: a frame
+// is a 4-byte payload length + 2-byte message type, followed by the payload
+// encoded with the primitives here (fixed-width integers, doubles, length-
+// prefixed strings and vectors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+
+namespace harp::ipc {
+
+/// Append-only encoder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void f64(double v);
+  void boolean(bool v);
+  void string(const std::string& v);  ///< u32 length + bytes
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Checked sequential decoder. All reads return false (and set an error) on
+/// truncation; callers propagate via ok().
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool i32(std::int32_t& v);
+  bool f64(double& v);
+  bool boolean(bool& v);
+  bool string(std::string& v);
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Frame header: payload length (u32) + message type (u16).
+inline constexpr std::size_t kFrameHeaderSize = 6;
+/// Upper bound on a sane payload (guards against corrupt peers).
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 22;
+
+/// Serialise a frame header.
+std::vector<std::uint8_t> encode_frame_header(std::uint16_t type, std::uint32_t payload_size);
+/// Parse a frame header; error on oversized payloads.
+Result<std::pair<std::uint16_t, std::uint32_t>> decode_frame_header(
+    const std::uint8_t* data, std::size_t size);
+
+}  // namespace harp::ipc

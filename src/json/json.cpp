@@ -1,0 +1,443 @@
+#include "src/json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace harp::json {
+
+Value::Value(Array a) : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+Value::Value(Object o) : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+bool Value::as_bool() const {
+  HARP_CHECK_MSG(is_bool(), "json: expected bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  HARP_CHECK_MSG(is_number(), "json: expected number");
+  return number_;
+}
+
+std::int64_t Value::as_int() const {
+  double d = as_number();
+  double r = std::round(d);
+  HARP_CHECK_MSG(std::abs(d - r) < 1e-9, "json: expected integer, got " << d);
+  return static_cast<std::int64_t>(r);
+}
+
+const std::string& Value::as_string() const {
+  HARP_CHECK_MSG(is_string(), "json: expected string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  HARP_CHECK_MSG(is_array(), "json: expected array");
+  return *array_;
+}
+
+Array& Value::as_array() {
+  HARP_CHECK_MSG(is_array(), "json: expected array");
+  return *array_;
+}
+
+const Object& Value::as_object() const {
+  HARP_CHECK_MSG(is_object(), "json: expected object");
+  return *object_;
+}
+
+Object& Value::as_object() {
+  HARP_CHECK_MSG(is_object(), "json: expected object");
+  return *object_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  auto it = obj.find(key);
+  HARP_CHECK_MSG(it != obj.end(), "json: missing key '" << key << "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && object_->count(key) > 0;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::int64_t Value::int_or(const std::string& key, std::int64_t fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+std::string Value::string_or(const std::string& key, const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return *array_ == *other.array_;
+    case Type::kObject: return *object_ == *other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent strict JSON parser with line/column error reporting.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return fail_;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters after document");
+    return v;
+  }
+
+ private:
+  bool parse_value(Value& out) {
+    if (pos_ >= text_.size()) return set_error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't': return parse_literal("true", Value(true), out);
+      case 'f': return parse_literal("false", Value(false), out);
+      case 'n': return parse_literal("null", Value(nullptr), out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    ++pos_;  // consume '{'
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      out = Value(std::move(obj));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return set_error("expected object key string");
+      std::string key;
+      if (!parse_raw_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return set_error("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      Value member;
+      if (!parse_value(member)) return false;
+      obj.emplace(std::move(key), std::move(member));
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        out = Value(std::move(obj));
+        return true;
+      }
+      return set_error("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    ++pos_;  // consume '['
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      out = Value(std::move(arr));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value element;
+      if (!parse_value(element)) return false;
+      arr.push_back(std::move(element));
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        out = Value(std::move(arr));
+        return true;
+      }
+      return set_error("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string_value(Value& out) {
+    std::string s;
+    if (!parse_raw_string(s)) return false;
+    out = Value(std::move(s));
+    return true;
+  }
+
+  bool parse_raw_string(std::string& out) {
+    ++pos_;  // consume '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return set_error("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return set_error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return set_error("invalid hex digit in \\u escape");
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default: return set_error("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return set_error("raw control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return set_error("unterminated string");
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool parse_literal(std::string_view literal, Value value, Value& out) {
+    if (text_.substr(pos_, literal.size()) != literal)
+      return set_error("invalid literal");
+    pos_ += literal.size();
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return set_error("invalid number");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return set_error("invalid fraction");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return set_error("invalid exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    double value = 0.0;
+    try {
+      value = std::stod(token);
+    } catch (const std::exception&) {
+      return set_error("number out of range");
+    }
+    if (!std::isfinite(value)) return set_error("non-finite number");
+    out = Value(value);
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  Result<Value> error(const std::string& message) {
+    set_error(message);
+    return fail_;
+  }
+
+  bool set_error(const std::string& message) {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream oss;
+    oss << "parse: " << message << " at line " << line << ", column " << col;
+    fail_ = Result<Value>(make_error(oss.str()));
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Result<Value> fail_{make_error("parse: unknown error")};
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double d, std::string& out) {
+  double r = std::round(d);
+  if (std::abs(d - r) < 1e-9 && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(r));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void dump_value(const Value& v, int indent, int depth, std::string& out) {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (v.type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Type::kNumber: dump_number(v.as_number(), out); break;
+    case Type::kString: dump_string(v.as_string(), out); break;
+    case Type::kArray: {
+      const Array& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        newline(depth + 1);
+        dump_value(arr[i], indent, depth + 1, out);
+        if (i + 1 < arr.size()) out.push_back(',');
+        else if (indent == 0) continue;
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const Object& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      std::size_t i = 0;
+      for (const auto& [key, member] : obj) {
+        newline(depth + 1);
+        dump_string(key, out);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        dump_value(member, indent, depth + 1, out);
+        if (++i < obj.size()) out.push_back(',');
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string dump(const Value& value, int indent) {
+  std::string out;
+  dump_value(value, indent, 0, out);
+  return out;
+}
+
+Result<Value> load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result<Value>(make_error("io: cannot open " + path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+Status save_file(const std::string& path, const Value& value, int indent) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status(make_error("io: cannot write " + path));
+  out << dump(value, indent) << '\n';
+  return out ? Status{} : Status(make_error("io: write failed for " + path));
+}
+
+}  // namespace harp::json

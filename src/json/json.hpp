@@ -1,0 +1,96 @@
+// Minimal JSON document model, parser, and writer.
+//
+// HARP stores its configuration — hardware descriptions and application
+// operating-point files — in a /etc/harp-style directory of JSON documents
+// (paper §4.3). The library has no external dependencies, so this module
+// implements the small JSON subset those files need: null, bool, finite
+// numbers, strings with standard escapes, arrays, objects. Comments and
+// trailing commas are rejected (strict JSON).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+
+namespace harp::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps keys ordered so serialisation is deterministic, which the
+/// golden-file tests rely on.
+using Object = std::map<std::string, Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// A JSON value with value semantics. Accessors are checked: asking for the
+/// wrong type throws harp::CheckFailure, because config-shape errors are
+/// caught by the schema-validating loaders before the typed accessors run.
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}            // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Value(double d) : type_(Type::kNumber), number_(d) {}    // NOLINT
+  Value(int i) : type_(Type::kNumber), number_(i) {}       // NOLINT
+  Value(std::int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}           // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(Array a);   // NOLINT
+  Value(Object o);  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  /// Number access with an integrality check (|x - round(x)| < 1e-9).
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member lookup; throws if this is not an object or key is absent.
+  const Value& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Object member lookup with a default for absent keys.
+  double number_or(const std::string& key, double fallback) const;
+  std::int64_t int_or(const std::string& key, std::int64_t fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;    // shared for cheap copies of big configs
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse a complete JSON document. Errors carry a "parse:" prefix plus
+/// line/column of the offending character.
+Result<Value> parse(std::string_view text);
+
+/// Serialise. `indent` > 0 pretty-prints with that many spaces per level.
+std::string dump(const Value& value, int indent = 0);
+
+/// Convenience file helpers used by the config loaders.
+Result<Value> load_file(const std::string& path);
+Status save_file(const std::string& path, const Value& value, int indent = 2);
+
+}  // namespace harp::json

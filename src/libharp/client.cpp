@@ -1,0 +1,124 @@
+#include "src/libharp/client.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/check.hpp"
+
+namespace harp::client {
+
+HarpClient::HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks)
+    : channel_(std::move(channel)), config_(std::move(config)), callbacks_(std::move(callbacks)) {}
+
+HarpClient::~HarpClient() {
+  if (!deregistered_ && channel_ != nullptr && !channel_->closed()) (void)deregister();
+}
+
+Result<std::unique_ptr<HarpClient>> HarpClient::connect(const std::string& socket_path,
+                                                        Config config, Callbacks callbacks) {
+  Result<std::unique_ptr<ipc::Channel>> channel = ipc::unix_connect(socket_path);
+  if (!channel.ok()) return Result<std::unique_ptr<HarpClient>>(channel.error());
+  return over_channel(std::move(channel).take(), std::move(config), std::move(callbacks));
+}
+
+Result<std::unique_ptr<HarpClient>> HarpClient::over_channel(
+    std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks) {
+  if (config.app_name.empty())
+    return Result<std::unique_ptr<HarpClient>>(make_error("proto: app_name required"));
+  if (config.provides_utility && !callbacks.utility_provider)
+    return Result<std::unique_ptr<HarpClient>>(
+        make_error("proto: provides_utility requires a utility_provider callback"));
+  auto client = std::unique_ptr<HarpClient>(
+      new HarpClient(std::move(channel), std::move(config), std::move(callbacks)));
+  Status registered = client->perform_registration();
+  if (!registered.ok()) return Result<std::unique_ptr<HarpClient>>(registered.error());
+  return client;
+}
+
+Status HarpClient::perform_registration() {
+  ipc::RegisterRequest request;
+  request.pid = config_.pid != 0 ? config_.pid : static_cast<std::int32_t>(::getpid());
+  request.app_name = config_.app_name;
+  request.adaptivity = config_.adaptivity;
+  request.provides_utility = config_.provides_utility;
+  Status sent = channel_->send(ipc::Message(request));
+  if (!sent.ok()) return sent;
+
+  // Wait (bounded) for the acknowledgement; the RM answers registrations
+  // promptly, so a short poll loop suffices even over real sockets.
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    Result<std::optional<ipc::Message>> message = channel_->poll();
+    if (!message.ok()) return Status(message.error());
+    if (message.value().has_value()) {
+      const ipc::Message& m = *message.value();
+      if (const auto* ack = std::get_if<ipc::RegisterAck>(&m)) {
+        if (ack->app_id < 0) return Status(make_error("proto: registration rejected"));
+        app_id_ = ack->app_id;
+        return Status{};
+      }
+      // Tolerate an eager activation arriving before the ack is processed.
+      Status handled = handle(m);
+      if (!handled.ok()) return handled;
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status(make_error("io: registration timed out"));
+}
+
+Status HarpClient::submit_operating_points(
+    const std::vector<ipc::OperatingPointsMsg::Point>& points) {
+  ipc::OperatingPointsMsg msg;
+  msg.points = points;
+  return channel_->send(ipc::Message(msg));
+}
+
+Status HarpClient::handle(const ipc::Message& message) {
+  if (const auto* activate = std::get_if<ipc::ActivateMsg>(&message)) {
+    Activation activation;
+    activation.erv = activate->erv;
+    activation.cores = activate->cores;
+    activation.parallelism = activate->parallelism;
+    activation.rebalance = activate->rebalance;
+    activation_ = std::move(activation);
+    if (callbacks_.on_activate) callbacks_.on_activate(*activation_);
+    return Status{};
+  }
+  if (std::holds_alternative<ipc::UtilityRequest>(message)) {
+    ipc::UtilityReport report;
+    report.utility = callbacks_.utility_provider ? callbacks_.utility_provider() : 0.0;
+    return channel_->send(ipc::Message(report));
+  }
+  // Other message kinds are RM-bound; receiving one here is a peer bug.
+  return Status(make_error("proto: unexpected message from RM"));
+}
+
+Status HarpClient::poll() {
+  while (true) {
+    Result<std::optional<ipc::Message>> message = channel_->poll();
+    if (!message.ok()) return Status(message.error());
+    if (!message.value().has_value()) return Status{};
+    Status handled = handle(*message.value());
+    if (!handled.ok()) return handled;
+  }
+}
+
+int HarpClient::recommended_parallelism(int user_requested) const {
+  HARP_CHECK(user_requested >= 1);
+  if (!activation_.has_value() || activation_->parallelism <= 0) return user_requested;
+  // §4.1.3: the GOMP_parallel hook sets num_threads to the maximum of the
+  // user-given number and the RM-provided parallelisation degree.
+  return std::max(user_requested, activation_->parallelism);
+}
+
+Status HarpClient::deregister() {
+  deregistered_ = true;
+  if (channel_ == nullptr || channel_->closed()) return Status{};
+  Status sent = channel_->send(ipc::Message(ipc::Deregister{}));
+  channel_->close();
+  return sent;
+}
+
+}  // namespace harp::client

@@ -1,0 +1,105 @@
+// libharp — the application-side library (§4.1).
+//
+// libharp mediates between an application and the HARP RM: it registers the
+// application (adaptivity type, capability flags), optionally submits the
+// operating points from the application's description file, receives
+// operating-point activations, and reports utility on request.
+//
+// Adaptivity integration (§4.1.3/§4.1.4):
+//  - static apps need nothing beyond registration; the activation carries
+//    the affinity grant the RM chose.
+//  - scalable apps (OpenMP/TBB-style runtimes) read
+//    recommended_parallelism() where the real library hooks GOMP_parallel —
+//    the returned team size is max(user requested, RM assignment), exactly
+//    the paper's num_threads adjustment.
+//  - custom apps register an on_activate callback and reconfigure
+//    themselves (the KPN parallel-region scaling of the paper).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/ipc/transport.hpp"
+
+namespace harp::client {
+
+/// A received operating-point activation (Fig. 3 step 3).
+struct Activation {
+  platform::ExtendedResourceVector erv;
+  std::vector<ipc::ActivateMsg::CoreGrant> cores;
+  int parallelism = 0;  ///< 0 = keep application default
+  bool rebalance = false;
+};
+
+struct Config {
+  std::string app_name;
+  ipc::WireAdaptivity adaptivity = ipc::WireAdaptivity::kScalable;
+  bool provides_utility = false;
+  /// PID reported to the RM; 0 = use the current process id.
+  std::int32_t pid = 0;
+};
+
+struct Callbacks {
+  /// Invoked whenever the RM pushes a new activation (custom adaptivity).
+  std::function<void(const Activation&)> on_activate;
+  /// Polled when the RM requests utility (requires provides_utility).
+  std::function<double()> utility_provider;
+};
+
+/// One application's connection to the HARP RM.
+class HarpClient {
+ public:
+  /// Connect over a Unix socket and register (Fig. 3 step 1). Blocks (with
+  /// a bounded number of polls) until the RM acknowledges registration.
+  static Result<std::unique_ptr<HarpClient>> connect(const std::string& socket_path,
+                                                     Config config, Callbacks callbacks = {});
+
+  /// Register over an existing channel — the in-process transport for tests
+  /// and deterministic integrations.
+  static Result<std::unique_ptr<HarpClient>> over_channel(std::unique_ptr<ipc::Channel> channel,
+                                                          Config config,
+                                                          Callbacks callbacks = {});
+
+  ~HarpClient();
+  HarpClient(const HarpClient&) = delete;
+  HarpClient& operator=(const HarpClient&) = delete;
+
+  /// Fig. 3 step 2: submit operating points from the description file.
+  Status submit_operating_points(const std::vector<ipc::OperatingPointsMsg::Point>& points);
+
+  /// Pump the protocol: handle any pending RM messages (activations,
+  /// utility requests). Call regularly from the application's main/worker
+  /// loop; the real library does this from its function hooks.
+  Status poll();
+
+  /// The most recent activation, if any.
+  const std::optional<Activation>& current_activation() const { return activation_; }
+
+  /// Team size a scalable runtime should use: the RM assignment when one is
+  /// active, otherwise the user's request (the GOMP_parallel hook).
+  int recommended_parallelism(int user_requested) const;
+
+  /// Clean shutdown (also performed by the destructor).
+  Status deregister();
+
+  std::int32_t app_id() const { return app_id_; }
+  const std::string& app_name() const { return config_.app_name; }
+
+ private:
+  HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks);
+  Status perform_registration();
+  Status handle(const ipc::Message& message);
+
+  std::unique_ptr<ipc::Channel> channel_;
+  Config config_;
+  Callbacks callbacks_;
+  std::int32_t app_id_ = -1;
+  std::optional<Activation> activation_;
+  bool deregistered_ = false;
+};
+
+}  // namespace harp::client

@@ -1,0 +1,123 @@
+#include "src/libharp/fine_grained.hpp"
+
+#include "src/common/check.hpp"
+
+namespace harp::client {
+
+void FineGrainedDescription::add(FineGrainedPoint point) {
+  if (!point.thread_types.empty()) {
+    HARP_CHECK_MSG(static_cast<int>(point.thread_types.size()) == point.erv.total_threads(),
+                   "thread_types size " << point.thread_types.size()
+                                        << " != resource-vector threads "
+                                        << point.erv.total_threads());
+    std::vector<int> per_type(static_cast<std::size_t>(point.erv.num_types()), 0);
+    for (int type : point.thread_types) {
+      HARP_CHECK_MSG(type >= 0 && type < point.erv.num_types(),
+                     "thread type " << type << " out of range");
+      ++per_type[static_cast<std::size_t>(type)];
+    }
+    for (int t = 0; t < point.erv.num_types(); ++t)
+      HARP_CHECK_MSG(per_type[static_cast<std::size_t>(t)] == point.erv.threads(t),
+                     "thread_types disagree with resource vector for type " << t);
+  }
+  HARP_CHECK(point.utility >= 0.0 && point.power_w >= 0.0);
+  points_.push_back(std::move(point));
+}
+
+std::vector<ipc::OperatingPointsMsg::Point> FineGrainedDescription::coarse_points() const {
+  std::vector<ipc::OperatingPointsMsg::Point> out;
+  out.reserve(points_.size());
+  for (const FineGrainedPoint& p : points_) out.push_back({p.erv, p.utility, p.power_w});
+  return out;
+}
+
+const FineGrainedPoint* FineGrainedDescription::match(
+    const platform::ExtendedResourceVector& erv) const {
+  // Several fine-grained variants can share one coarse representation; the
+  // first (highest-priority, in description order) wins.
+  for (const FineGrainedPoint& p : points_)
+    if (p.erv == erv) return &p;
+  return nullptr;
+}
+
+json::Value FineGrainedDescription::to_json() const {
+  json::Array points;
+  for (const FineGrainedPoint& p : points_) {
+    json::Object o;
+    o["resources"] = p.erv.to_json();
+    o["utility"] = p.utility;
+    o["power"] = p.power_w;
+    if (!p.knobs.empty()) {
+      json::Object knobs;
+      for (const auto& [name, value] : p.knobs) knobs[name] = value;
+      o["knobs"] = json::Value(std::move(knobs));
+    }
+    if (!p.thread_types.empty()) {
+      json::Array threads;
+      for (int type : p.thread_types) threads.emplace_back(type);
+      o["threads"] = json::Value(std::move(threads));
+    }
+    points.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["application"] = app_name_;
+  root["points"] = json::Value(std::move(points));
+  return json::Value(std::move(root));
+}
+
+Result<FineGrainedDescription> FineGrainedDescription::from_json(const json::Value& value) {
+  if (!value.is_object() || !value.contains("application") || !value.contains("points"))
+    return Result<FineGrainedDescription>(
+        make_error("parse: description needs 'application' and 'points'"));
+  FineGrainedDescription description(value.at("application").as_string());
+  if (!value.at("points").is_array())
+    return Result<FineGrainedDescription>(make_error("parse: 'points' must be an array"));
+  for (const json::Value& pv : value.at("points").as_array()) {
+    if (!pv.is_object() || !pv.contains("resources") || !pv.contains("utility") ||
+        !pv.contains("power"))
+      return Result<FineGrainedDescription>(
+          make_error("parse: point needs resources/utility/power"));
+    FineGrainedPoint point;
+    auto erv = platform::ExtendedResourceVector::from_json(pv.at("resources"));
+    if (!erv.ok()) return Result<FineGrainedDescription>(erv.error());
+    point.erv = std::move(erv).take();
+    point.utility = pv.at("utility").as_number();
+    point.power_w = pv.at("power").as_number();
+    if (point.utility < 0.0 || point.power_w < 0.0)
+      return Result<FineGrainedDescription>(make_error("parse: negative characteristics"));
+    if (pv.contains("knobs")) {
+      if (!pv.at("knobs").is_object())
+        return Result<FineGrainedDescription>(make_error("parse: 'knobs' must be an object"));
+      for (const auto& [name, knob] : pv.at("knobs").as_object()) {
+        if (!knob.is_number())
+          return Result<FineGrainedDescription>(make_error("parse: knob values are numbers"));
+        point.knobs[name] = knob.as_number();
+      }
+    }
+    if (pv.contains("threads")) {
+      if (!pv.at("threads").is_array())
+        return Result<FineGrainedDescription>(make_error("parse: 'threads' must be an array"));
+      for (const json::Value& tv : pv.at("threads").as_array())
+        point.thread_types.push_back(static_cast<int>(tv.as_int()));
+    }
+    try {
+      description.add(std::move(point));
+    } catch (const CheckFailure& failure) {
+      return Result<FineGrainedDescription>(
+          make_error(std::string("parse: inconsistent point: ") + failure.what()));
+    }
+  }
+  return description;
+}
+
+Result<FineGrainedDescription> FineGrainedDescription::load(const std::string& path) {
+  Result<json::Value> doc = json::load_file(path);
+  if (!doc.ok()) return Result<FineGrainedDescription>(doc.error());
+  return from_json(doc.value());
+}
+
+Status FineGrainedDescription::save(const std::string& path) const {
+  return json::save_file(path, to_json());
+}
+
+}  // namespace harp::client

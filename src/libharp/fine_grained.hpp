@@ -1,0 +1,77 @@
+// Fine-grained operating points (§4.1.2).
+//
+// Coarse-grained points describe only an extended resource vector; fine-
+// grained points additionally carry detailed thread-to-core-type mappings
+// and in-application adaptivity-knob values. Crucially, the RM never sees
+// that detail: libharp communicates only the extended resource vector and
+// the non-functional characteristics, and resolves the RM's activation back
+// to the matching fine-grained variant on the application side — exactly
+// the split the paper describes ("even in the case of fine-grained
+// operating points, the RM does not receive detailed thread-to-core
+// mappings or adaptivity knob values").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/ipc/messages.hpp"
+#include "src/json/json.hpp"
+#include "src/platform/resource_vector.hpp"
+
+namespace harp::client {
+
+/// One fine-grained configuration variant, kept application-side.
+struct FineGrainedPoint {
+  /// The compact representation the RM sees.
+  platform::ExtendedResourceVector erv;
+  double utility = 0.0;
+  double power_w = 0.0;
+
+  /// Adaptivity-knob values for this variant (e.g. {"pipeline_depth": 3,
+  /// "algorithm": 1}); semantics are private to the application.
+  std::map<std::string, double> knobs;
+
+  /// Optional per-thread core-type assignment (thread i runs on a core of
+  /// type thread_types[i]); must be consistent with `erv` when present.
+  std::vector<int> thread_types;
+};
+
+/// An application description with fine-grained variants: feeds the coarse
+/// view to the RM and resolves activations back to variants.
+class FineGrainedDescription {
+ public:
+  FineGrainedDescription() = default;
+  explicit FineGrainedDescription(std::string app_name) : app_name_(std::move(app_name)) {}
+
+  const std::string& app_name() const { return app_name_; }
+  std::size_t size() const { return points_.size(); }
+  const std::vector<FineGrainedPoint>& points() const { return points_; }
+
+  /// Add a variant. Throws CheckFailure if thread_types contradicts the
+  /// extended resource vector (thread count or per-type counts mismatch).
+  void add(FineGrainedPoint point);
+
+  /// The coarse projection submitted to the RM (Fig. 3 step 2).
+  std::vector<ipc::OperatingPointsMsg::Point> coarse_points() const;
+
+  /// Resolve an activated extended resource vector to the variant it came
+  /// from; nullptr if the RM activated a configuration this description
+  /// does not contain (e.g. a co-allocation fallback).
+  const FineGrainedPoint* match(const platform::ExtendedResourceVector& erv) const;
+
+  /// Description-file serialisation:
+  /// {"application": n, "points": [{resources, utility, power,
+  ///   knobs?: {name: value}, threads?: [type...]}]}.
+  json::Value to_json() const;
+  static Result<FineGrainedDescription> from_json(const json::Value& value);
+  static Result<FineGrainedDescription> load(const std::string& path);
+  Status save(const std::string& path) const;
+
+ private:
+  std::string app_name_;
+  std::vector<FineGrainedPoint> points_;
+};
+
+}  // namespace harp::client

@@ -1,0 +1,61 @@
+#include "src/linalg/least_squares.hpp"
+
+#include <cmath>
+
+namespace harp::linalg {
+
+bool cholesky(Matrix& s) {
+  HARP_CHECK(s.rows() == s.cols());
+  std::size_t n = s.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = s(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= s(j, k) * s(j, k);
+    if (diag <= 0.0) return false;
+    s(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = s(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= s(i, k) * s(j, k);
+      s(i, j) = v / s(j, j);
+    }
+    for (std::size_t k = j + 1; k < n; ++k) s(j, k) = 0.0;  // zero upper triangle
+  }
+  return true;
+}
+
+Vector solve_spd(const Matrix& s, const Vector& b) {
+  HARP_CHECK(s.rows() == s.cols() && s.rows() == b.size());
+  Matrix l = s;
+  HARP_CHECK_MSG(cholesky(l), "solve_spd: matrix not positive definite");
+  std::size_t n = b.size();
+  // Forward substitution: L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  // Back substitution: Lᵀ x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    std::size_t i = ii - 1;
+    double v = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
+    x[i] = v / l(i, i);
+  }
+  return x;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b, double ridge) {
+  HARP_CHECK(a.rows() == b.size());
+  Matrix at = a.transposed();
+  Matrix normal = at * a;
+  // Scale the ridge by the mean diagonal so regularisation strength is
+  // invariant to the feature magnitudes.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < normal.rows(); ++i) trace += normal(i, i);
+  double scaled = ridge * (trace / static_cast<double>(normal.rows()) + 1.0);
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += scaled;
+  return solve_spd(normal, at * b);
+}
+
+}  // namespace harp::linalg

@@ -1,0 +1,24 @@
+// Linear least-squares solvers for the regression models: ridge-regularised
+// normal equations via Cholesky, plus a plain symmetric-positive-definite
+// linear solve reused by the SVR dual.
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+
+namespace harp::linalg {
+
+/// Solve (A^T A + ridge·I) x = A^T b — ridge-regularised least squares.
+/// The small ridge term (default 1e-9·trace-scale) keeps near-singular design
+/// matrices (few training points, collinear features) solvable, matching how
+/// the paper's exploration must fit models from as few as 3 measurements.
+Vector solve_least_squares(const Matrix& a, const Vector& b, double ridge = 1e-9);
+
+/// Cholesky solve of S x = b for symmetric positive-definite S.
+/// Throws harp::CheckFailure if S is not positive definite.
+Vector solve_spd(const Matrix& s, const Vector& b);
+
+/// In-place Cholesky factor L (lower triangular) with S = L·Lᵀ.
+/// Returns false (leaving `s` unspecified) if S is not positive definite.
+bool cholesky(Matrix& s);
+
+}  // namespace harp::linalg

@@ -1,0 +1,104 @@
+#include "src/linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace harp::linalg {
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  HARP_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    HARP_CHECK_MSG(rows[r].size() == m.cols_, "ragged rows in Matrix::from_rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  HARP_CHECK_MSG(cols_ == rhs.rows_, "matmul shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double lhs_rk = (*this)(r, k);
+      if (lhs_rk == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += lhs_rk * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& rhs) const {
+  HARP_CHECK_MSG(cols_ == rhs.size(), "matvec shape mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * rhs[c];
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  HARP_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= scalar;
+  return out;
+}
+
+double Matrix::norm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double dot(const Vector& a, const Vector& b) {
+  HARP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  HARP_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  HARP_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scale(const Vector& v, double s) {
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+double norm(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace harp::linalg

@@ -1,0 +1,61 @@
+// Dense row-major matrix — the substrate for the regression models in
+// src/mlmodels (polynomial feature fits, MLP weight math, SVR kernels).
+// Sized for that use: tens of rows/columns, no SIMD heroics needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace harp::linalg {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer-style data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    HARP_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    HARP_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix operator*(double scalar) const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+double dot(const Vector& a, const Vector& b);
+Vector operator+(const Vector& a, const Vector& b);
+Vector operator-(const Vector& a, const Vector& b);
+Vector scale(const Vector& v, double s);
+double norm(const Vector& v);
+
+}  // namespace harp::linalg

@@ -1,0 +1,85 @@
+#include "src/mlmodels/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/check.hpp"
+
+namespace harp::ml {
+
+namespace {
+/// a dominates b: <= everywhere, < somewhere (all objectives minimised).
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly = true;
+  }
+  return strictly;
+}
+}  // namespace
+
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& objectives) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    HARP_CHECK(objectives[i].size() == objectives.front().size());
+    bool dominated = false;
+    for (std::size_t j = 0; j < objectives.size() && !dominated; ++j)
+      if (j != i && dominates(objectives[j], objectives[i])) dominated = true;
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+double igd(const std::vector<std::vector<double>>& reference_front,
+           const std::vector<std::vector<double>>& approx_front) {
+  HARP_CHECK(!reference_front.empty());
+  if (approx_front.empty()) return 1e9;
+  std::size_t dims = reference_front.front().size();
+
+  // Normalise both fronts by the reference front's per-objective range.
+  std::vector<double> lo(dims, 1e300), hi(dims, -1e300);
+  for (const auto& p : reference_front) {
+    HARP_CHECK(p.size() == dims);
+    for (std::size_t k = 0; k < dims; ++k) {
+      lo[k] = std::min(lo[k], p[k]);
+      hi[k] = std::max(hi[k], p[k]);
+    }
+  }
+  auto normalise = [&](const std::vector<double>& p) {
+    std::vector<double> out(dims);
+    for (std::size_t k = 0; k < dims; ++k) {
+      double range = std::max(hi[k] - lo[k], 1e-12);
+      out[k] = (p[k] - lo[k]) / range;
+    }
+    return out;
+  };
+
+  double sum = 0.0;
+  for (const auto& ref : reference_front) {
+    std::vector<double> rn = normalise(ref);
+    double best = 1e300;
+    for (const auto& approx : approx_front) {
+      HARP_CHECK(approx.size() == dims);
+      std::vector<double> an = normalise(approx);
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < dims; ++k) d2 += (rn[k] - an[k]) * (rn[k] - an[k]);
+      best = std::min(best, d2);
+    }
+    sum += std::sqrt(best);
+  }
+  return sum / static_cast<double>(reference_front.size());
+}
+
+double common_point_ratio(const std::vector<std::size_t>& reference_keys,
+                          const std::vector<std::size_t>& approx_keys) {
+  HARP_CHECK(!reference_keys.empty());
+  std::set<std::size_t> approx(approx_keys.begin(), approx_keys.end());
+  std::size_t common = 0;
+  for (std::size_t key : reference_keys)
+    if (approx.count(key) > 0) ++common;
+  return static_cast<double>(common) / static_cast<double>(reference_keys.size());
+}
+
+}  // namespace harp::ml

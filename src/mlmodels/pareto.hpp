@@ -1,0 +1,31 @@
+// Multi-objective Pareto tools: front extraction, Inverted Generational
+// Distance (IGD), and the common-operating-point ratio — the metrics the
+// paper uses to compare predicted Pareto fronts against the measured
+// reference front (Fig. 5), plus the 4-objective fronts of Fig. 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harp::ml {
+
+/// Indices of the Pareto-optimal rows of `objectives` under minimisation of
+/// every column. A point dominates another if it is <= in all objectives and
+/// < in at least one. Duplicate non-dominated points are all kept.
+/// (Negate a column to maximise it.)
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& objectives);
+
+/// Inverted Generational Distance from a reference front to an approximate
+/// front: the mean Euclidean distance from each reference point to its
+/// nearest approximation point, with every objective normalised to [0, 1]
+/// by the reference front's own range (lower is better).
+double igd(const std::vector<std::vector<double>>& reference_front,
+           const std::vector<std::vector<double>>& approx_front);
+
+/// Ratio of reference-front members that also appear in the approximate
+/// front, where membership is compared with `keys` (e.g. configuration ids):
+/// |keys(ref) ∩ keys(approx)| / |keys(ref)| (higher is better).
+double common_point_ratio(const std::vector<std::size_t>& reference_keys,
+                          const std::vector<std::size_t>& approx_keys);
+
+}  // namespace harp::ml

@@ -1,0 +1,216 @@
+#include "src/model/behavior.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace harp::model {
+
+int AppBehavior::phase_at(double progress_fraction) const {
+  if (phases.size() <= 1) return 0;
+  HARP_CHECK(progress_fraction >= 0.0 && progress_fraction <= 1.0 + 1e-9);
+  double accumulated = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    accumulated += phases[i].fraction;
+    if (progress_fraction < accumulated - 1e-12) return static_cast<int>(i);
+  }
+  return static_cast<int>(phases.size()) - 1;
+}
+
+AppBehavior AppBehavior::behavior_in_phase(int phase_index) const {
+  if (phases.empty()) {
+    HARP_CHECK(phase_index == 0);
+    return *this;
+  }
+  HARP_CHECK(phase_index >= 0 && phase_index < static_cast<int>(phases.size()));
+  const Phase& phase = phases[static_cast<std::size_t>(phase_index)];
+  AppBehavior out = *this;
+  out.mem_fraction = phase.mem_fraction;
+  out.serial_fraction = phase.serial_fraction;
+  for (double& ipc_value : out.ipc) ipc_value *= phase.ipc_scale;
+  out.phases.clear();  // the result is the single-stage effective behaviour
+  return out;
+}
+
+const char* to_string(AdaptivityType type) {
+  switch (type) {
+    case AdaptivityType::kStatic: return "static";
+    case AdaptivityType::kScalable: return "scalable";
+    case AdaptivityType::kCustom: return "custom";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Generic multiplexing efficiency when `sharers` threads time-share one
+/// hardware thread: context-switch and cache-refill losses on top of the
+/// 1/sharers throughput split.
+double multiplex_efficiency(int sharers) {
+  return 1.0 / (1.0 + 0.15 * static_cast<double>(sharers - 1));
+}
+
+}  // namespace
+
+AppRates compute_rates(const AppBehavior& app, const platform::HardwareDescription& hw,
+                       const std::vector<ThreadView>& threads, double mem_gips_share,
+                       double rebalance_factor) {
+  HARP_CHECK(app.ipc.size() == hw.core_types.size());
+  HARP_CHECK(rebalance_factor >= 0.0 && rebalance_factor <= 1.0);
+  AppRates rates;
+  if (threads.empty()) return rates;
+
+  // --- Per-thread raw issue rates -----------------------------------------
+  double raw_sum = 0.0;
+  double raw_min = 1e300;
+  double raw_max = 0.0;
+  for (const ThreadView& tv : threads) {
+    HARP_CHECK(tv.type >= 0 && tv.type < hw.num_core_types());
+    const platform::CoreType& type = hw.core_types[static_cast<std::size_t>(tv.type)];
+    HARP_CHECK(tv.slot_sharers >= 1);
+    HARP_CHECK(tv.busy_slots_on_core >= 1 && tv.busy_slots_on_core <= type.smt_width);
+
+    HARP_CHECK(tv.freq_scale > 0.0 && tv.freq_scale <= 1.0);
+    double rate = type.base_gips * app.ipc[static_cast<std::size_t>(tv.type)] * tv.freq_scale;
+    if (tv.busy_slots_on_core > 1) {
+      // Both hyperthreads busy: the core's aggregate gains smt_gain (scaled
+      // by how SMT-friendly the app is), split across the busy slots.
+      double aggregate_gain = 1.0 + type.smt_gain * app.smt_friendliness;
+      rate *= aggregate_gain / static_cast<double>(tv.busy_slots_on_core);
+    }
+    if (tv.slot_sharers > 1) {
+      rate *= multiplex_efficiency(tv.slot_sharers) / static_cast<double>(tv.slot_sharers);
+      // Lock-holder preemption: a descheduled lock/barrier holder stalls the
+      // app's other threads (§2.2).
+      rate *= 1.0 - app.oversub_penalty * (1.0 - 1.0 / static_cast<double>(tv.slot_sharers));
+    }
+    raw_sum += rate;
+    raw_min = std::min(raw_min, rate);
+    raw_max = std::max(raw_max, rate);
+  }
+  auto n = static_cast<double>(threads.size());
+
+  // --- Parallel-phase aggregate -------------------------------------------
+  // Static partitioning hands every thread work/n, so the phase completes at
+  // n·min(rate); runtime rebalancing recovers the full sum.
+  double balanced = raw_sum;
+  double imbalanced = n * raw_min;
+  double imb = app.imbalance_sensitivity * (1.0 - rebalance_factor);
+  double parallel_rate = imb * imbalanced + (1.0 - imb) * balanced;
+
+  // Shared-structure contention grows with thread count regardless of where
+  // the threads run (binpack's input queue).
+  parallel_rate /=
+      1.0 + app.contention * (n - 1.0) + app.contention_quadratic * (n - 1.0) * (n - 1.0);
+
+  // Memory-bound share of the work cannot beat the app's bandwidth share.
+  double mem_cap = std::max(mem_gips_share, 1e-9);
+  double compute_fraction = 1.0 - app.mem_fraction;
+  double mem_limited = std::min(parallel_rate, mem_cap);
+  double blended_parallel =
+      1.0 / (compute_fraction / std::max(parallel_rate, 1e-12) +
+             app.mem_fraction / std::max(mem_limited, 1e-12));
+
+  // Amdahl: the serial share runs on the fastest assigned thread.
+  double serial = app.serial_fraction;
+  rates.useful_gips = 1.0 / (serial / std::max(raw_max, 1e-12) +
+                             (1.0 - serial) / std::max(blended_parallel, 1e-12));
+
+  // --- Measured IPS ---------------------------------------------------------
+  // Threads spinning at barriers/locks retire instructions in proportion to
+  // sync_ips_inflation, so perf's IPS can exceed useful throughput (the lu
+  // anecdote, §6.3.1). Memory-stalled cycles, in contrast, retire nothing:
+  // only the spin waste (issue rate lost to imbalance/contention/
+  // oversubscription, *before* the bandwidth cap) is inflated.
+  double amdahl_no_mem = 1.0 / (serial / std::max(raw_max, 1e-12) +
+                                (1.0 - serial) / std::max(parallel_rate, 1e-12));
+  double spin_waste = std::max(raw_sum - amdahl_no_mem, 0.0);
+  rates.measured_gips = rates.useful_gips + app.sync_ips_inflation * spin_waste;
+
+  // --- Power ---------------------------------------------------------------
+  // Dynamic power per busy slot; stalled pipelines draw somewhat less, so we
+  // scale the slot power by a floor-plus-utilisation curve.
+  double utilization = raw_sum > 1e-12 ? rates.useful_gips / raw_sum : 0.0;
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  // The power floor depends on how threads wait: spinners (high IPS
+  // inflation) keep the pipeline hot, sleepers let the core idle down.
+  double floor = std::min(0.3 + 0.6 * app.sync_ips_inflation, 0.95);
+  double activity = app.power_activity * (floor + (1.0 - floor) * utilization);
+  double power = 0.0;
+  for (const ThreadView& tv : threads) {
+    const platform::CoreType& type = hw.core_types[static_cast<std::size_t>(tv.type)];
+    // First busy slot on a core carries active_power_w; additional busy
+    // slots cost thread_power_w. Attribute per busy slot, then split among
+    // the slot's sharers.
+    double slot_power =
+        tv.busy_slots_on_core == 1
+            ? type.active_power_w
+            : (type.active_power_w + type.thread_power_w * (tv.busy_slots_on_core - 1)) /
+                  static_cast<double>(tv.busy_slots_on_core);
+    slot_power *= kDvfsLeakageShare +
+                  (1.0 - kDvfsLeakageShare) * std::pow(tv.freq_scale, kDvfsPowerExponent);
+    power += activity * slot_power / static_cast<double>(tv.slot_sharers);
+  }
+  rates.power_w = power;
+  return rates;
+}
+
+namespace {
+/// One ThreadView per hardware thread granted by `erv` (exclusive slots).
+std::vector<ThreadView> slot_views(const platform::HardwareDescription& hw,
+                                   const platform::ExtendedResourceVector& erv,
+                                   double freq_scale) {
+  HARP_CHECK(static_cast<std::size_t>(erv.num_types()) == hw.core_types.size());
+  std::vector<ThreadView> views;
+  for (int t = 0; t < erv.num_types(); ++t) {
+    int core = 0;
+    for (int k = 1; k <= erv.smt_levels(t); ++k) {
+      for (int c = 0; c < erv.count(t, k); ++c) {
+        for (int s = 0; s < k; ++s) {
+          ThreadView tv;
+          tv.type = t;
+          tv.core_id = core;
+          tv.slot_sharers = 1;
+          tv.busy_slots_on_core = k;
+          tv.freq_scale = freq_scale;
+          views.push_back(tv);
+        }
+        ++core;
+      }
+    }
+  }
+  return views;
+}
+}  // namespace
+
+AppRates exclusive_rates(const AppBehavior& app, const platform::HardwareDescription& hw,
+                         const platform::ExtendedResourceVector& erv, double rebalance_factor,
+                         double freq_scale) {
+  return compute_rates(app, hw, slot_views(hw, erv, freq_scale), hw.memory_gips,
+                       rebalance_factor);
+}
+
+AppRates pinned_rates(const AppBehavior& app, const platform::HardwareDescription& hw,
+                      const platform::ExtendedResourceVector& erv, int num_threads,
+                      double rebalance_factor, double freq_scale) {
+  HARP_CHECK(num_threads >= 1);
+  std::vector<ThreadView> slots = slot_views(hw, erv, freq_scale);
+  HARP_CHECK(!slots.empty());
+  // Distribute num_threads over the granted hardware threads as evenly as
+  // the OS scheduler would; each slot's occupants time-share it.
+  std::size_t n_slots = slots.size();
+  std::vector<int> occupancy(n_slots, 0);
+  for (int i = 0; i < num_threads; ++i) ++occupancy[static_cast<std::size_t>(i) % n_slots];
+  std::vector<ThreadView> views;
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    for (int i = 0; i < occupancy[s]; ++i) {
+      ThreadView tv = slots[s];
+      tv.slot_sharers = occupancy[s];
+      views.push_back(tv);
+    }
+  }
+  return compute_rates(app, hw, views, hw.memory_gips, rebalance_factor);
+}
+
+}  // namespace harp::model

@@ -1,0 +1,193 @@
+// Application behaviour models — the simulator's ground truth.
+//
+// The paper evaluates HARP on real applications (NAS Parallel Benchmarks,
+// Intel TBB samples, TensorFlow Lite, KPN applications). HARP itself never
+// inspects application code: it only observes how (utility, power) respond
+// to resource allocations. This module reproduces those response surfaces
+// from first-principles ingredients — Amdahl serial fractions, memory-
+// bandwidth ceilings, SMT friendliness, static-partition load imbalance on
+// asymmetric cores, runqueue oversubscription, and queue contention — so the
+// paper's per-application anecdotes (mg prefers E-cores, binpack collapses
+// under contention, lu's IPS misleads) emerge from mechanisms rather than
+// hard-coded outcomes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/platform/hardware.hpp"
+#include "src/platform/resource_vector.hpp"
+
+namespace harp::model {
+
+/// Application adaptivity classes (§4.1.3).
+enum class AdaptivityType {
+  kStatic,    ///< no runtime adaptation; threads can only be pinned
+  kScalable,  ///< malleable parallelism via libharp hooks (OpenMP/TBB/TF)
+  kCustom,    ///< application-specific knobs via libharp callbacks (KPN)
+};
+
+const char* to_string(AdaptivityType type);
+
+/// Ground-truth behaviour parameters of one application.
+struct AppBehavior {
+  std::string name;       ///< e.g. "mg.C", "binpack"
+  std::string framework;  ///< "openmp", "tbb", "tensorflow", "kpn", "pthread"
+  AdaptivityType adaptivity = AdaptivityType::kScalable;
+
+  /// Useful work to completion, in giga-instructions of *useful* progress.
+  double total_work_gi = 100.0;
+
+  /// Amdahl serial fraction: this share of work runs on one thread.
+  double serial_fraction = 0.01;
+
+  /// Per-core-type IPC multiplier applied to CoreType::base_gips. Indexed
+  /// like HardwareDescription::core_types. Encodes how much an application
+  /// benefits from the fast cores (compute-bound: high ratio; memory-bound:
+  /// flat and low).
+  std::vector<double> ipc;
+
+  /// Fraction of work limited by the memory subsystem. That fraction cannot
+  /// progress faster than the app's share of HardwareDescription::memory_gips
+  /// regardless of core count (mg.C: high; ep.C: near zero).
+  double mem_fraction = 0.2;
+
+  /// Scales the hardware SMT gain for this app (1 = full benefit from the
+  /// second hyperthread, 0 = none).
+  double smt_friendliness = 0.7;
+
+  /// Shared-structure contention: aggregate throughput is divided by
+  /// (1 + contention·(threads−1) + contention_quadratic·(threads−1)²).
+  /// The quadratic term models CAS-retry storms on a shared queue, where
+  /// adding workers *reduces* aggregate throughput (binpack's input queue —
+  /// the paper's 6.91× scale-down win, §6.3.1).
+  double contention = 0.0;
+  double contention_quadratic = 0.0;
+
+  /// 0..1: sensitivity to static work partitioning on asymmetric cores.
+  /// At 1, the parallel phase runs at n·min(thread rate) — threads on fast
+  /// cores wait at barriers for threads on slow cores (§2.2).
+  double imbalance_sensitivity = 0.3;
+
+  /// 0..1: fraction of wasted (non-useful) issue slots that still retire
+  /// instructions — spin-waiting at barriers/locks. Inflates measured IPS
+  /// above useful throughput; high values make IPS a misleading utility
+  /// metric (the paper's lu anecdote, §6.3.1).
+  double sync_ips_inflation = 0.3;
+
+  /// 0..1: extra penalty when threads time-share a hardware thread
+  /// (lock-holder preemption on top of the generic multiplexing overhead).
+  double oversub_penalty = 0.45;
+
+  /// Multiplier on core active power while running this app (memory-bound
+  /// code stalls and draws a little less).
+  double power_activity = 1.0;
+
+  /// Threads created when unmanaged. 0 = one per hardware thread (the
+  /// OpenMP/TBB default the paper's CFS baseline exhibits).
+  int default_threads = 0;
+
+  /// Fixed startup cost in seconds (process launch, input reading). Matters
+  /// for short applications (is, primes) where HARP's registration and
+  /// exploration overheads are most visible.
+  double startup_seconds = 0.2;
+
+  /// True if the application reports an application-specific utility metric
+  /// through libharp (§4.2.1); otherwise the RM falls back to perf IPS.
+  bool provides_utility = false;
+
+  /// Execution stages with distinct characteristics (§7 outlook: "many
+  /// applications exhibit distinct performance-energy characteristics
+  /// across different execution stages"). Empty = single-phase behaviour.
+  /// Fractions must sum to 1; each stage overrides a few characteristics.
+  struct Phase {
+    double fraction = 1.0;    ///< share of total_work_gi spent in this stage
+    double mem_fraction = 0.2;
+    double ipc_scale = 1.0;   ///< multiplier on the per-type IPC vector
+    double serial_fraction = 0.01;
+  };
+  std::vector<Phase> phases;
+
+  int resolved_default_threads(const platform::HardwareDescription& hw) const {
+    return default_threads > 0 ? default_threads : hw.total_hardware_threads();
+  }
+
+  bool multi_phase() const { return phases.size() > 1; }
+
+  /// Index of the stage active after completing `progress_fraction` ∈ [0, 1]
+  /// of the work (0 for single-phase applications).
+  int phase_at(double progress_fraction) const;
+
+  /// The effective behaviour during stage `phase_index`: this behaviour
+  /// with the stage's overrides applied (identity for single-phase apps).
+  AppBehavior behavior_in_phase(int phase_index) const;
+};
+
+/// A thread's placement context for one simulation quantum, as seen by the
+/// rate model. Produced by the simulator from the machine occupancy.
+struct ThreadView {
+  int type = 0;           ///< core-type index
+  int core_id = 0;        ///< physical core within the type
+  int slot_sharers = 1;   ///< threads (any app) time-sharing this HW thread
+  int busy_slots_on_core = 1;  ///< busy SMT slots on this core (1..smt_width)
+  /// DVFS state of this core relative to the calibrated maximum frequency
+  /// (§7 outlook extension): throughput scales linearly; power has a
+  /// frequency-independent leakage share plus a dynamic share scaling
+  /// super-linearly (voltage drops with frequency near the top of the
+  /// curve): P(f) = P_max · (kDvfsLeakageShare + (1−kDvfsLeakageShare)·f^2.5).
+  /// The leakage share is what makes the frequency choice non-trivial:
+  /// compute-bound work races to idle at full clock, bandwidth-saturated
+  /// work profits from slowing down.
+  double freq_scale = 1.0;
+};
+
+/// Dynamic-power exponent of the DVFS model.
+inline constexpr double kDvfsPowerExponent = 2.5;
+/// Frequency-independent (leakage + uncore-coupled) share of core power.
+inline constexpr double kDvfsLeakageShare = 0.3;
+
+/// Instantaneous rates of one application under a placement.
+struct AppRates {
+  double useful_gips = 0.0;    ///< true utility: useful work per second
+  double measured_gips = 0.0;  ///< what perf sees: retired instructions/s
+  double power_w = 0.0;        ///< core power attributable to this app
+};
+
+/// Evaluate the behaviour model for one quantum.
+///
+/// `threads` describes where each of the app's threads currently runs.
+/// `mem_gips_share` is this app's share of the platform memory throughput
+/// (the simulator splits HardwareDescription::memory_gips between
+/// concurrently running memory-bound apps). `rebalance_factor` ∈ [0, 1] is
+/// how much of the static-partition imbalance is mitigated at runtime:
+/// 1 for apps that redistribute work themselves (KPN dynamic versions),
+/// ≈0.55 for unpinned apps whose threads the OS migrates freely across core
+/// types (migration averages per-thread speeds), 0 for apps pinned to an
+/// asymmetric partition with static work division — which is why pinning
+/// can *hurt* barrier-heavy codes like lu (§6.3.1).
+AppRates compute_rates(const AppBehavior& app, const platform::HardwareDescription& hw,
+                       const std::vector<ThreadView>& threads, double mem_gips_share,
+                       double rebalance_factor);
+
+/// The imbalance mitigation free OS migration provides to unpinned apps.
+inline constexpr double kOsMigrationMixing = 0.55;
+
+/// Steady-state rates of an app running *exclusively* on the allocation
+/// described by `erv` with one thread per granted hardware thread and the
+/// full memory bandwidth — the analytic ground truth behind offline DSE
+/// (operating-point tables) and the Fig. 1 configuration sweeps.
+AppRates exclusive_rates(const AppBehavior& app, const platform::HardwareDescription& hw,
+                         const platform::ExtendedResourceVector& erv, double rebalance_factor,
+                         double freq_scale = 1.0);
+
+/// Steady-state rates when exactly `num_threads` application threads run on
+/// the allocation `erv` (threads spread as evenly as possible over the
+/// granted hardware threads, time-sharing when over-subscribed). This is
+/// how *static* applications behave on a restricted allocation: their
+/// thread count is fixed, so granting fewer hardware threads multiplexes
+/// them (§4.1.3's noted drawback of static apps).
+AppRates pinned_rates(const AppBehavior& app, const platform::HardwareDescription& hw,
+                      const platform::ExtendedResourceVector& erv, int num_threads,
+                      double rebalance_factor, double freq_scale = 1.0);
+
+}  // namespace harp::model

@@ -1,0 +1,375 @@
+#include "src/model/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace harp::model {
+
+namespace {
+
+/// Convenience builder: ipc = {fast-type, efficient-type} multipliers.
+AppBehavior make_app(std::string name, std::string framework, AdaptivityType adaptivity,
+                     double work_gi, double ipc_fast, double ipc_efficient) {
+  AppBehavior app;
+  app.name = std::move(name);
+  app.framework = std::move(framework);
+  app.adaptivity = adaptivity;
+  app.total_work_gi = work_gi;
+  app.ipc = {ipc_fast, ipc_efficient};
+  return app;
+}
+
+}  // namespace
+
+const AppBehavior& WorkloadCatalog::app(const std::string& name) const {
+  for (const AppBehavior& a : apps_)
+    if (a.name == name) return a;
+  HARP_CHECK_MSG(false, "unknown application '" << name << "'");
+  __builtin_unreachable();
+}
+
+bool WorkloadCatalog::has_app(const std::string& name) const {
+  return std::any_of(apps_.begin(), apps_.end(),
+                     [&](const AppBehavior& a) { return a.name == name; });
+}
+
+std::vector<Scenario> WorkloadCatalog::all_scenarios() const {
+  std::vector<Scenario> out = singles_;
+  out.insert(out.end(), multis_.begin(), multis_.end());
+  return out;
+}
+
+void WorkloadCatalog::add_app(AppBehavior app) {
+  HARP_CHECK_MSG(!has_app(app.name), "duplicate application '" << app.name << "'");
+  HARP_CHECK(!app.ipc.empty());
+  HARP_CHECK(app.total_work_gi > 0.0);
+  if (!app.phases.empty()) {
+    double total = 0.0;
+    for (const AppBehavior::Phase& phase : app.phases) {
+      HARP_CHECK(phase.fraction > 0.0);
+      total += phase.fraction;
+    }
+    HARP_CHECK_MSG(std::abs(total - 1.0) < 1e-9, "phase fractions must sum to 1");
+  }
+  apps_.push_back(std::move(app));
+}
+
+WorkloadCatalog WorkloadCatalog::raptor_lake() {
+  WorkloadCatalog cat;
+  auto add = [&](AppBehavior app) { cat.apps_.push_back(std::move(app)); };
+
+  // ---- NAS Parallel Benchmarks, class C (OpenMP, scalable) ----------------
+  {
+    // bt: block tridiagonal solver — compute-heavy with moderate memory
+    // traffic; long-running.
+    AppBehavior a = make_app("bt.C", "openmp", AdaptivityType::kScalable, 4200, 1.05, 0.95);
+    a.serial_fraction = 0.015;
+    a.mem_fraction = 0.35;
+    a.smt_friendliness = 0.55;
+    a.imbalance_sensitivity = 0.55;
+    a.sync_ips_inflation = 0.45;
+    add(a);
+  }
+  {
+    // cg: conjugate gradient — irregular memory access, latency bound.
+    AppBehavior a = make_app("cg.C", "openmp", AdaptivityType::kScalable, 1500, 0.70, 0.72);
+    a.serial_fraction = 0.02;
+    a.mem_fraction = 0.70;
+    a.smt_friendliness = 0.35;
+    a.imbalance_sensitivity = 0.45;
+    a.sync_ips_inflation = 0.55;
+    a.power_activity = 0.9;
+    add(a);
+  }
+  {
+    // ep: embarrassingly parallel — pure compute, loves SMT, very short
+    // (the paper reports 2.43 s, §6.5.1).
+    AppBehavior a = make_app("ep.C", "openmp", AdaptivityType::kScalable, 235, 1.20, 1.15);
+    a.serial_fraction = 0.002;
+    a.mem_fraction = 0.02;
+    a.smt_friendliness = 1.0;
+    a.imbalance_sensitivity = 0.20;
+    a.sync_ips_inflation = 0.10;
+    a.startup_seconds = 0.15;
+    add(a);
+  }
+  {
+    // ft: 3-D FFT — bandwidth-heavy transposes.
+    AppBehavior a = make_app("ft.C", "openmp", AdaptivityType::kScalable, 1900, 0.95, 0.90);
+    a.serial_fraction = 0.02;
+    a.mem_fraction = 0.55;
+    a.smt_friendliness = 0.45;
+    a.imbalance_sensitivity = 0.50;
+    a.sync_ips_inflation = 0.50;
+    add(a);
+  }
+  {
+    // is: integer bucket sort — memory bound and very short; the startup
+    // overhead of any manager is visible here (§6.4.1 discusses this).
+    AppBehavior a = make_app("is.C", "openmp", AdaptivityType::kScalable, 160, 0.65, 0.70);
+    a.serial_fraction = 0.04;
+    a.mem_fraction = 0.80;
+    a.smt_friendliness = 0.25;
+    a.imbalance_sensitivity = 0.40;
+    a.sync_ips_inflation = 0.45;
+    a.power_activity = 0.88;
+    a.startup_seconds = 0.30;
+    add(a);
+  }
+  {
+    // lu: SSOR with pipelined wavefronts — barrier-heavy; spin-waiting at
+    // synchronisation points retires instructions, so measured IPS rises on
+    // imbalanced heterogeneous allocations even as useful progress drops
+    // (the paper's IPS-misleads-utility anecdote, §6.3.1).
+    AppBehavior a = make_app("lu.C", "openmp", AdaptivityType::kScalable, 3400, 1.10, 0.90);
+    a.serial_fraction = 0.02;
+    a.mem_fraction = 0.35;
+    a.smt_friendliness = 0.45;
+    a.imbalance_sensitivity = 0.88;
+    a.sync_ips_inflation = 0.92;
+    a.oversub_penalty = 0.5;
+    add(a);
+  }
+  {
+    // mg: multigrid — strongly memory bound; more cores add power, not
+    // speed; best served by E-cores (Fig. 1b).
+    AppBehavior a = make_app("mg.C", "openmp", AdaptivityType::kScalable, 900, 0.60, 0.66);
+    a.serial_fraction = 0.03;
+    a.mem_fraction = 0.90;
+    a.smt_friendliness = 0.15;
+    a.imbalance_sensitivity = 0.35;
+    a.sync_ips_inflation = 0.40;
+    a.power_activity = 0.85;
+    add(a);
+  }
+  {
+    // sp: scalar pentadiagonal — like bt with a little more bandwidth need.
+    AppBehavior a = make_app("sp.C", "openmp", AdaptivityType::kScalable, 3100, 1.0, 0.92);
+    a.serial_fraction = 0.02;
+    a.mem_fraction = 0.45;
+    a.smt_friendliness = 0.5;
+    a.imbalance_sensitivity = 0.55;
+    a.sync_ips_inflation = 0.5;
+    add(a);
+  }
+  {
+    // ua: unstructured adaptive mesh — irregular, sync-heavy.
+    AppBehavior a = make_app("ua.C", "openmp", AdaptivityType::kScalable, 2600, 0.85, 0.80);
+    a.serial_fraction = 0.03;
+    a.mem_fraction = 0.50;
+    a.smt_friendliness = 0.40;
+    a.imbalance_sensitivity = 0.65;
+    a.sync_ips_inflation = 0.60;
+    add(a);
+  }
+
+  // ---- Intel TBB samples (scalable via task scheduler) ---------------------
+  {
+    // binpack: all workers contend on one shared input queue — the paper's
+    // outlier where scaling *down* wins 6.91× (§6.3.1).
+    AppBehavior a = make_app("binpack", "tbb", AdaptivityType::kScalable, 260, 0.95, 0.90);
+    a.serial_fraction = 0.01;
+    a.mem_fraction = 0.15;
+    a.contention = 0.10;
+    a.contention_quadratic = 0.06;  // CAS-retry storm beyond a few workers
+    a.smt_friendliness = 0.4;
+    a.imbalance_sensitivity = 0.15;  // work stealing
+    a.sync_ips_inflation = 0.10;     // blocked workers sleep, they don't spin
+    a.oversub_penalty = 0.6;
+    add(a);
+  }
+  {
+    // fractal: escape-time fractal rendering; work stealing balances well.
+    AppBehavior a = make_app("fractal", "tbb", AdaptivityType::kScalable, 1400, 1.15, 1.05);
+    a.serial_fraction = 0.005;
+    a.mem_fraction = 0.05;
+    a.smt_friendliness = 0.8;
+    a.imbalance_sensitivity = 0.10;
+    a.sync_ips_inflation = 0.15;
+    add(a);
+  }
+  {
+    // parallel-preorder: dependency-ordered graph traversal.
+    AppBehavior a = make_app("parallel-preorder", "tbb", AdaptivityType::kScalable, 800, 0.80, 0.78);
+    a.serial_fraction = 0.06;
+    a.mem_fraction = 0.45;
+    a.smt_friendliness = 0.35;
+    a.imbalance_sensitivity = 0.5;
+    a.sync_ips_inflation = 0.55;
+    add(a);
+  }
+  {
+    // pi: monte-carlo/quadrature reduction — pure compute.
+    AppBehavior a = make_app("pi", "tbb", AdaptivityType::kScalable, 1100, 1.20, 1.12);
+    a.serial_fraction = 0.002;
+    a.mem_fraction = 0.02;
+    a.smt_friendliness = 0.9;
+    a.imbalance_sensitivity = 0.1;
+    a.sync_ips_inflation = 0.1;
+    add(a);
+  }
+  {
+    // primes: sieve — compute with a short runtime; sensitive to manager
+    // startup interference (§6.3.1).
+    AppBehavior a = make_app("primes", "tbb", AdaptivityType::kScalable, 210, 1.05, 1.0);
+    a.serial_fraction = 0.01;
+    a.mem_fraction = 0.20;
+    a.smt_friendliness = 0.6;
+    a.imbalance_sensitivity = 0.25;
+    a.sync_ips_inflation = 0.25;
+    a.startup_seconds = 0.25;
+    add(a);
+  }
+  {
+    // seismic: wave-propagation stencil — bandwidth heavy.
+    AppBehavior a = make_app("seismic", "tbb", AdaptivityType::kScalable, 1300, 0.85, 0.85);
+    a.serial_fraction = 0.01;
+    a.mem_fraction = 0.65;
+    a.smt_friendliness = 0.3;
+    a.imbalance_sensitivity = 0.3;
+    a.sync_ips_inflation = 0.35;
+    a.power_activity = 0.9;
+    add(a);
+  }
+
+  // ---- TensorFlow Lite (HARP-enabled wrapper reports true utility) ---------
+  {
+    // vgg: large dense GEMMs — compute bound, scales well, reports
+    // inferences/s as its utility metric through libharp.
+    AppBehavior a = make_app("vgg", "tensorflow", AdaptivityType::kScalable, 3000, 1.15, 1.05);
+    a.serial_fraction = 0.01;
+    a.mem_fraction = 0.30;
+    a.smt_friendliness = 0.7;
+    a.imbalance_sensitivity = 0.30;
+    a.sync_ips_inflation = 0.3;
+    a.provides_utility = true;
+    add(a);
+  }
+  {
+    // alexnet: smaller model, lower arithmetic intensity.
+    AppBehavior a = make_app("alexnet", "tensorflow", AdaptivityType::kScalable, 1200, 1.0, 0.95);
+    a.serial_fraction = 0.02;
+    a.mem_fraction = 0.40;
+    a.smt_friendliness = 0.6;
+    a.imbalance_sensitivity = 0.35;
+    a.sync_ips_inflation = 0.3;
+    a.provides_utility = true;
+    add(a);
+  }
+
+  // ---- Scenarios (Fig. 6) ---------------------------------------------------
+  for (const AppBehavior& a : cat.apps_)
+    cat.singles_.push_back(Scenario{a.name, {{a.name, 0.0}}});
+  cat.multis_ = {
+      {"is+lu", {{"is.C", 0.0}, {"lu.C", 0.0}}},
+      {"ep+mg", {{"ep.C", 0.0}, {"mg.C", 0.0}}},
+      {"cg+ua", {{"cg.C", 0.0}, {"ua.C", 0.0}}},
+      {"ft+sp", {{"ft.C", 0.0}, {"sp.C", 0.0}}},
+      {"bt+mg+pi", {{"bt.C", 0.0}, {"mg.C", 0.0}, {"pi", 0.0}}},
+      {"fractal+seismic+vgg", {{"fractal", 0.0}, {"seismic", 0.0}, {"vgg", 0.0}}},
+      {"ep+is+lu+mg", {{"ep.C", 0.0}, {"is.C", 0.0}, {"lu.C", 0.0}, {"mg.C", 0.0}}},
+      {"bt+cg+ep+ft+ua",
+       {{"bt.C", 0.0}, {"cg.C", 0.0}, {"ep.C", 0.0}, {"ft.C", 0.0}, {"ua.C", 0.0}}},
+  };
+  return cat;
+}
+
+WorkloadCatalog WorkloadCatalog::odroid() {
+  WorkloadCatalog cat;
+  auto add = [&](AppBehavior app) { cat.apps_.push_back(std::move(app)); };
+
+  // ---- NAS Parallel Benchmarks, class A (smaller inputs, §6.2) ------------
+  // Same qualitative behaviour as class C; work scaled to the Odroid's
+  // performance (full-machine compute throughput ≈ 9 GIPS).
+  struct NasSpec {
+    const char* name;
+    double work;
+    double ipc_big, ipc_little;
+    double serial, mem, imb, infl;
+  };
+  const NasSpec nas[] = {
+      {"bt.A", 420, 1.05, 0.95, 0.015, 0.35, 0.55, 0.45},
+      {"cg.A", 150, 0.70, 0.72, 0.02, 0.70, 0.45, 0.55},
+      {"ep.A", 95, 1.20, 1.15, 0.002, 0.02, 0.20, 0.10},
+      {"ft.A", 190, 0.95, 0.90, 0.02, 0.55, 0.50, 0.50},
+      {"is.A", 28, 0.65, 0.70, 0.04, 0.80, 0.40, 0.45},
+      {"lu.A", 360, 1.10, 0.90, 0.02, 0.35, 0.88, 0.92},
+      {"mg.A", 90, 0.60, 0.66, 0.03, 0.90, 0.35, 0.40},
+      {"sp.A", 320, 1.00, 0.92, 0.02, 0.45, 0.55, 0.50},
+      {"ua.A", 260, 0.85, 0.80, 0.03, 0.50, 0.65, 0.60},
+  };
+  for (const NasSpec& s : nas) {
+    AppBehavior a = make_app(s.name, "openmp", AdaptivityType::kScalable, s.work, s.ipc_big,
+                             s.ipc_little);
+    a.serial_fraction = s.serial;
+    a.mem_fraction = s.mem;
+    a.smt_friendliness = 0.0;  // no SMT on either Odroid cluster
+    a.imbalance_sensitivity = s.imb;
+    a.sync_ips_inflation = s.infl;
+    a.startup_seconds = 0.4;  // slower storage and process launch
+    add(a);
+  }
+
+  // ---- KPN applications (§6.2, custom adaptivity via libharp extension) ---
+  {
+    // mandelbrot with implicit data parallelism: parallel regions scale and
+    // rebalance under RM control (Khasanov et al., PARMA-DITAM'18).
+    AppBehavior a = make_app("mandelbrot", "kpn", AdaptivityType::kCustom, 220, 1.15, 1.05);
+    a.serial_fraction = 0.01;
+    a.mem_fraction = 0.05;
+    a.smt_friendliness = 0.0;
+    a.imbalance_sensitivity = 0.75;  // escape-time rows are very uneven …
+    a.sync_ips_inflation = 0.5;
+    a.provides_utility = true;  // KPN channels expose tokens/s
+    a.startup_seconds = 0.3;
+    add(a);
+    // … the static-topology variant cannot rebalance or scale.
+    a.name = "mandelbrot-static";
+    a.adaptivity = AdaptivityType::kStatic;
+    a.default_threads = 8;  // fixed process network with 8 workers
+    add(a);
+  }
+  {
+    // lms: Leighton–Micali signatures — hash chains with a serial merkle
+    // aggregation stage.
+    AppBehavior a = make_app("lms", "kpn", AdaptivityType::kCustom, 180, 1.05, 1.0);
+    a.serial_fraction = 0.10;
+    a.mem_fraction = 0.10;
+    a.smt_friendliness = 0.0;
+    a.imbalance_sensitivity = 0.45;
+    a.sync_ips_inflation = 0.4;
+    a.provides_utility = true;
+    a.startup_seconds = 0.3;
+    add(a);
+    a.name = "lms-static";
+    a.adaptivity = AdaptivityType::kStatic;
+    a.default_threads = 6;  // fixed pipeline of 6 processes
+    add(a);
+  }
+
+  // ---- Scenarios (Fig. 7) ---------------------------------------------------
+  for (const AppBehavior& a : cat.apps_)
+    cat.singles_.push_back(Scenario{a.name, {{a.name, 0.0}}});
+  cat.multis_ = {
+      {"ep+ft", {{"ep.A", 0.0}, {"ft.A", 0.0}}},
+      {"mg+lu", {{"mg.A", 0.0}, {"lu.A", 0.0}}},
+      {"is+ua", {{"is.A", 0.0}, {"ua.A", 0.0}}},
+      {"cg+sp", {{"cg.A", 0.0}, {"sp.A", 0.0}}},
+      {"ep+mg+lms", {{"ep.A", 0.0}, {"mg.A", 0.0}, {"lms", 0.0}}},
+      {"bt+ft+mandelbrot", {{"bt.A", 0.0}, {"ft.A", 0.0}, {"mandelbrot", 0.0}}},
+  };
+  return cat;
+}
+
+std::vector<std::string> WorkloadCatalog::regression_study_apps() const {
+  // The paper trains regression models on pre-measured data from 15
+  // applications on the Raptor Lake (§5.2): the nine NAS and six TBB apps.
+  std::vector<std::string> out;
+  for (const AppBehavior& a : apps_)
+    if (a.framework == "openmp" || a.framework == "tbb") out.push_back(a.name);
+  return out;
+}
+
+}  // namespace harp::model

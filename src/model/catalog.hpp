@@ -1,0 +1,64 @@
+// Workload catalogs for the two evaluation platforms.
+//
+// The paper's benchmark set (§6.2): the OpenMP NAS Parallel Benchmarks
+// (class C on the Intel Raptor Lake, class A on the Odroid XU3-E), six Intel
+// TBB samples, two TensorFlow Lite image-recognition models (Raptor Lake
+// only), and two embedded KPN applications in static and dynamically
+// adaptive versions (Odroid only). Each entry is an AppBehavior whose
+// parameters are calibrated to the characteristics the paper describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/behavior.hpp"
+
+namespace harp::model {
+
+/// One application launch within a scenario.
+struct ScenarioApp {
+  std::string app;      ///< catalog name
+  double arrival = 0.0; ///< seconds after scenario start
+};
+
+/// A named evaluation scenario (one or more concurrent applications).
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioApp> apps;
+
+  bool is_multi() const { return apps.size() > 1; }
+};
+
+/// An immutable set of application behaviours plus the paper's scenarios.
+class WorkloadCatalog {
+ public:
+  /// Applications + scenarios for the Intel Raptor Lake i9-13900K (§6.3).
+  static WorkloadCatalog raptor_lake();
+  /// Applications + scenarios for the Odroid XU3-E (§6.4).
+  static WorkloadCatalog odroid();
+
+  const std::vector<AppBehavior>& apps() const { return apps_; }
+  /// Lookup by name; throws CheckFailure for unknown applications.
+  const AppBehavior& app(const std::string& name) const;
+  bool has_app(const std::string& name) const;
+
+  const std::vector<Scenario>& single_scenarios() const { return singles_; }
+  const std::vector<Scenario>& multi_scenarios() const { return multis_; }
+  std::vector<Scenario> all_scenarios() const;
+
+  /// Extend the catalog with a custom application (it is NOT added to the
+  /// built-in scenario lists — benches and tests define their own).
+  /// Throws CheckFailure on duplicate names or malformed behaviours.
+  void add_app(AppBehavior app);
+
+  /// The 15-application set used for the paper's regression-model study
+  /// (Fig. 5): the NAS and TBB applications on Raptor Lake.
+  std::vector<std::string> regression_study_apps() const;
+
+ private:
+  std::vector<AppBehavior> apps_;
+  std::vector<Scenario> singles_;
+  std::vector<Scenario> multis_;
+};
+
+}  // namespace harp::model

@@ -1,0 +1,159 @@
+#include "src/platform/hardware.hpp"
+
+#include "src/common/check.hpp"
+
+namespace harp::platform {
+
+int HardwareDescription::type_index(const std::string& type_name) const {
+  for (std::size_t i = 0; i < core_types.size(); ++i)
+    if (core_types[i].name == type_name) return static_cast<int>(i);
+  return -1;
+}
+
+int HardwareDescription::total_hardware_threads() const {
+  int total = 0;
+  for (const CoreType& t : core_types) total += t.core_count * t.smt_width;
+  return total;
+}
+
+int HardwareDescription::hardware_threads(int type) const {
+  HARP_CHECK(type >= 0 && type < num_core_types());
+  return core_types[type].core_count * core_types[type].smt_width;
+}
+
+json::Value HardwareDescription::to_json() const {
+  json::Array types;
+  for (const CoreType& t : core_types) {
+    json::Object o;
+    o["name"] = t.name;
+    o["core_count"] = t.core_count;
+    o["smt_width"] = t.smt_width;
+    o["freq_ghz"] = t.freq_ghz;
+    o["base_gips"] = t.base_gips;
+    o["smt_gain"] = t.smt_gain;
+    o["active_power_w"] = t.active_power_w;
+    o["thread_power_w"] = t.thread_power_w;
+    o["idle_power_w"] = t.idle_power_w;
+    types.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["name"] = name;
+  root["core_types"] = json::Value(std::move(types));
+  root["uncore_power_w"] = uncore_power_w;
+  root["memory_gips"] = memory_gips;
+  root["power_gamma"] = power_gamma;
+  return json::Value(std::move(root));
+}
+
+Result<HardwareDescription> HardwareDescription::from_json(const json::Value& value) {
+  if (!value.is_object()) return Result<HardwareDescription>(make_error("parse: hardware description must be an object"));
+  if (!value.contains("name") || !value.contains("core_types"))
+    return Result<HardwareDescription>(make_error("parse: hardware description needs 'name' and 'core_types'"));
+
+  HardwareDescription hw;
+  hw.name = value.at("name").as_string();
+  hw.uncore_power_w = value.number_or("uncore_power_w", 0.0);
+  hw.memory_gips = value.number_or("memory_gips", 1e9);
+  hw.power_gamma = value.number_or("power_gamma", 1.0);
+
+  if (!value.at("core_types").is_array())
+    return Result<HardwareDescription>(make_error("parse: 'core_types' must be an array"));
+  for (const json::Value& tv : value.at("core_types").as_array()) {
+    if (!tv.is_object() || !tv.contains("name") || !tv.contains("core_count"))
+      return Result<HardwareDescription>(make_error("parse: core type needs 'name' and 'core_count'"));
+    CoreType t;
+    t.name = tv.at("name").as_string();
+    t.core_count = static_cast<int>(tv.at("core_count").as_int());
+    t.smt_width = static_cast<int>(tv.int_or("smt_width", 1));
+    t.freq_ghz = tv.number_or("freq_ghz", 1.0);
+    t.base_gips = tv.number_or("base_gips", 1.0);
+    t.smt_gain = tv.number_or("smt_gain", 0.0);
+    t.active_power_w = tv.number_or("active_power_w", 1.0);
+    t.thread_power_w = tv.number_or("thread_power_w", 0.0);
+    t.idle_power_w = tv.number_or("idle_power_w", 0.1);
+    if (t.core_count <= 0 || t.smt_width <= 0)
+      return Result<HardwareDescription>(make_error("parse: core counts must be positive"));
+    hw.core_types.push_back(std::move(t));
+  }
+  if (hw.core_types.empty())
+    return Result<HardwareDescription>(make_error("parse: hardware description has no core types"));
+  return hw;
+}
+
+Result<HardwareDescription> HardwareDescription::load(const std::string& path) {
+  Result<json::Value> doc = json::load_file(path);
+  if (!doc.ok()) return Result<HardwareDescription>(doc.error());
+  return from_json(doc.value());
+}
+
+Status HardwareDescription::save(const std::string& path) const {
+  return json::save_file(path, to_json());
+}
+
+HardwareDescription raptor_lake() {
+  HardwareDescription hw;
+  hw.name = "intel-raptor-lake-i9-13900k";
+  // P-cores: 4.6 GHz, SMT-2. base_gips is the single-thread rate of an
+  // IPC-1.0 workload; real applications scale it by their per-type IPC.
+  CoreType p;
+  p.name = "P";
+  p.core_count = 8;
+  p.smt_width = 2;
+  p.freq_ghz = 4.6;
+  p.base_gips = 4.6;
+  p.smt_gain = 0.30;
+  p.active_power_w = 7.0;
+  p.thread_power_w = 1.4;
+  p.idle_power_w = 0.35;
+  // E-cores: 3.8 GHz, no SMT, roughly half the per-clock throughput at a
+  // quarter of the power — the efficiency trade the paper exploits.
+  CoreType e;
+  e.name = "E";
+  e.core_count = 16;
+  e.smt_width = 1;
+  e.freq_ghz = 3.8;
+  e.base_gips = 2.1;
+  e.smt_gain = 0.0;
+  e.active_power_w = 1.8;
+  e.thread_power_w = 0.0;
+  e.idle_power_w = 0.12;
+  hw.core_types = {p, e};
+  hw.uncore_power_w = 14.0;
+  hw.memory_gips = 26.0;
+  hw.power_gamma = 7.0 / 1.8;
+  return hw;
+}
+
+HardwareDescription odroid_xu3e() {
+  HardwareDescription hw;
+  hw.name = "odroid-xu3e-exynos5422";
+  CoreType big;
+  big.name = "big";
+  big.core_count = 4;
+  big.smt_width = 1;
+  big.freq_ghz = 1.8;
+  big.base_gips = 1.7;
+  big.smt_gain = 0.0;
+  big.active_power_w = 1.45;
+  big.thread_power_w = 0.0;
+  big.idle_power_w = 0.08;
+  // Cortex-A7 @1.2 GHz: roughly half the A15's throughput at ~4x less
+  // power — the efficiency trade HARP's allocation exploits on this board.
+  CoreType little;
+  little.name = "LITTLE";
+  little.core_count = 4;
+  little.smt_width = 1;
+  little.freq_ghz = 1.2;
+  little.base_gips = 0.85;
+  little.smt_gain = 0.0;
+  little.active_power_w = 0.38;
+  little.thread_power_w = 0.0;
+  little.idle_power_w = 0.02;
+  hw.core_types = {big, little};
+  hw.uncore_power_w = 0.9;
+  hw.memory_gips = 3.4;
+  hw.power_gamma = 1.45 / 0.38;
+  return hw;
+}
+
+}  // namespace harp::platform

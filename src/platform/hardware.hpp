@@ -1,0 +1,84 @@
+// Hardware descriptions: the platform model HARP manages against.
+//
+// Mirrors the paper's hardware-description file (§4.3, step (1) in Fig. 2):
+// the RM is not hard-coded for a machine; it loads a JSON description listing
+// the core types, their counts, SMT widths, frequencies, and power/performance
+// coefficients. Factories for the two evaluation platforms (Intel Raptor Lake
+// i9-13900K and Odroid XU3-E) are provided with values calibrated to the
+// paper's descriptions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/json/json.hpp"
+
+namespace harp::platform {
+
+/// One homogeneous island of cores (e.g. the P-cores, or the LITTLE cluster).
+struct CoreType {
+  std::string name;        ///< "P", "E", "big", "LITTLE"
+  int core_count = 0;      ///< physical cores of this type
+  int smt_width = 1;       ///< hardware threads per core (P-cores: 2)
+  double freq_ghz = 1.0;   ///< sustained frequency (paper pins max freq, §6.1)
+
+  /// Base instruction rate of one hardware thread at this frequency, in
+  /// giga-instructions per second for an IPC-1.0 workload. Applications scale
+  /// this by their per-type IPC (model::AppBehavior).
+  double base_gips = 1.0;
+
+  /// Throughput gained by activating the second hardware thread of a core,
+  /// relative to the first (0.3 = +30 %). Ignored when smt_width == 1.
+  double smt_gain = 0.0;
+
+  double active_power_w = 1.0;  ///< power of a core with one busy thread
+  double thread_power_w = 0.0;  ///< extra power per additional busy thread
+  double idle_power_w = 0.1;    ///< power of an idle (gated) core
+};
+
+/// Full machine description.
+struct HardwareDescription {
+  std::string name;
+  std::vector<CoreType> core_types;
+
+  /// Package/uncore power drawn regardless of core activity.
+  double uncore_power_w = 0.0;
+
+  /// Aggregate memory-subsystem throughput ceiling, in the same
+  /// giga-instruction-per-second units as CoreType::base_gips: a fully
+  /// memory-bound application cannot progress faster than this regardless of
+  /// how many cores it holds.
+  double memory_gips = 1e9;
+
+  /// EnergAt power coefficient γ (§5.1): ratio of per-thread power between
+  /// the first (fast) and second (efficient) core type, determined offline.
+  double power_gamma = 1.0;
+
+  int num_core_types() const { return static_cast<int>(core_types.size()); }
+  /// Index of a core type by name; -1 if absent.
+  int type_index(const std::string& type_name) const;
+  /// Total hardware threads across all types.
+  int total_hardware_threads() const;
+  /// Hardware threads of one type.
+  int hardware_threads(int type) const;
+
+  json::Value to_json() const;
+  static Result<HardwareDescription> from_json(const json::Value& value);
+  static Result<HardwareDescription> load(const std::string& path);
+  Status save(const std::string& path) const;
+};
+
+/// The Intel Raptor Lake Core i9-13900K used in the paper's desktop
+/// evaluation: 8 P-cores with SMT @4.6 GHz + 16 E-cores @3.8 GHz (§6.1).
+/// Power coefficients are calibrated so a fully loaded package draws on the
+/// order of 150 W with RAPL-like accounting.
+HardwareDescription raptor_lake();
+
+/// The Odroid XU3-E (Samsung Exynos 5422) used in the paper's embedded
+/// evaluation: 4 Cortex-A15 big cores @1.8 GHz + 4 Cortex-A7 LITTLE cores
+/// @1.2 GHz (§6.1, frequencies per the paper's thermal caps).
+HardwareDescription odroid_xu3e();
+
+}  // namespace harp::platform

@@ -1,0 +1,152 @@
+#include "src/sched/baselines.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace harp::sched {
+
+// ---------------------------------------------------------------------------
+// EAS
+// ---------------------------------------------------------------------------
+
+void EasPolicy::on_app_start(sim::AppId id) {
+  HARP_CHECK(api_ != nullptr);
+  last_cpu_[id] = api_->cpu_time_by_type(id);
+  replace_all();
+}
+
+void EasPolicy::tick() {
+  // Re-evaluate placement at PELT-ish cadence (every 100 ms of sim time).
+  HARP_CHECK(api_ != nullptr);
+  if (api_->now() - last_eval_ < 0.1) return;
+  last_eval_ = api_->now();
+  replace_all();
+}
+
+void EasPolicy::replace_all() {
+  HARP_CHECK(api_ != nullptr);
+  const platform::HardwareDescription& hw = api_->hardware();
+  const sim::SlotMap& slots = api_->slots();
+
+  // Identify the efficient cluster (lowest active power per core).
+  int eff_type = 0;
+  for (int t = 1; t < hw.num_core_types(); ++t)
+    if (hw.core_types[static_cast<std::size_t>(t)].active_power_w <
+        hw.core_types[static_cast<std::size_t>(eff_type)].active_power_w)
+      eff_type = t;
+  std::vector<int> eff_slots;
+  for (int s = 0; s < slots.num_slots(); ++s)
+    if (slots.slot(s).type == eff_type) eff_slots.push_back(s);
+
+  // PELT stand-in: a task runnable for the whole window has utilisation 1;
+  // total demand is the number of runnable worker threads.
+  int total_demand = 0;
+  std::vector<sim::RunningAppInfo> apps = api_->running_apps();
+  for (const sim::RunningAppInfo& app : apps)
+    total_demand += app.in_startup ? 1 : app.behavior->resolved_default_threads(hw);
+
+  // EAS packs low demand onto the efficient cluster (energy model says the
+  // LITTLE island is cheaper as long as it is not overcommitted); beyond
+  // its capacity the whole machine is used. Either way the placement is
+  // explicit (non-empty allowed set): EAS migrates between clusters only
+  // for misfit tasks, so threads do not get the free cross-cluster mixing
+  // an SMP load balancer provides — statically partitioned work eats the
+  // full asymmetry imbalance under this baseline.
+  bool fits_efficient = total_demand <= static_cast<int>(eff_slots.size());
+  for (const sim::RunningAppInfo& app : apps) {
+    sim::AppControl control;
+    control.allowed_slots = fits_efficient ? eff_slots : slots.all_slots();
+    api_->set_control(app.id, control);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ITD
+// ---------------------------------------------------------------------------
+
+void ItdPolicy::tick() {
+  // The Thread Director reclassifies continuously; re-evaluate at a coarse
+  // cadence so demand changes (startup → full worker team) are tracked.
+  HARP_CHECK(api_ != nullptr);
+  if (api_->now() - last_eval_ < 0.1) return;
+  last_eval_ = api_->now();
+  replace_all();
+}
+
+void ItdPolicy::replace_all() {
+  HARP_CHECK(api_ != nullptr);
+  const platform::HardwareDescription& hw = api_->hardware();
+  const sim::SlotMap& slots = api_->slots();
+  std::vector<sim::RunningAppInfo> apps = api_->running_apps();
+  if (apps.empty()) return;
+
+  // Hardware thread class: per-thread IPC ratio between the fast and the
+  // efficient core type, as the Thread Director's classification tables
+  // expose it. Types are assumed ordered fast-first (as in the shipped
+  // hardware descriptions).
+  auto class_ratio = [&](const sim::RunningAppInfo& app) {
+    const auto& types = hw.core_types;
+    double fast = types[0].base_gips * app.behavior->ipc[0];
+    double eff = types[1].base_gips * app.behavior->ipc[1];
+    return fast / std::max(eff, 1e-9);
+  };
+  std::sort(apps.begin(), apps.end(),
+            [&](const sim::RunningAppInfo& a, const sim::RunningAppInfo& b) {
+              return class_ratio(a) > class_ratio(b);
+            });
+
+  std::vector<int> fast_slots, eff_slots;
+  for (int s = 0; s < slots.num_slots(); ++s)
+    (slots.slot(s).type == 0 ? fast_slots : eff_slots).push_back(s);
+
+  // With a single application there is no class competition: all islands are
+  // available, matching ITD's near-baseline single-app behaviour (§6.3.1).
+  if (apps.size() == 1) {
+    api_->set_control(apps.front().id, sim::AppControl{});
+    return;
+  }
+
+  // Water-filling: highest-class apps take P hardware threads first; the
+  // rest is steered to the E-island. Thread counts are never adjusted, so
+  // the preferred island ends up time-shared.
+  std::size_t fast_next = 0;
+  std::size_t eff_next = 0;
+  for (const sim::RunningAppInfo& app : apps) {
+    int demand = app.in_startup ? 1 : app.behavior->resolved_default_threads(hw);
+    sim::AppControl control;
+    control.threads = 0;  // ITD does not scale applications
+    while (demand > 0 && fast_next < fast_slots.size()) {
+      control.allowed_slots.push_back(fast_slots[fast_next++]);
+      --demand;
+    }
+    while (demand > 0 && eff_next < eff_slots.size()) {
+      control.allowed_slots.push_back(eff_slots[eff_next++]);
+      --demand;
+    }
+    if (control.allowed_slots.empty()) {
+      // Machine exhausted: overflow apps time-share the efficient island.
+      control.allowed_slots = eff_slots;
+    }
+    api_->set_control(app.id, control);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned
+// ---------------------------------------------------------------------------
+
+void PinnedPolicy::on_app_start(sim::AppId id) {
+  HARP_CHECK(api_ != nullptr);
+  for (const sim::RunningAppInfo& app : api_->running_apps()) {
+    if (app.id != id) continue;
+    auto it = controls_.find(app.behavior->name);
+    HARP_CHECK_MSG(it != controls_.end(),
+                   "pinned policy has no control for app '" << app.behavior->name << "'");
+    api_->set_control(id, it->second);
+    return;
+  }
+  HARP_CHECK_MSG(false, "app id not running");
+}
+
+}  // namespace harp::sched

@@ -1,0 +1,90 @@
+// Baseline resource-management policies the paper compares HARP against.
+//
+// - CfsPolicy: stock Linux behaviour — every application spawns its default
+//   worker count (one per hardware thread) and the load balancer spreads
+//   threads across the whole machine, filling fast cores before SMT
+//   siblings. No application awareness, no scaling (§6.3's "CFS").
+// - EasPolicy: the Energy-Aware Scheduler used as the Odroid baseline
+//   (§6.4): PELT-style per-task utilisation tracking plus a platform energy
+//   model; low aggregate demand is packed onto the LITTLE cluster, saturated
+//   demand spills onto the whole machine.
+// - ItdPolicy: the Intel-Thread-Director-based allocator of §6.1/§6.3: each
+//   thread's hardware class (its P-vs-E IPC ratio) decides which core type
+//   it is steered to; high-ratio applications get the P-cores first.
+//   Applications are never scaled, so multi-application loads oversubscribe
+//   the preferred islands — the effect behind ITD's multi-app regression.
+// - PinnedPolicy: measurement harness for offline DSE and the Fig. 1 config
+//   sweeps — pins each application to a fixed allocation/thread count.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/sim/runner.hpp"
+
+namespace harp::sched {
+
+/// Stock Linux CFS on a hybrid part (see file comment).
+class CfsPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "cfs"; }
+  // Default AppControl (whole machine, default threads) *is* CFS behaviour.
+};
+
+/// Linux Energy-Aware Scheduler (big.LITTLE baseline).
+class EasPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "eas"; }
+  void attach(sim::RunnerApi& api) override {
+    api_ = &api;
+    last_cpu_.clear();
+    last_eval_ = -1.0;  // fresh run: a reused policy instance starts over
+  }
+  void on_app_start(sim::AppId id) override;
+  void on_app_exit(sim::AppId id) override { (void)id; replace_all(); }
+  void tick() override;
+
+ private:
+  void replace_all();
+
+  sim::RunnerApi* api_ = nullptr;
+  std::map<sim::AppId, std::vector<double>> last_cpu_;
+  double last_eval_ = -1.0;
+};
+
+/// ITD-class-driven allocator (Raptor Lake comparator).
+class ItdPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "itd"; }
+  void attach(sim::RunnerApi& api) override {
+    api_ = &api;
+    last_eval_ = -1.0;
+  }
+  void on_app_start(sim::AppId id) override { (void)id; replace_all(); }
+  void on_app_exit(sim::AppId id) override { (void)id; replace_all(); }
+  void tick() override;
+
+ private:
+  void replace_all();
+
+  sim::RunnerApi* api_ = nullptr;
+  double last_eval_ = -1.0;
+};
+
+/// Pins each application (by name) to a fixed control — the measurement
+/// harness for offline design-space exploration and the Fig. 1 sweeps.
+class PinnedPolicy : public sim::Policy {
+ public:
+  explicit PinnedPolicy(std::map<std::string, sim::AppControl> controls)
+      : controls_(std::move(controls)) {}
+
+  std::string name() const override { return "pinned"; }
+  void attach(sim::RunnerApi& api) override { api_ = &api; }
+  void on_app_start(sim::AppId id) override;
+
+ private:
+  sim::RunnerApi* api_ = nullptr;
+  std::map<std::string, sim::AppControl> controls_;
+};
+
+}  // namespace harp::sched

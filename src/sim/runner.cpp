@@ -1,0 +1,388 @@
+#include "src/sim/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace harp::sim {
+
+const AppRunStats& RunResult::app(const std::string& name) const {
+  for (const AppRunStats& s : apps)
+    if (s.name == name) return s;
+  HARP_CHECK_MSG(false, "no app '" << name << "' in run result");
+  __builtin_unreachable();
+}
+
+struct ScenarioRunner::AppState {
+  AppId id = -1;
+  const model::AppBehavior* behavior = nullptr;
+  double arrival = 0.0;
+  bool launched = false;   ///< process exists (arrival reached)
+  bool running = false;    ///< startup finished, workers spawned
+  bool finished = false;   ///< completed (non-repeat mode only)
+  double startup_ends = 0.0;
+  double work_done_gi = 0.0;
+
+  // Telemetry accumulators.
+  double instructions_gi = 0.0;
+  double useful_gi = 0.0;
+  double energy_j = 0.0;
+  std::vector<double> cpu_by_type;
+
+  // Per-reader markers for rate-since-last-read queries.
+  double perf_marker_gi = 0.0;
+  double perf_marker_time = 0.0;
+  double util_marker_gi = 0.0;
+  double util_marker_time = 0.0;
+
+  AppControl control;
+  std::vector<int> thread_slots;  ///< current placement, one entry per thread
+
+  // Cached effective behaviour for the current execution stage (§7
+  // outlook: phase-dependent characteristics).
+  int cached_phase = -1;
+  model::AppBehavior phase_behavior;
+
+  AppRunStats stats;
+
+  /// Effective behaviour at the current progress, refreshed on stage
+  /// transitions.
+  const model::AppBehavior& effective_behavior() {
+    if (!behavior->multi_phase()) return *behavior;
+    double fraction =
+        behavior->total_work_gi > 0.0 ? work_done_gi / behavior->total_work_gi : 0.0;
+    int phase = behavior->phase_at(std::min(fraction, 1.0));
+    if (phase != cached_phase) {
+      cached_phase = phase;
+      phase_behavior = behavior->behavior_in_phase(phase);
+    }
+    return phase_behavior;
+  }
+};
+
+ScenarioRunner::ScenarioRunner(platform::HardwareDescription hw,
+                               model::WorkloadCatalog catalog, model::Scenario scenario,
+                               RunOptions options)
+    : hw_(std::move(hw)),
+      catalog_(std::move(catalog)),
+      scenario_(std::move(scenario)),
+      options_(options),
+      slot_map_(hw_),
+      rng_(options.seed) {
+  HARP_CHECK(!scenario_.apps.empty());
+  if (options_.governor == Governor::kPerformance) {
+    // The performance governor pins everything at max frequency: idle cores
+    // skip deep C-states (they burn more) for a marginal throughput edge.
+    for (platform::CoreType& t : hw_.core_types) {
+      t.base_gips *= 1.01;
+      t.idle_power_w *= 2.5;
+    }
+  }
+  AppId next_id = 0;
+  for (const model::ScenarioApp& sa : scenario_.apps) {
+    auto app = std::make_unique<AppState>();
+    app->id = next_id++;
+    app->behavior = &catalog_.app(sa.app);
+    app->arrival = sa.arrival;
+    app->cpu_by_type.assign(hw_.core_types.size(), 0.0);
+    app->stats.name = sa.app;
+    app->stats.id = app->id;
+    app->stats.arrival = sa.arrival;
+    app->stats.cpu_seconds_by_type.assign(hw_.core_types.size(), 0.0);
+    apps_.push_back(std::move(app));
+  }
+}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+ScenarioRunner::AppState& ScenarioRunner::state(AppId id) {
+  HARP_CHECK(id >= 0 && static_cast<std::size_t>(id) < apps_.size());
+  return *apps_[static_cast<std::size_t>(id)];
+}
+
+const ScenarioRunner::AppState& ScenarioRunner::state(AppId id) const {
+  HARP_CHECK(id >= 0 && static_cast<std::size_t>(id) < apps_.size());
+  return *apps_[static_cast<std::size_t>(id)];
+}
+
+std::vector<RunningAppInfo> ScenarioRunner::running_apps() const {
+  std::vector<RunningAppInfo> out;
+  for (const auto& app : apps_) {
+    if (!app->launched || app->finished) continue;
+    RunningAppInfo info;
+    info.id = app->id;
+    info.behavior = app->behavior;
+    info.arrival = app->arrival;
+    info.in_startup = !app->running;
+    out.push_back(info);
+  }
+  return out;
+}
+
+double ScenarioRunner::read_perf_gips(AppId id) {
+  AppState& app = state(id);
+  double elapsed = now_ - app.perf_marker_time;
+  if (elapsed <= 0.0) return 0.0;
+  double gips = (app.instructions_gi - app.perf_marker_gi) / elapsed;
+  app.perf_marker_gi = app.instructions_gi;
+  app.perf_marker_time = now_;
+  return gips * rng_.noise_factor(options_.perf_noise);
+}
+
+double ScenarioRunner::read_package_energy() {
+  double delta = package_energy_j_ - energy_read_marker_j_;
+  energy_read_marker_j_ = package_energy_j_;
+  return delta * rng_.noise_factor(options_.energy_noise);
+}
+
+std::vector<double> ScenarioRunner::cpu_time_by_type(AppId id) const {
+  return state(id).cpu_by_type;
+}
+
+int ScenarioRunner::app_phase(AppId id) const {
+  const AppState& app = state(id);
+  if (!app.behavior->multi_phase() || app.behavior->total_work_gi <= 0.0) return 0;
+  double fraction = std::min(app.work_done_gi / app.behavior->total_work_gi, 1.0);
+  return app.behavior->phase_at(fraction);
+}
+
+std::optional<double> ScenarioRunner::read_app_utility(AppId id) {
+  AppState& app = state(id);
+  if (!app.behavior->provides_utility) return std::nullopt;
+  double elapsed = now_ - app.util_marker_time;
+  if (elapsed <= 0.0) return 0.0;
+  double gips = (app.useful_gi - app.util_marker_gi) / elapsed;
+  app.util_marker_gi = app.useful_gi;
+  app.util_marker_time = now_;
+  return gips * rng_.noise_factor(options_.utility_noise);
+}
+
+void ScenarioRunner::set_control(AppId id, const AppControl& control) {
+  HARP_CHECK(control.mgmt_drag >= 0.0 && control.mgmt_drag < 1.0);
+  HARP_CHECK(control.freq_scale > 0.0 && control.freq_scale <= 1.0);
+  state(id).control = control;
+  placement_dirty_ = true;
+}
+
+void ScenarioRunner::charge_overhead(double cpu_seconds) {
+  HARP_CHECK(cpu_seconds >= 0.0);
+  pending_overhead_s_ += cpu_seconds;
+}
+
+double ScenarioRunner::true_app_energy(AppId id) const { return state(id).energy_j; }
+
+void ScenarioRunner::start_pending_apps(Policy& policy) {
+  for (auto& app : apps_) {
+    if (app->finished) continue;
+    if (!app->launched && now_ >= app->arrival) {
+      app->launched = true;
+      app->startup_ends = app->arrival + app->behavior->startup_seconds;
+      app->perf_marker_time = now_;
+      app->util_marker_time = now_;
+      placement_dirty_ = true;
+      policy.on_app_start(app->id);
+    }
+    if (app->launched && !app->running && now_ >= app->startup_ends) {
+      app->running = true;  // workers spawned
+      placement_dirty_ = true;
+    }
+  }
+}
+
+void ScenarioRunner::recompute_placement() {
+  std::vector<int> occupancy(static_cast<std::size_t>(slot_map_.num_slots()), 0);
+  // Rank in the capacity-ordered fill sequence for deterministic tie-breaks.
+  std::vector<int> rank(static_cast<std::size_t>(slot_map_.num_slots()), 0);
+  const std::vector<int>& order = slot_map_.spread_order();
+  for (std::size_t i = 0; i < order.size(); ++i)
+    rank[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+
+  for (auto& app : apps_) {
+    app->thread_slots.clear();
+    if (!app->launched || app->finished) continue;
+    int threads = 1;  // serial startup phase
+    if (app->running) {
+      threads = app->control.threads > 0 ? app->control.threads
+                                         : app->behavior->resolved_default_threads(hw_);
+    }
+    const std::vector<int>& allowed =
+        app->control.allowed_slots.empty() ? slot_map_.all_slots() : app->control.allowed_slots;
+    HARP_CHECK_MSG(!allowed.empty(), "app " << app->stats.name << " has no allowed slots");
+    for (int t = 0; t < threads; ++t) {
+      int best = allowed.front();
+      for (int s : allowed) {
+        if (occupancy[static_cast<std::size_t>(s)] < occupancy[static_cast<std::size_t>(best)] ||
+            (occupancy[static_cast<std::size_t>(s)] == occupancy[static_cast<std::size_t>(best)] &&
+             rank[static_cast<std::size_t>(s)] < rank[static_cast<std::size_t>(best)]))
+          best = s;
+      }
+      app->thread_slots.push_back(best);
+      ++occupancy[static_cast<std::size_t>(best)];
+    }
+  }
+  placement_dirty_ = false;
+}
+
+void ScenarioRunner::advance_quantum() {
+  double dt = options_.quantum;
+
+  // --- Machine occupancy ----------------------------------------------------
+  std::vector<int> slot_threads(static_cast<std::size_t>(slot_map_.num_slots()), 0);
+  for (const auto& app : apps_)
+    for (int s : app->thread_slots) ++slot_threads[static_cast<std::size_t>(s)];
+
+  // Busy SMT slots per (type, core), for the SMT-sharing model.
+  std::vector<std::vector<int>> busy_slots_on_core(hw_.core_types.size());
+  for (std::size_t t = 0; t < hw_.core_types.size(); ++t)
+    busy_slots_on_core[t].assign(static_cast<std::size_t>(hw_.core_types[t].core_count), 0);
+  int total_busy_slots = 0;
+  for (int s = 0; s < slot_map_.num_slots(); ++s) {
+    if (slot_threads[static_cast<std::size_t>(s)] == 0) continue;
+    const Slot& slot = slot_map_.slot(s);
+    ++busy_slots_on_core[static_cast<std::size_t>(slot.type)][static_cast<std::size_t>(slot.core)];
+    ++total_busy_slots;
+  }
+
+  // --- RM overhead steals application cycles (§6.6) -------------------------
+  double progress_scale = 1.0;
+  if (pending_overhead_s_ > 0.0 && total_busy_slots > 0) {
+    double capacity = dt * static_cast<double>(total_busy_slots);
+    double consumed = std::min(pending_overhead_s_, 0.5 * capacity);
+    progress_scale = 1.0 - consumed / capacity;
+    pending_overhead_s_ -= consumed;
+  }
+
+  // --- Memory-bandwidth shares ----------------------------------------------
+  double total_mem_demand = 0.0;
+  for (auto& app : apps_) {
+    if (app->thread_slots.empty()) continue;
+    total_mem_demand +=
+        app->effective_behavior().mem_fraction * static_cast<double>(app->thread_slots.size());
+  }
+
+  // --- Per-application progress, telemetry, energy ---------------------------
+  double package_power = hw_.uncore_power_w;
+  for (auto& app : apps_) {
+    if (app->thread_slots.empty()) continue;
+
+    std::vector<model::ThreadView> views;
+    views.reserve(app->thread_slots.size());
+    for (int s : app->thread_slots) {
+      const Slot& slot = slot_map_.slot(s);
+      model::ThreadView tv;
+      tv.type = slot.type;
+      tv.core_id = slot.core;
+      tv.slot_sharers = slot_threads[static_cast<std::size_t>(s)];
+      tv.busy_slots_on_core = busy_slots_on_core[static_cast<std::size_t>(
+          slot.type)][static_cast<std::size_t>(slot.core)];
+      tv.freq_scale = app->control.freq_scale;
+      views.push_back(tv);
+    }
+
+    const model::AppBehavior& behavior = app->effective_behavior();
+    double demand = behavior.mem_fraction * static_cast<double>(app->thread_slots.size());
+    double mem_share = total_mem_demand > 1e-12
+                           ? hw_.memory_gips * std::max(demand, 1e-12) / total_mem_demand
+                           : hw_.memory_gips;
+
+    // Pinned partitions lose the imbalance mitigation of free OS migration;
+    // apps that redistribute work themselves keep full mitigation.
+    double rebalance_factor = app->control.rebalances
+                                  ? 1.0
+                                  : (app->control.allowed_slots.empty()
+                                         ? model::kOsMigrationMixing
+                                         : 0.0);
+    model::AppRates rates =
+        model::compute_rates(behavior, hw_, views, mem_share, rebalance_factor);
+
+    double app_scale = progress_scale * (1.0 - app->control.mgmt_drag);
+    if (app->running) {
+      app->work_done_gi += rates.useful_gips * dt * app_scale;
+      app->useful_gi += rates.useful_gips * dt * app_scale;
+    }
+    app->instructions_gi += rates.measured_gips * dt * app_scale;
+    app->energy_j += rates.power_w * dt;
+    package_power += rates.power_w;
+    for (const model::ThreadView& tv : views)
+      app->cpu_by_type[static_cast<std::size_t>(tv.type)] +=
+          dt / static_cast<double>(tv.slot_sharers);
+  }
+
+  // Idle cores draw their gated power.
+  for (std::size_t t = 0; t < hw_.core_types.size(); ++t)
+    for (int c = 0; c < hw_.core_types[t].core_count; ++c)
+      if (busy_slots_on_core[t][static_cast<std::size_t>(c)] == 0)
+        package_power += hw_.core_types[t].idle_power_w;
+
+  package_energy_j_ += package_power * dt;
+}
+
+void ScenarioRunner::finish_apps(Policy& policy) {
+  for (auto& app : apps_) {
+    if (!app->running || app->finished) continue;
+    if (app->work_done_gi + 1e-12 < app->behavior->total_work_gi) continue;
+
+    ++app->stats.completions;
+    if (app->stats.completions == 1) {
+      app->stats.finish = now_;
+      app->stats.exec_seconds = now_ - app->stats.arrival;
+    }
+    if (options_.repeat_horizon > 0.0) {
+      // Learning-phase mode: the application restarts immediately, like the
+      // repeated executions in §6.5.
+      policy.on_app_exit(app->id);
+      app->work_done_gi = 0.0;
+      app->running = false;
+      app->launched = false;
+      app->arrival = now_;
+      placement_dirty_ = true;
+      // start_pending_apps will relaunch it on the next step.
+    } else {
+      app->finished = true;
+      app->thread_slots.clear();
+      placement_dirty_ = true;
+      policy.on_app_exit(app->id);
+    }
+  }
+}
+
+RunResult ScenarioRunner::run(Policy& policy) {
+  policy.attach(*this);
+  bool truncated = false;
+  while (true) {
+    start_pending_apps(policy);
+
+    bool all_done = std::all_of(apps_.begin(), apps_.end(),
+                                [](const auto& app) { return app->finished; });
+    if (options_.repeat_horizon > 0.0) {
+      if (now_ >= options_.repeat_horizon) break;
+    } else if (all_done) {
+      break;
+    }
+    if (now_ >= options_.max_sim_seconds) {
+      truncated = true;
+      break;
+    }
+
+    policy.tick();
+    if (placement_dirty_) recompute_placement();
+    advance_quantum();
+    now_ += options_.quantum;
+    finish_apps(policy);
+    if (options_.tick_hook) options_.tick_hook(now_);
+  }
+
+  RunResult result;
+  result.makespan = now_;
+  result.package_energy_j = package_energy_j_;
+  for (auto& app : apps_) {
+    app->stats.energy_j = app->energy_j;
+    app->stats.cpu_seconds_by_type = app->cpu_by_type;
+    if (truncated && app->stats.completions == 0) app->stats.finish = -1.0;
+    result.apps.push_back(app->stats);
+  }
+  return result;
+}
+
+}  // namespace harp::sim

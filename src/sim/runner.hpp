@@ -1,0 +1,216 @@
+// The heterogeneous-machine simulator: applications, policies, telemetry.
+//
+// This is the hardware substitute for the paper's two testbeds (see
+// DESIGN.md). A ScenarioRunner advances simulated time in fixed quanta,
+// placing application threads on hardware-thread slots, evaluating the
+// behaviour model (src/model) for useful progress / retired instructions /
+// power, and integrating package energy. Resource-management policies (the
+// CFS/EAS/ITD baselines and the HARP RM) observe the machine only through
+// the RunnerApi telemetry surface — noisy perf-style IPS counters, a
+// RAPL-style package energy counter, and per-application CPU-time accounting
+// — exactly the signals the real system exposes to HARP.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/resource_vector.hpp"
+#include "src/sim/slots.hpp"
+
+namespace harp::sim {
+
+using AppId = int;
+
+/// Frequency-scaling governor (§6.3.3): `performance` keeps idle cores out
+/// of deep sleep states (higher idle power) for a marginal throughput gain;
+/// `powersave`/`schedutil` is the calibrated default.
+enum class Governor { kPowersave, kPerformance };
+
+/// Per-application knobs a policy may set. Default-constructed control means
+/// "unmanaged": whole machine allowed, default thread count, no rebalancing.
+struct AppControl {
+  /// Slots the app's threads may run on; empty = entire machine.
+  std::vector<int> allowed_slots;
+  /// Worker threads to run; 0 = the application default (for OpenMP/TBB:
+  /// one per hardware thread of the whole machine — the moldable baseline).
+  int threads = 0;
+  /// Runtime work redistribution enabled (suppresses the static-partition
+  /// imbalance penalty). HARP-managed custom apps set this.
+  bool rebalances = false;
+  /// Fractional progress drag of being managed: libharp's function hooks
+  /// (GOMP_parallel interception, message handling, perf multiplexing
+  /// perturbation) cost the app this share of its throughput. The paper
+  /// quantifies it at <1 % for one app and ~2.5 % in multi-app scenarios
+  /// (§6.6); the HARP policy sets it per its overhead model.
+  double mgmt_drag = 0.0;
+  /// DVFS setting for the cores this app's threads occupy (1 = calibrated
+  /// maximum; the §7-outlook frequency-control extension drives this).
+  double freq_scale = 1.0;
+};
+
+/// Read-only application descriptor handed to policies.
+struct RunningAppInfo {
+  AppId id = -1;
+  const model::AppBehavior* behavior = nullptr;
+  double arrival = 0.0;
+  bool in_startup = false;
+};
+
+/// Telemetry and control surface policies use. Mirrors what the real HARP
+/// RM gets from Linux: perf IPS (noisy), RAPL package energy (noisy),
+/// per-task CPU-time accounting (exact), plus the libharp-style utility
+/// channel for apps that provide their own metric.
+class RunnerApi {
+ public:
+  virtual ~RunnerApi() = default;
+
+  virtual const platform::HardwareDescription& hardware() const = 0;
+  virtual const SlotMap& slots() const = 0;
+  virtual double now() const = 0;
+  virtual std::vector<RunningAppInfo> running_apps() const = 0;
+
+  /// Average retired-instruction rate (GIPS) of the app since the caller's
+  /// previous read — what `perf` would report. Multiplicatively noisy.
+  virtual double read_perf_gips(AppId id) = 0;
+
+  /// RAPL-style package energy (J) consumed since the caller's previous
+  /// read, with per-window measurement noise.
+  virtual double read_package_energy() = 0;
+
+  /// Exact cumulative CPU seconds the app spent on each core type
+  /// (scheduler accounting, the EnergAt input).
+  virtual std::vector<double> cpu_time_by_type(AppId id) const = 0;
+
+  /// Application-specific utility (useful GIPS, noisy) for apps that
+  /// provide one through libharp; nullopt otherwise.
+  virtual std::optional<double> read_app_utility(AppId id) = 0;
+
+  /// Execution stage the application currently reports through libharp's
+  /// stage-notification interface (§7 outlook); 0 for single-phase apps.
+  virtual int app_phase(AppId id) const = 0;
+
+  virtual void set_control(AppId id, const AppControl& control) = 0;
+
+  /// Charge RM bookkeeping CPU time; the runner steals it from application
+  /// progress (the overhead the paper quantifies in §6.6).
+  virtual void charge_overhead(double cpu_seconds) = 0;
+};
+
+/// A resource-management policy driving the simulated machine.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  /// Called once before the run starts.
+  virtual void attach(RunnerApi& api) { (void)api; }
+  virtual void on_app_start(AppId id) { (void)id; }
+  virtual void on_app_exit(AppId id) { (void)id; }
+  /// Called every simulation quantum, before progress is advanced.
+  virtual void tick() {}
+};
+
+/// Per-application outcome of a run.
+struct AppRunStats {
+  std::string name;
+  AppId id = -1;
+  double arrival = 0.0;
+  double finish = -1.0;        ///< completion time; <0 if the horizon cut it off
+  double exec_seconds = 0.0;   ///< finish − arrival of the *first* completion
+  double energy_j = 0.0;       ///< ground-truth core energy attributed to the app
+  std::vector<double> cpu_seconds_by_type;
+  int completions = 0;         ///< >1 in repeat mode
+};
+
+/// Scenario-level outcome.
+struct RunResult {
+  double makespan = 0.0;         ///< last completion − scenario start
+  double package_energy_j = 0.0; ///< total package energy over the makespan
+  std::vector<AppRunStats> apps;
+
+  const AppRunStats& app(const std::string& name) const;
+};
+
+/// Run configuration.
+struct RunOptions {
+  double quantum = 0.01;  ///< seconds of simulated time per step
+  Governor governor = Governor::kPowersave;
+  std::uint64_t seed = 1;
+  /// Telemetry noise levels (relative std-dev). Zero for DSE-style exact
+  /// offline measurement.
+  double perf_noise = 0.03;
+  double energy_noise = 0.01;
+  double utility_noise = 0.02;
+  /// If > 0, run until this simulated time instead of until all apps finish,
+  /// restarting each app on completion (the learning-phase experiments).
+  double repeat_horizon = 0.0;
+  /// Safety stop for runaway configurations.
+  double max_sim_seconds = 3600.0;
+  /// Optional observer invoked every quantum after progress is applied.
+  std::function<void(double now)> tick_hook;
+};
+
+/// Simulates one scenario under one policy.
+class ScenarioRunner : public RunnerApi {
+ public:
+  /// The runner owns copies of the hardware description, catalog, and
+  /// scenario, so callers may pass temporaries.
+  ScenarioRunner(platform::HardwareDescription hw, model::WorkloadCatalog catalog,
+                 model::Scenario scenario, RunOptions options);
+  ~ScenarioRunner() override;
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Run to completion (or horizon) under `policy` and return the results.
+  RunResult run(Policy& policy);
+
+  // --- RunnerApi -----------------------------------------------------------
+  const platform::HardwareDescription& hardware() const override { return hw_; }
+  const SlotMap& slots() const override { return slot_map_; }
+  double now() const override { return now_; }
+  std::vector<RunningAppInfo> running_apps() const override;
+  double read_perf_gips(AppId id) override;
+  double read_package_energy() override;
+  std::vector<double> cpu_time_by_type(AppId id) const override;
+  std::optional<double> read_app_utility(AppId id) override;
+  int app_phase(AppId id) const override;
+  void set_control(AppId id, const AppControl& control) override;
+  void charge_overhead(double cpu_seconds) override;
+
+  /// Ground-truth per-app core energy — used to validate the EnergAt-style
+  /// attribution (§5.1), never visible to policies.
+  double true_app_energy(AppId id) const;
+
+ private:
+  struct AppState;
+
+  void start_pending_apps(Policy& policy);
+  void recompute_placement();
+  void advance_quantum();
+  void finish_apps(Policy& policy);
+  AppState& state(AppId id);
+  const AppState& state(AppId id) const;
+
+  platform::HardwareDescription hw_;
+  model::WorkloadCatalog catalog_;
+  model::Scenario scenario_;
+  RunOptions options_;
+  SlotMap slot_map_;
+  Rng rng_;
+
+  double now_ = 0.0;
+  double package_energy_j_ = 0.0;
+  double energy_read_marker_j_ = 0.0;
+  double pending_overhead_s_ = 0.0;
+  bool placement_dirty_ = true;
+
+  std::vector<std::unique_ptr<AppState>> apps_;
+  std::vector<AppRunStats> finished_stats_;
+};
+
+}  // namespace harp::sim

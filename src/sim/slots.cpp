@@ -1,0 +1,68 @@
+#include "src/sim/slots.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace harp::sim {
+
+SlotMap::SlotMap(const platform::HardwareDescription& hw) {
+  by_position_.resize(hw.core_types.size());
+  for (std::size_t t = 0; t < hw.core_types.size(); ++t) {
+    const platform::CoreType& type = hw.core_types[t];
+    by_position_[t].resize(static_cast<std::size_t>(type.core_count));
+    for (int c = 0; c < type.core_count; ++c) {
+      for (int s = 0; s < type.smt_width; ++s) {
+        by_position_[t][static_cast<std::size_t>(c)].push_back(num_slots());
+        slots_.push_back(Slot{static_cast<int>(t), c, s});
+      }
+    }
+  }
+
+  // Spread order: SMT level major (level 0 first), then types by descending
+  // base throughput, then cores ascending.
+  std::vector<std::size_t> type_order(hw.core_types.size());
+  std::iota(type_order.begin(), type_order.end(), 0u);
+  std::sort(type_order.begin(), type_order.end(), [&](std::size_t a, std::size_t b) {
+    return hw.core_types[a].base_gips > hw.core_types[b].base_gips;
+  });
+  int max_smt = 0;
+  for (const platform::CoreType& t : hw.core_types) max_smt = std::max(max_smt, t.smt_width);
+  for (int s = 0; s < max_smt; ++s)
+    for (std::size_t t : type_order)
+      for (int c = 0; c < hw.core_types[t].core_count; ++c)
+        if (s < hw.core_types[t].smt_width)
+          spread_order_.push_back(index(static_cast<int>(t), c, s));
+  HARP_CHECK(static_cast<int>(spread_order_.size()) == num_slots());
+}
+
+const Slot& SlotMap::slot(int index) const {
+  HARP_CHECK(index >= 0 && index < num_slots());
+  return slots_[static_cast<std::size_t>(index)];
+}
+
+int SlotMap::index(int type, int core, int smt) const {
+  HARP_CHECK(type >= 0 && static_cast<std::size_t>(type) < by_position_.size());
+  const auto& cores = by_position_[static_cast<std::size_t>(type)];
+  HARP_CHECK(core >= 0 && static_cast<std::size_t>(core) < cores.size());
+  const auto& smts = cores[static_cast<std::size_t>(core)];
+  HARP_CHECK(smt >= 0 && static_cast<std::size_t>(smt) < smts.size());
+  return smts[static_cast<std::size_t>(smt)];
+}
+
+std::vector<int> SlotMap::slots_of(const platform::CoreAllocation& alloc) const {
+  std::vector<int> out;
+  for (std::size_t t = 0; t < alloc.cores.size(); ++t)
+    for (const auto& [core, threads] : alloc.cores[t])
+      for (int s = 0; s < threads; ++s) out.push_back(index(static_cast<int>(t), core, s));
+  return out;
+}
+
+std::vector<int> SlotMap::all_slots() const {
+  std::vector<int> out(static_cast<std::size_t>(num_slots()));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+}  // namespace harp::sim

@@ -1,0 +1,51 @@
+// Hardware-thread (slot) indexing for the simulated machine.
+//
+// A slot is one hardware thread: (core type, physical core, SMT index).
+// The simulator flattens these into dense indices; policies reason about
+// slot sets, and the spreader uses the capacity-ordered fill sequence that
+// mirrors how Linux places load on hybrid parts (fast cores first, SMT
+// siblings last).
+#pragma once
+
+#include <vector>
+
+#include "src/platform/hardware.hpp"
+#include "src/platform/resource_vector.hpp"
+
+namespace harp::sim {
+
+struct Slot {
+  int type = 0;
+  int core = 0;
+  int smt = 0;
+};
+
+/// Dense slot index <-> (type, core, smt) mapping for one machine.
+class SlotMap {
+ public:
+  explicit SlotMap(const platform::HardwareDescription& hw);
+
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  const Slot& slot(int index) const;
+  int index(int type, int core, int smt) const;
+
+  /// All slot indices covered by a concrete core allocation: for each
+  /// (core, k-threads) entry, its first k SMT slots.
+  std::vector<int> slots_of(const platform::CoreAllocation& alloc) const;
+
+  /// Every slot of the machine.
+  std::vector<int> all_slots() const;
+
+  /// Capacity-ordered fill sequence: first-SMT slots of all types in
+  /// descending per-thread throughput, then higher SMT levels. A load
+  /// balancer walking this order reproduces Linux's hybrid-aware behaviour
+  /// of filling fast cores before SMT siblings.
+  const std::vector<int>& spread_order() const { return spread_order_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::vector<std::vector<std::vector<int>>> by_position_;  // [type][core][smt]
+  std::vector<int> spread_order_;
+};
+
+}  // namespace harp::sim

@@ -1,0 +1,166 @@
+// Unit tests for src/common: results, checks, stats, RNG, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/result.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/strings.hpp"
+
+namespace harp {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(make_error("io: nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "io: nope");
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_THROW(s.error(), std::logic_error);
+}
+
+TEST(Status, CarriesError) {
+  Status s(make_error("bad"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "bad");
+}
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(HARP_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) { EXPECT_THROW(HARP_CHECK(false), CheckFailure); }
+
+TEST(Check, MessageIncludesContext) {
+  try {
+    HARP_CHECK_MSG(false, "index " << 7);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("index 7"), std::string::npos);
+  }
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Ema, FirstSampleInitialises) {
+  Ema ema(0.1);
+  EXPECT_FALSE(ema.has_value());
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(Ema, SmoothsTowardsSamples) {
+  Ema ema(0.1);
+  ema.add(10.0);
+  ema.add(20.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 11.0);  // 0.1*20 + 0.9*10
+  ema.reset();
+  EXPECT_FALSE(ema.has_value());
+}
+
+TEST(Ema, RejectsInvalidAlpha) {
+  EXPECT_THROW(Ema(0.0), CheckFailure);
+  EXPECT_THROW(Ema(1.5), CheckFailure);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), CheckFailure);
+}
+
+TEST(Stats, Mape) {
+  EXPECT_NEAR(mape({110.0, 90.0}, {100.0, 100.0}), 0.10, 1e-12);
+  EXPECT_EQ(mape({1.0}, {0.0}), 0.0);  // zero truth entries skipped
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, NoiseFactorStaysPositive) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.noise_factor(0.5), 0.0);
+}
+
+TEST(Rng, GaussianMomentsRoughlyMatch) {
+  Rng rng(42);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.fork();
+  EXPECT_NE(a.uniform(), child.uniform());
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("parse: bad", "parse:"));
+  EXPECT_FALSE(starts_with("io", "io:"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_factor(1.375), "1.38x");
+}
+
+}  // namespace
+}  // namespace harp

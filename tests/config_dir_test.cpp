@@ -1,0 +1,110 @@
+// Tests for the /etc/harp-style configuration directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/harp/config_dir.hpp"
+#include "src/harp/dse.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ConfigDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/harp_config_test";
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(ConfigDirTest, SanitizesFilenames) {
+  EXPECT_EQ(sanitize_app_filename("mg.C"), "mg.C");
+  EXPECT_EQ(sanitize_app_filename("a/b c"), "a_b_c");
+  EXPECT_EQ(sanitize_app_filename("../etc/passwd"), ".._etc_passwd");
+  EXPECT_EQ(sanitize_app_filename(""), "_");
+}
+
+TEST_F(ConfigDirTest, EnsureCreatesLayout) {
+  ConfigDirectory config(root_);
+  ASSERT_TRUE(config.ensure_exists().ok());
+  EXPECT_TRUE(fs::is_directory(root_ + "/apps"));
+}
+
+TEST_F(ConfigDirTest, HardwareRoundTrip) {
+  ConfigDirectory config(root_);
+  ASSERT_TRUE(config.save_hardware(platform::odroid_xu3e()).ok());
+  auto loaded = config.load_hardware();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().name, platform::odroid_xu3e().name);
+}
+
+TEST_F(ConfigDirTest, MissingHardwareIsError) {
+  ConfigDirectory config(root_);
+  EXPECT_FALSE(config.load_hardware().ok());
+}
+
+TEST_F(ConfigDirTest, TableRoundTrip) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  OperatingPointTable table = run_offline_dse(catalog.app("mg.C"), hw);
+
+  ConfigDirectory config(root_);
+  ASSERT_TRUE(config.save_table(table).ok());
+  std::optional<OperatingPointTable> loaded = config.load_table("mg.C");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), table.size());
+  EXPECT_FALSE(config.load_table("nope").has_value());
+}
+
+TEST_F(ConfigDirTest, LoadTablesSkipsCorruptFiles) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  ConfigDirectory config(root_);
+  ASSERT_TRUE(config.save_table(run_offline_dse(catalog.app("ep.C"), hw)).ok());
+  ASSERT_TRUE(config.save_table(run_offline_dse(catalog.app("mg.C"), hw)).ok());
+  {
+    std::ofstream corrupt(root_ + "/apps/broken.json");
+    corrupt << "{not json";
+  }
+  {
+    std::ofstream ignored(root_ + "/apps/notes.txt");
+    ignored << "hello";
+  }
+  auto tables = config.load_tables();
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables.value().size(), 2u);
+  EXPECT_TRUE(tables.value().count("ep.C") > 0);
+  EXPECT_TRUE(tables.value().count("mg.C") > 0);
+}
+
+TEST_F(ConfigDirTest, LoadTablesFromEmptyDirectory) {
+  ConfigDirectory config(root_);
+  auto tables = config.load_tables();
+  ASSERT_TRUE(tables.ok());
+  EXPECT_TRUE(tables.value().empty());
+}
+
+TEST_F(ConfigDirTest, InitializeWritesEverything) {
+  platform::HardwareDescription hw = platform::odroid_xu3e();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::odroid();
+  std::map<std::string, OperatingPointTable> tables;
+  tables["lms"] = run_offline_dse(catalog.app("lms"), hw);
+  tables["mg.A"] = run_offline_dse(catalog.app("mg.A"), hw);
+
+  ConfigDirectory config(root_);
+  ASSERT_TRUE(config.initialize(hw, tables).ok());
+  ASSERT_TRUE(config.load_hardware().ok());
+  auto loaded = config.load_tables();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace harp::core

@@ -1,0 +1,139 @@
+// Tests for the DVFS extension (§7 outlook): the frequency-aware behaviour
+// model and the (allocation × frequency) allocator prototype.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/harp/dse.hpp"
+#include "src/harp/dvfs.hpp"
+#include "src/harp/policy.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+#include "src/sched/baselines.hpp"
+#include "src/sim/runner.hpp"
+
+namespace harp::core {
+namespace {
+
+platform::HardwareDescription hw() { return platform::raptor_lake(); }
+
+TEST(DvfsModel, ThroughputScalesLinearly) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("pi");  // compute bound
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(hw(), {8, 0});
+  model::AppRates full = model::exclusive_rates(app, hw(), erv, 0.0, 1.0);
+  model::AppRates half = model::exclusive_rates(app, hw(), erv, 0.0, 0.5);
+  EXPECT_NEAR(half.useful_gips, 0.5 * full.useful_gips, 0.02 * full.useful_gips);
+}
+
+TEST(DvfsModel, PowerHasLeakageFloor) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("pi");
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(hw(), {8, 0});
+  model::AppRates full = model::exclusive_rates(app, hw(), erv, 0.0, 1.0);
+  model::AppRates slow = model::exclusive_rates(app, hw(), erv, 0.0, 0.7);
+  // Power drops super-linearly in the dynamic share but never below the
+  // leakage floor.
+  EXPECT_LT(slow.power_w, full.power_w);
+  EXPECT_GT(slow.power_w, model::kDvfsLeakageShare * full.power_w);
+}
+
+TEST(DvfsModel, EnergyPerWorkTradeDependsOnBoundness) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(hw(), {8, 0});
+  // Compute-bound: energy-per-work (p/v) barely improves from slowing down
+  // because the leakage floor dominates while time stretches.
+  const model::AppBehavior& compute = catalog.app("pi");
+  model::AppRates c_full = model::exclusive_rates(compute, hw(), erv, 0.0, 1.0);
+  model::AppRates c_slow = model::exclusive_rates(compute, hw(), erv, 0.0, 0.7);
+  double c_gain = (c_full.power_w / c_full.useful_gips) / (c_slow.power_w / c_slow.useful_gips);
+  // Bandwidth-saturated (mg on the full machine sits far above the memory
+  // ceiling): useful rate barely drops, power does — clear win.
+  const model::AppBehavior& memory = catalog.app("mg.C");
+  platform::ExtendedResourceVector full_machine = platform::ExtendedResourceVector::full(hw());
+  model::AppRates m_full = model::exclusive_rates(memory, hw(), full_machine, 0.0, 1.0);
+  model::AppRates m_slow = model::exclusive_rates(memory, hw(), full_machine, 0.0, 0.7);
+  double m_gain = (m_full.power_w / m_full.useful_gips) / (m_slow.power_w / m_slow.useful_gips);
+  EXPECT_GT(m_gain, c_gain);
+  EXPECT_GT(m_gain, 1.1);
+}
+
+TEST(DvfsModel, ValidatesFrequency) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("pi");
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(hw(), {1, 0});
+  EXPECT_THROW(model::exclusive_rates(app, hw(), erv, 0.0, 0.0), CheckFailure);
+  EXPECT_THROW(model::exclusive_rates(app, hw(), erv, 0.0, 1.5), CheckFailure);
+}
+
+TEST(DvfsDse, PerLevelTablesScale) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  DseOptions slow;
+  slow.freq_scale = 0.7;
+  OperatingPointTable full = run_offline_dse(catalog.app("pi"), hw());
+  OperatingPointTable reduced = run_offline_dse(catalog.app("pi"), hw(), slow);
+  EXPECT_LT(reduced.utility_max(), full.utility_max());
+}
+
+TEST(DvfsPolicy, RejectsBadLevels) {
+  DvfsOptions missing_max;
+  missing_max.freq_levels = {0.8, 0.6};
+  EXPECT_THROW(DvfsHarpPolicy{missing_max}, CheckFailure);
+  DvfsOptions out_of_range;
+  out_of_range.freq_levels = {1.0, 1.2};
+  EXPECT_THROW(DvfsHarpPolicy{out_of_range}, CheckFailure);
+}
+
+TEST(DvfsPolicy, ComputeBoundAppsRaceToIdle) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  DvfsHarpPolicy policy;
+  sim::RunOptions options;
+  double freq = 0.0;
+  options.tick_hook = [&](double) {
+    auto active = policy.active_frequencies();
+    if (!active.empty()) freq = active.begin()->second;
+  };
+  sim::ScenarioRunner runner(hw(), catalog, model::Scenario{"pi", {{"pi", 0.0}}}, options);
+  (void)runner.run(policy);
+  EXPECT_DOUBLE_EQ(freq, 1.0);
+}
+
+TEST(DvfsPolicy, SavesEnergyOnBandwidthBoundApp) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  auto run_with = [&](sim::Policy& policy) {
+    sim::RunOptions options;
+    options.seed = 9;
+    sim::ScenarioRunner runner(hw(), catalog, model::Scenario{"bt.C", {{"bt.C", 0.0}}},
+                               options);
+    return runner.run(policy);
+  };
+  DvfsHarpPolicy dvfs;
+  sim::RunResult with_dvfs = run_with(dvfs);
+
+  std::map<std::string, OperatingPointTable> offline;
+  offline["bt.C"] = run_offline_dse(catalog.app("bt.C"), hw());
+  HarpOptions fixed;
+  fixed.mode = HarpOptions::Mode::kOffline;
+  fixed.offline_tables = offline;
+  HarpPolicy plain(fixed);
+  sim::RunResult without = run_with(plain);
+
+  EXPECT_LT(with_dvfs.package_energy_j, without.package_energy_j);
+}
+
+TEST(DvfsPolicy, MultiAppAllocationsStayFeasible) {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  DvfsHarpPolicy policy;
+  sim::RunOptions options;
+  options.seed = 4;
+  model::Scenario scenario{"mix", {{"ep.C", 0.0}, {"bt.C", 0.0}, {"mg.C", 0.0}}};
+  sim::ScenarioRunner runner(hw(), catalog, scenario, options);
+  sim::RunResult result = runner.run(policy);
+  for (const sim::AppRunStats& app : result.apps) EXPECT_EQ(app.completions, 1);
+}
+
+}  // namespace
+}  // namespace harp::core

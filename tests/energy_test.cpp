@@ -1,0 +1,88 @@
+// Tests for the EnergAt-style energy attribution (§5.1, Eq. 3).
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/energy/attribution.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::energy {
+namespace {
+
+TEST(Attributor, CoefficientsComeFromHardware) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  EnergyAttributor attributor(hw);
+  ASSERT_EQ(attributor.coefficients().size(), 2u);
+  // γ relative to the efficient type: P / E power ratio; E itself is 1.
+  EXPECT_NEAR(attributor.coefficients()[0],
+              hw.core_types[0].active_power_w / hw.core_types[1].active_power_w, 1e-12);
+  EXPECT_DOUBLE_EQ(attributor.coefficients()[1], 1.0);
+  EXPECT_GT(attributor.idle_baseline_w(), hw.uncore_power_w);
+}
+
+TEST(Attributor, SplitsProportionallyOnOneType) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  EnergyAttributor attributor(hw);
+  // Two apps, E-cores only, app0 with twice the CPU time of app1.
+  double window = 1.0;
+  double dynamic = 30.0;
+  double package = dynamic + attributor.idle_baseline_w() * window;
+  std::vector<std::vector<double>> cpu{{0.0, 2.0}, {0.0, 1.0}};
+  std::vector<double> out = attributor.attribute(package, window, cpu);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], 20.0, 1e-9);
+  EXPECT_NEAR(out[1], 10.0, 1e-9);
+}
+
+TEST(Attributor, GammaWeightsFastCores) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  EnergyAttributor attributor(hw);
+  double gamma = attributor.coefficients()[0];
+  double window = 1.0;
+  double dynamic = 100.0;
+  double package = dynamic + attributor.idle_baseline_w() * window;
+  // Equal CPU time, one app on P, one on E: split must follow γ : 1.
+  std::vector<std::vector<double>> cpu{{1.0, 0.0}, {0.0, 1.0}};
+  std::vector<double> out = attributor.attribute(package, window, cpu);
+  EXPECT_NEAR(out[0] / out[1], gamma, 1e-9);
+  EXPECT_NEAR(out[0] + out[1], dynamic, 1e-9);
+}
+
+TEST(Attributor, FullEnergyConservation) {
+  platform::HardwareDescription hw = platform::odroid_xu3e();
+  EnergyAttributor attributor(hw);
+  double window = 2.0;
+  double dynamic = 8.0;
+  double package = dynamic + attributor.idle_baseline_w() * window;
+  std::vector<std::vector<double>> cpu{{1.0, 0.5}, {0.5, 2.0}, {0.0, 1.0}};
+  std::vector<double> out = attributor.attribute(package, window, cpu);
+  double total = out[0] + out[1] + out[2];
+  EXPECT_NEAR(total, dynamic, 1e-9);
+}
+
+TEST(Attributor, NoCpuTimeMeansNoEnergy) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  EnergyAttributor attributor(hw);
+  std::vector<std::vector<double>> cpu{{0.0, 0.0}};
+  std::vector<double> out = attributor.attribute(100.0, 1.0, cpu);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Attributor, BelowBaselineWindowYieldsZero) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  EnergyAttributor attributor(hw);
+  std::vector<std::vector<double>> cpu{{1.0, 1.0}};
+  // Package reading below the static baseline (deep idle / noise): clamp.
+  std::vector<double> out =
+      attributor.attribute(0.5 * attributor.idle_baseline_w(), 1.0, cpu);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Attributor, ValidatesInput) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  EnergyAttributor attributor(hw);
+  EXPECT_THROW(attributor.attribute(10.0, 0.0, {{1.0, 1.0}}), CheckFailure);
+  EXPECT_THROW(attributor.attribute(10.0, 1.0, {{1.0}}), CheckFailure);  // wrong arity
+}
+
+}  // namespace
+}  // namespace harp::energy

@@ -1,0 +1,171 @@
+// Tests for the runtime exploration engine (§5.3): maturity stages, the
+// initial farthest-point heuristic, refinement-stage anomaly priority and
+// model-discrepancy selection, budget handling, and the NFC surrogate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/check.hpp"
+#include "src/harp/exploration.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::core {
+namespace {
+
+platform::HardwareDescription hw() { return platform::raptor_lake(); }
+
+platform::ExtendedResourceVector erv(int p, int e) {
+  return platform::ExtendedResourceVector::from_threads(hw(), {p, e});
+}
+
+/// Record a fully measured configuration using the ground-truth model.
+void measure(OperatingPointTable& table, const model::AppBehavior& app,
+             const platform::ExtendedResourceVector& config, int times = 20) {
+  model::AppRates rates = model::exclusive_rates(app, hw(), config, 0.0);
+  for (int i = 0; i < times; ++i)
+    table.record_measurement(config, rates.measured_gips, rates.power_w);
+}
+
+TEST(Stage, ThresholdsFollowConfig) {
+  platform::HardwareDescription machine = hw();
+  ExplorationConfig config;
+  AppExplorer explorer(machine, config);
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("ft.C");
+
+  OperatingPointTable table("ft.C");
+  EXPECT_EQ(explorer.stage(table), MaturityStage::kInitial);
+  std::vector<platform::ExtendedResourceVector> all = platform::enumerate_coarse_points(machine);
+  for (int i = 0; i < config.initial_points; ++i) measure(table, app, all[static_cast<std::size_t>(i * 7)]);
+  EXPECT_EQ(explorer.stage(table), MaturityStage::kRefinement);
+  for (int i = config.initial_points; i < config.stable_points; ++i)
+    measure(table, app, all[static_cast<std::size_t>(i * 7)]);
+  EXPECT_EQ(explorer.stage(table), MaturityStage::kStable);
+  EXPECT_EQ(explorer.measured_configs(table), config.stable_points);
+}
+
+TEST(Stage, PartialMeasurementsDoNotCount) {
+  AppExplorer explorer(hw(), ExplorationConfig{});
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  OperatingPointTable table("ft.C");
+  measure(table, catalog.app("ft.C"), erv(4, 4), 19);  // one short of 20
+  EXPECT_EQ(explorer.measured_configs(table), 0);
+  EXPECT_EQ(explorer.stage(table), MaturityStage::kInitial);
+}
+
+TEST(SelectNext, FirstPickIsLargestInBudget) {
+  AppExplorer explorer(hw(), ExplorationConfig{});
+  OperatingPointTable table("fresh");
+  auto pick = explorer.select_next(table, {4, 8});
+  ASSERT_TRUE(pick.has_value());
+  // Largest thread count within (4 P-cores, 8 E-cores) = 8 P-threads + 8 E.
+  EXPECT_EQ(pick->total_threads(), 16);
+  EXPECT_LE(pick->cores_used(0), 4);
+  EXPECT_LE(pick->cores_used(1), 8);
+}
+
+TEST(SelectNext, InitialStageMaximisesDiversity) {
+  platform::HardwareDescription machine = hw();
+  AppExplorer explorer(machine, ExplorationConfig{});
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  OperatingPointTable table("ft.C");
+  platform::ExtendedResourceVector full = platform::ExtendedResourceVector::full(machine);
+  measure(table, catalog.app("ft.C"), full);
+  auto pick = explorer.select_next(table, {8, 16});
+  ASSERT_TRUE(pick.has_value());
+  // Farthest-point sampling: the pick must be a distant corner of the
+  // configuration space, far from the measured full-machine point.
+  EXPECT_GT(pick->normalized_distance(full, machine), 1.5);
+}
+
+TEST(SelectNext, NeverRepeatsMeasuredConfigs) {
+  platform::HardwareDescription machine = hw();
+  ExplorationConfig config;
+  AppExplorer explorer(machine, config);
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("cg.C");
+  OperatingPointTable table("cg.C");
+  std::set<platform::ExtendedResourceVector> visited;
+  for (int step = 0; step < 30; ++step) {
+    auto pick = explorer.select_next(table, {8, 16});
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(visited.insert(*pick).second) << "re-selected a measured config";
+    measure(table, app, *pick);
+  }
+}
+
+TEST(SelectNext, RespectsBudget) {
+  platform::HardwareDescription machine = hw();
+  AppExplorer explorer(machine, ExplorationConfig{});
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("cg.C");
+  OperatingPointTable table("cg.C");
+  for (int step = 0; step < 10; ++step) {
+    auto pick = explorer.select_next(table, {2, 3});
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_LE(pick->cores_used(0), 2);
+    EXPECT_LE(pick->cores_used(1), 3);
+    measure(table, app, *pick);
+  }
+}
+
+TEST(SelectNext, ExhaustedBudgetReturnsNothing) {
+  platform::HardwareDescription machine = hw();
+  AppExplorer explorer(machine, ExplorationConfig{});
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("cg.C");
+  OperatingPointTable table("cg.C");
+  // Budget (1 P-core, 0 E): the only configurations are P[1x1t] and P[1x2t].
+  int picks = 0;
+  while (picks < 10) {
+    auto pick = explorer.select_next(table, {1, 0});
+    if (!pick.has_value()) break;
+    measure(table, app, *pick);
+    ++picks;
+  }
+  EXPECT_EQ(explorer.measured_configs(table), 2);
+}
+
+TEST(NfcModel, PredictsMeasuredSurface) {
+  platform::HardwareDescription machine = hw();
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("sp.C");
+  std::vector<OperatingPoint> measured;
+  std::vector<platform::ExtendedResourceVector> all = platform::enumerate_coarse_points(machine);
+  for (std::size_t i = 0; i < all.size(); i += 17) {
+    model::AppRates rates = model::exclusive_rates(app, machine, all[i], 0.0);
+    OperatingPoint p;
+    p.erv = all[i];
+    p.nfc = {rates.measured_gips, rates.power_w};
+    measured.push_back(p);
+  }
+  NfcModel surrogate(2);
+  surrogate.fit(measured, 3, true);
+  ASSERT_TRUE(surrogate.trained());
+  // Held-out configs predicted within 30 %.
+  double total_err = 0.0;
+  int n = 0;
+  for (std::size_t i = 5; i < all.size(); i += 23) {
+    model::AppRates rates = model::exclusive_rates(app, machine, all[i], 0.0);
+    NonFunctional pred = surrogate.predict(all[i]);
+    total_err += std::abs(pred.utility - rates.measured_gips) / rates.measured_gips;
+    ++n;
+  }
+  EXPECT_LT(total_err / n, 0.3);
+}
+
+TEST(NfcModel, RequiresData) {
+  NfcModel surrogate(2);
+  EXPECT_THROW(surrogate.fit({}, 3, false), CheckFailure);
+  EXPECT_THROW(surrogate.predict(erv(1, 0)), CheckFailure);
+}
+
+TEST(StageNames, Render) {
+  EXPECT_STREQ(to_string(MaturityStage::kInitial), "initial");
+  EXPECT_STREQ(to_string(MaturityStage::kRefinement), "refinement");
+  EXPECT_STREQ(to_string(MaturityStage::kStable), "stable");
+}
+
+}  // namespace
+}  // namespace harp::core

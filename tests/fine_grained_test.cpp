@@ -1,0 +1,135 @@
+// Tests for fine-grained operating points: validation, the coarse
+// projection sent to the RM, activation matching, and serialisation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/check.hpp"
+#include "src/libharp/fine_grained.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::client {
+namespace {
+
+platform::HardwareDescription hw() { return platform::odroid_xu3e(); }
+
+FineGrainedPoint make_point(int big, int little, double utility, double power) {
+  FineGrainedPoint p;
+  p.erv = platform::ExtendedResourceVector::from_threads(hw(), {big, little});
+  p.utility = utility;
+  p.power_w = power;
+  return p;
+}
+
+TEST(FineGrained, CoarseProjectionHidesDetail) {
+  FineGrainedDescription description("mandelbrot");
+  FineGrainedPoint p = make_point(2, 2, 100.0, 4.0);
+  p.knobs["pipeline_depth"] = 3;
+  p.thread_types = {0, 0, 1, 1};
+  description.add(p);
+
+  auto coarse = description.coarse_points();
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_TRUE(coarse[0].erv == p.erv);
+  EXPECT_DOUBLE_EQ(coarse[0].utility, 100.0);
+  // The wire message format has no field for knobs or thread mappings —
+  // the type system itself enforces §4.1.2's information hiding.
+}
+
+TEST(FineGrained, MatchResolvesActivation) {
+  FineGrainedDescription description("app");
+  FineGrainedPoint fast = make_point(4, 0, 200.0, 6.0);
+  fast.knobs["algorithm"] = 1;
+  FineGrainedPoint efficient = make_point(0, 4, 90.0, 1.5);
+  efficient.knobs["algorithm"] = 2;
+  description.add(fast);
+  description.add(efficient);
+
+  const FineGrainedPoint* match =
+      description.match(platform::ExtendedResourceVector::from_threads(hw(), {0, 4}));
+  ASSERT_NE(match, nullptr);
+  EXPECT_DOUBLE_EQ(match->knobs.at("algorithm"), 2);
+  EXPECT_EQ(description.match(platform::ExtendedResourceVector::from_threads(hw(), {1, 1})),
+            nullptr);
+}
+
+TEST(FineGrained, FirstVariantWinsOnSharedErv) {
+  FineGrainedDescription description("app");
+  FineGrainedPoint a = make_point(2, 0, 50.0, 3.0);
+  a.knobs["variant"] = 1;
+  FineGrainedPoint b = make_point(2, 0, 48.0, 2.9);
+  b.knobs["variant"] = 2;
+  description.add(a);
+  description.add(b);
+  const FineGrainedPoint* match =
+      description.match(platform::ExtendedResourceVector::from_threads(hw(), {2, 0}));
+  ASSERT_NE(match, nullptr);
+  EXPECT_DOUBLE_EQ(match->knobs.at("variant"), 1);
+}
+
+TEST(FineGrained, ValidatesThreadMapping) {
+  FineGrainedDescription description("app");
+  FineGrainedPoint wrong_count = make_point(2, 1, 10.0, 1.0);
+  wrong_count.thread_types = {0, 0};  // 3 threads in the vector, 2 listed
+  EXPECT_THROW(description.add(wrong_count), CheckFailure);
+
+  FineGrainedPoint wrong_split = make_point(2, 1, 10.0, 1.0);
+  wrong_split.thread_types = {0, 1, 1};  // vector says 2 big + 1 LITTLE
+  EXPECT_THROW(description.add(wrong_split), CheckFailure);
+
+  FineGrainedPoint bad_type = make_point(1, 0, 10.0, 1.0);
+  bad_type.thread_types = {7};
+  EXPECT_THROW(description.add(bad_type), CheckFailure);
+
+  FineGrainedPoint ok = make_point(2, 1, 10.0, 1.0);
+  ok.thread_types = {0, 0, 1};
+  EXPECT_NO_THROW(description.add(ok));
+}
+
+TEST(FineGrained, JsonRoundTrip) {
+  FineGrainedDescription description("lms");
+  FineGrainedPoint p = make_point(1, 3, 42.5, 1.75);
+  p.knobs["chains"] = 4;
+  p.knobs["hash_width"] = 256;
+  p.thread_types = {0, 1, 1, 1};
+  description.add(p);
+  description.add(make_point(4, 4, 120.0, 7.0));
+
+  auto restored = FineGrainedDescription::from_json(description.to_json());
+  ASSERT_TRUE(restored.ok());
+  const FineGrainedDescription& r = restored.value();
+  EXPECT_EQ(r.app_name(), "lms");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points()[0].knobs.at("hash_width"), 256);
+  EXPECT_EQ(r.points()[0].thread_types, (std::vector<int>{0, 1, 1, 1}));
+  EXPECT_TRUE(r.points()[1].knobs.empty());
+}
+
+TEST(FineGrained, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/harp_fine_test.json";
+  FineGrainedDescription description("kpn");
+  description.add(make_point(2, 2, 60.0, 3.5));
+  ASSERT_TRUE(description.save(path).ok());
+  auto loaded = FineGrainedDescription::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FineGrained, FromJsonValidates) {
+  EXPECT_FALSE(FineGrainedDescription::from_json(json::Value(1.0)).ok());
+  EXPECT_FALSE(FineGrainedDescription::from_json(
+                   json::parse(R"({"application":"x","points":[{"resources":[[1]],
+                                   "utility":-5,"power":1}]})")
+                       .value())
+                   .ok());
+  // Inconsistent thread mapping is rejected as a parse error, not a crash.
+  EXPECT_FALSE(FineGrainedDescription::from_json(
+                   json::parse(R"({"application":"x","points":[{"resources":[[1],[0]],
+                                   "utility":5,"power":1,"threads":[0,0]}]})")
+                       .value())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace harp::client

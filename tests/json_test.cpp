@@ -1,0 +1,132 @@
+// Unit tests for the JSON substrate: parsing, error reporting, round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/check.hpp"
+#include "src/json/json.hpp"
+
+namespace harp::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").value().is_null());
+  EXPECT_EQ(parse("true").value().as_bool(), true);
+  EXPECT_EQ(parse("false").value().as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("3.5").value().as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-2e3").value().as_number(), -2000.0);
+  EXPECT_EQ(parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParse, NestedDocument) {
+  auto r = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(r.ok());
+  const Value& v = r.value();
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto r = parse(R"("a\n\t\"\\A")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().as_string(), "a\n\t\"\\A");
+}
+
+TEST(JsonParse, UnicodeEscapeMultibyte) {
+  auto r = parse(R"("é€")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().as_string(), "\xC3\xA9\xE2\x82\xAC");  // é €
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  auto r = parse("{} x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("trailing"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsTrailingComma) {
+  EXPECT_FALSE(parse("[1, 2,]").ok());
+  EXPECT_FALSE(parse(R"({"a": 1,})").ok());
+}
+
+TEST(JsonParse, RejectsBareWords) { EXPECT_FALSE(parse("hello").ok()); }
+
+TEST(JsonParse, RejectsUnterminatedString) { EXPECT_FALSE(parse("\"abc").ok()); }
+
+TEST(JsonParse, RejectsControlCharInString) {
+  std::string s = "\"a\nb\"";
+  EXPECT_FALSE(parse(s).ok());
+}
+
+TEST(JsonParse, ErrorCarriesLineAndColumn) {
+  auto r = parse("{\n  \"a\": @\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsNonFiniteNumbers) {
+  EXPECT_FALSE(parse("1e999").ok());
+  EXPECT_FALSE(parse("NaN").ok());
+}
+
+TEST(JsonValue, TypedAccessorsChecked) {
+  Value v(3.0);
+  EXPECT_THROW(v.as_string(), CheckFailure);
+  EXPECT_THROW(v.at("k"), CheckFailure);
+  EXPECT_EQ(v.as_int(), 3);
+  EXPECT_THROW(Value(3.5).as_int(), CheckFailure);
+}
+
+TEST(JsonValue, DefaultedLookups) {
+  Value v = parse(R"({"n": 2, "s": "x", "b": true})").value();
+  EXPECT_DOUBLE_EQ(v.number_or("n", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(v.int_or("missing", 7), 7);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("missing", "d"), "d");
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_TRUE(v.bool_or("missing", true));
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const char* text = R"({"a":[1,2.5,"s"],"b":{"c":null,"d":false}})";
+  Value v = parse(text).value();
+  EXPECT_EQ(dump(v), text);
+}
+
+TEST(JsonDump, PrettyReparsesEqual) {
+  Value v = parse(R"({"a": [1, {"b": [true, null]}], "z": "end"})").value();
+  Value reparsed = parse(dump(v, 2)).value();
+  EXPECT_TRUE(v == reparsed);
+}
+
+TEST(JsonDump, EscapesSpecialCharacters) {
+  Value v(std::string("a\"b\\c\nd"));
+  EXPECT_EQ(dump(v), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimal) {
+  EXPECT_EQ(dump(Value(42.0)), "42");
+  EXPECT_EQ(dump(Value(-1.0)), "-1");
+}
+
+TEST(JsonFile, SaveAndLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/harp_json_test.json";
+  Value v = parse(R"({"hw": {"cores": [8, 16]}})").value();
+  ASSERT_TRUE(save_file(path, v).ok());
+  auto loaded = load_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value() == v);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFile, MissingFileIsError) {
+  auto r = load_file("/nonexistent/harp.json");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("io:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harp::json

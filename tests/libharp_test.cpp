@@ -1,0 +1,238 @@
+// Integration tests for libharp + the RM daemon: the full Fig. 3 control
+// flow over the in-process transport (deterministic) and real sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/harp/dse.hpp"
+#include "src/harp/rm_server.hpp"
+#include "src/libharp/client.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp {
+namespace {
+
+/// Drives an RmServer from a helper thread so blocking client calls (the
+/// registration handshake) can complete in a single-process test.
+class RmHarness {
+ public:
+  explicit RmHarness(platform::HardwareDescription hw) : rm_(std::move(hw)) {
+    thread_ = std::thread([this] {
+      auto t0 = std::chrono::steady_clock::now();
+      while (!stop_.load()) {
+        rm_.poll(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  ~RmHarness() {
+    stop_ = true;
+    thread_.join();
+  }
+  core::RmServer& rm() { return rm_; }
+
+ private:
+  core::RmServer rm_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+std::vector<ipc::OperatingPointsMsg::Point> table_points(
+    const core::OperatingPointTable& table) {
+  std::vector<ipc::OperatingPointsMsg::Point> out;
+  for (const core::OperatingPoint& p : table.points(0))
+    out.push_back({p.erv, p.nfc.utility, p.nfc.power_w});
+  return out;
+}
+
+TEST(LibharpClient, RegistersOverChannel) {
+  RmHarness harness(platform::raptor_lake());
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  harness.rm().adopt_channel(std::move(rm_end));
+
+  client::Config config;
+  config.app_name = "demo";
+  auto connected = client::HarpClient::over_channel(std::move(app_end), config);
+  ASSERT_TRUE(connected.ok()) << connected.error().message;
+  EXPECT_GE(connected.value()->app_id(), 1);
+  EXPECT_EQ(connected.value()->app_name(), "demo");
+  // Allow the RM to count the client before checking.
+  for (int i = 0; i < 100 && harness.rm().client_count() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(harness.rm().client_count(), 1u);
+}
+
+TEST(LibharpClient, ValidatesConfig) {
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  (void)rm_end;
+  client::Config config;  // missing app_name
+  EXPECT_FALSE(client::HarpClient::over_channel(std::move(app_end), config).ok());
+
+  auto [rm_end2, app_end2] = ipc::make_in_process_pair();
+  (void)rm_end2;
+  client::Config wants_utility;
+  wants_utility.app_name = "x";
+  wants_utility.provides_utility = true;  // …but no provider callback
+  EXPECT_FALSE(client::HarpClient::over_channel(std::move(app_end2), wants_utility).ok());
+}
+
+TEST(LibharpClient, ReceivesActivationAfterSubmittingPoints) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  RmHarness harness(hw);
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  harness.rm().adopt_channel(std::move(rm_end));
+
+  client::Config config;
+  config.app_name = "mg.C";
+  config.adaptivity = ipc::WireAdaptivity::kScalable;
+  auto connected = client::HarpClient::over_channel(std::move(app_end), config);
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).take();
+
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  core::OperatingPointTable table = core::run_offline_dse(catalog.app("mg.C"), hw);
+  ASSERT_TRUE(client->submit_operating_points(table_points(table)).ok());
+
+  for (int i = 0; i < 500 && !client->current_activation().has_value(); ++i) {
+    (void)client->poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(client->current_activation().has_value());
+  const client::Activation& activation = *client->current_activation();
+  EXPECT_GT(activation.parallelism, 0);
+  EXPECT_FALSE(activation.cores.empty());
+  EXPECT_TRUE(activation.erv.fits(hw));
+  EXPECT_EQ(client->recommended_parallelism(1), activation.parallelism);
+  // §4.1.3: the hook takes the max of user request and RM assignment.
+  EXPECT_EQ(client->recommended_parallelism(64), 64);
+}
+
+TEST(LibharpClient, CustomCallbackInvokedOnActivation) {
+  platform::HardwareDescription hw = platform::odroid_xu3e();
+  RmHarness harness(hw);
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  harness.rm().adopt_channel(std::move(rm_end));
+
+  int activations = 0;
+  client::Callbacks callbacks;
+  callbacks.on_activate = [&](const client::Activation&) { ++activations; };
+  client::Config config;
+  config.app_name = "mandelbrot";
+  config.adaptivity = ipc::WireAdaptivity::kCustom;
+  auto connected =
+      client::HarpClient::over_channel(std::move(app_end), config, std::move(callbacks));
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).take();
+  ASSERT_TRUE(client
+                  ->submit_operating_points(
+                      {{platform::ExtendedResourceVector::from_threads(hw, {4, 0}), 100.0, 6.0},
+                       {platform::ExtendedResourceVector::from_threads(hw, {0, 4}), 50.0, 1.2}})
+                  .ok());
+  for (int i = 0; i < 500 && activations == 0; ++i) {
+    (void)client->poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(activations, 1);
+  EXPECT_TRUE(client->current_activation()->rebalance);  // custom apps rebalance
+}
+
+TEST(LibharpClient, UtilityFeedbackReachesRm) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  RmHarness harness(hw);
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  harness.rm().adopt_channel(std::move(rm_end));
+
+  client::Callbacks callbacks;
+  callbacks.utility_provider = [] { return 321.5; };
+  client::Config config;
+  config.app_name = "vgg";
+  config.provides_utility = true;
+  auto connected =
+      client::HarpClient::over_channel(std::move(app_end), config, std::move(callbacks));
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).take();
+
+  // The RM polls utility on its interval (default 1 s); pump the client.
+  for (int i = 0; i < 3000 && harness.rm().last_utility("vgg") == 0.0; ++i) {
+    (void)client->poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_DOUBLE_EQ(harness.rm().last_utility("vgg"), 321.5);
+}
+
+TEST(LibharpClient, TwoClientsGetDisjointGrants) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  RmHarness harness(hw);
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+
+  auto make_client = [&](const std::string& name) {
+    auto [rm_end, app_end] = ipc::make_in_process_pair();
+    harness.rm().adopt_channel(std::move(rm_end));
+    client::Config config;
+    config.app_name = name;
+    auto connected = client::HarpClient::over_channel(std::move(app_end), config);
+    EXPECT_TRUE(connected.ok());
+    auto client = std::move(connected).take();
+    core::OperatingPointTable table = core::run_offline_dse(catalog.app(name), hw);
+    EXPECT_TRUE(client->submit_operating_points(table_points(table)).ok());
+    return client;
+  };
+  auto a = make_client("ep.C");
+  auto b = make_client("mg.C");
+
+  for (int i = 0; i < 1000; ++i) {
+    (void)a->poll();
+    (void)b->poll();
+    if (a->current_activation().has_value() && b->current_activation().has_value()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(a->current_activation().has_value());
+  ASSERT_TRUE(b->current_activation().has_value());
+
+  std::set<std::pair<int, int>> cores;
+  for (const auto* activation : {&*a->current_activation(), &*b->current_activation()})
+    for (const ipc::ActivateMsg::CoreGrant& grant : activation->cores)
+      EXPECT_TRUE(cores.insert({grant.type, grant.core}).second)
+          << "core granted to both applications";
+}
+
+TEST(LibharpClient, DeregisterDropsClient) {
+  RmHarness harness(platform::raptor_lake());
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  harness.rm().adopt_channel(std::move(rm_end));
+  client::Config config;
+  config.app_name = "temp";
+  auto connected = client::HarpClient::over_channel(std::move(app_end), config);
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).take();
+  for (int i = 0; i < 100 && harness.rm().client_count() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(client->deregister().ok());
+  for (int i = 0; i < 500 && harness.rm().client_count() > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(harness.rm().client_count(), 0u);
+}
+
+TEST(RmServer, FullStackOverUnixSocket) {
+  std::string path = ::testing::TempDir() + "/harp_rm_test.sock";
+  platform::HardwareDescription hw = platform::raptor_lake();
+  RmHarness harness(hw);
+  ASSERT_TRUE(harness.rm().listen(path).ok());
+
+  client::Config config;
+  config.app_name = "socket-app";
+  auto connected = client::HarpClient::connect(path, config);
+  ASSERT_TRUE(connected.ok()) << connected.error().message;
+  auto client = std::move(connected).take();
+  // Without a description file the RM still activates a fair-share grant.
+  for (int i = 0; i < 1000 && !client->current_activation().has_value(); ++i) {
+    (void)client->poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(client->current_activation().has_value());
+}
+
+}  // namespace
+}  // namespace harp

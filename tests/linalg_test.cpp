@@ -1,0 +1,127 @@
+// Unit tests for the linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/linalg/least_squares.hpp"
+#include "src/linalg/matrix.hpp"
+
+namespace harp::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_THROW(m(2, 0), CheckFailure);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), CheckFailure);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatMul) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  EXPECT_THROW(a * Matrix(3, 3), CheckFailure);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  Vector v = a * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, IdentityAndNorm) {
+  Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i.norm(), std::sqrt(3.0));
+  Matrix m = Matrix::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+}
+
+TEST(VectorOps, DotAddSubScaleNorm) {
+  Vector a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ((a + b)[2], 9.0);
+  EXPECT_DOUBLE_EQ((b - a)[0], 3.0);
+  EXPECT_DOUBLE_EQ(scale(a, 2.0)[1], 4.0);
+  EXPECT_DOUBLE_EQ(norm(Vector{3, 4}), 5.0);
+}
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  Matrix s = Matrix::from_rows({{4, 2}, {2, 3}});
+  Matrix l = s;
+  ASSERT_TRUE(cholesky(l));
+  // Check L * Lᵀ == S.
+  Matrix recon = l * l.transposed();
+  EXPECT_NEAR(recon(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(recon(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(recon(1, 1), 3.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix s = Matrix::from_rows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  Matrix l = s;
+  EXPECT_FALSE(cholesky(l));
+}
+
+TEST(SolveSpd, RecoversKnownSolution) {
+  Matrix s = Matrix::from_rows({{4, 1}, {1, 3}});
+  Vector x = solve_spd(s, Vector{1.0, 2.0});
+  EXPECT_NEAR(4 * x[0] + 1 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1 * x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactFitWhenDetermined) {
+  // y = 2x + 1 through design matrix [x 1].
+  Matrix a = Matrix::from_rows({{0, 1}, {1, 1}, {2, 1}});
+  Vector coef = solve_least_squares(a, Vector{1.0, 3.0, 5.0});
+  EXPECT_NEAR(coef[0], 2.0, 1e-6);
+  EXPECT_NEAR(coef[1], 1.0, 1e-6);
+}
+
+TEST(LeastSquares, MinimisesResidualOnNoisyData) {
+  Rng rng(1);
+  std::vector<Vector> rows;
+  Vector y;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.uniform(-2.0, 2.0);
+    rows.push_back({x, 1.0});
+    y.push_back(3.0 * x - 0.5 + rng.gaussian(0.0, 0.01));
+  }
+  Vector coef = solve_least_squares(Matrix::from_rows(rows), y);
+  EXPECT_NEAR(coef[0], 3.0, 0.01);
+  EXPECT_NEAR(coef[1], -0.5, 0.01);
+}
+
+TEST(LeastSquares, RidgeHandlesRankDeficiency) {
+  // Two identical columns: plain normal equations would be singular.
+  Matrix a = Matrix::from_rows({{1, 1}, {2, 2}, {3, 3}});
+  Vector coef = solve_least_squares(a, Vector{2.0, 4.0, 6.0}, 1e-6);
+  // Prediction must still be accurate even though the split is arbitrary.
+  EXPECT_NEAR(coef[0] + coef[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquares, ShapeMismatchThrows) {
+  Matrix a(3, 2);
+  EXPECT_THROW(solve_least_squares(a, Vector{1.0}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace harp::linalg

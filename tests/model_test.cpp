@@ -1,0 +1,332 @@
+// Tests for the application behaviour model: each mechanism (Amdahl,
+// memory bound, SMT, imbalance, contention, oversubscription, IPS
+// inflation, power) is checked in isolation, plus the catalog invariants
+// that the paper's anecdotes rely on.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/model/behavior.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::model {
+namespace {
+
+platform::HardwareDescription hw() { return platform::raptor_lake(); }
+
+AppBehavior plain_app() {
+  AppBehavior app;
+  app.name = "plain";
+  app.ipc = {1.0, 1.0};
+  app.serial_fraction = 0.0;
+  app.mem_fraction = 0.0;
+  app.smt_friendliness = 0.0;
+  app.imbalance_sensitivity = 0.0;
+  app.sync_ips_inflation = 0.0;
+  app.oversub_penalty = 0.0;
+  return app;
+}
+
+ThreadView on_p(int core, int busy = 1, int sharers = 1) {
+  return ThreadView{0, core, sharers, busy};
+}
+ThreadView on_e(int core, int sharers = 1) { return ThreadView{1, core, sharers, 1}; }
+
+TEST(Rates, SingleThreadMatchesBaseRate) {
+  auto machine = hw();
+  AppRates r = compute_rates(plain_app(), machine, {on_p(0)}, machine.memory_gips, 0.0);
+  EXPECT_NEAR(r.useful_gips, machine.core_types[0].base_gips, 1e-9);
+  EXPECT_NEAR(r.measured_gips, r.useful_gips, 1e-9);
+}
+
+TEST(Rates, EmptyPlacementIsZero) {
+  AppRates r = compute_rates(plain_app(), hw(), {}, 1.0, 0.0);
+  EXPECT_EQ(r.useful_gips, 0.0);
+  EXPECT_EQ(r.power_w, 0.0);
+}
+
+TEST(Rates, ThroughputAddsAcrossThreads) {
+  auto machine = hw();
+  AppRates one = compute_rates(plain_app(), machine, {on_p(0)}, machine.memory_gips, 0.0);
+  AppRates two =
+      compute_rates(plain_app(), machine, {on_p(0), on_p(1)}, machine.memory_gips, 0.0);
+  EXPECT_NEAR(two.useful_gips, 2.0 * one.useful_gips, 1e-9);
+}
+
+TEST(Rates, SmtPairGainsLessThanTwoCores) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.smt_friendliness = 1.0;
+  // Two threads on the SMT pair of one core…
+  AppRates pair = compute_rates(app, machine, {on_p(0, 2), on_p(0, 2)}, machine.memory_gips, 0.0);
+  // …versus two threads on two distinct cores.
+  AppRates spread = compute_rates(app, machine, {on_p(0), on_p(1)}, machine.memory_gips, 0.0);
+  double single = machine.core_types[0].base_gips;
+  EXPECT_NEAR(pair.useful_gips, single * (1.0 + machine.core_types[0].smt_gain), 1e-9);
+  EXPECT_LT(pair.useful_gips, spread.useful_gips);
+  EXPECT_GT(pair.useful_gips, single);
+}
+
+TEST(Rates, SmtUnfriendlyAppGainsNothing) {
+  auto machine = hw();
+  AppBehavior app = plain_app();  // smt_friendliness = 0
+  AppRates pair = compute_rates(app, machine, {on_p(0, 2), on_p(0, 2)}, machine.memory_gips, 0.0);
+  EXPECT_NEAR(pair.useful_gips, machine.core_types[0].base_gips, 1e-9);
+}
+
+TEST(Rates, AmdahlCapsSpeedup) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.serial_fraction = 0.5;
+  std::vector<ThreadView> threads;
+  for (int c = 0; c < 8; ++c) threads.push_back(on_p(c));
+  AppRates r = compute_rates(app, machine, threads, machine.memory_gips, 0.0);
+  double single = machine.core_types[0].base_gips;
+  // 50 % serial: even with 8 cores, at most 2x the single-thread rate.
+  EXPECT_LT(r.useful_gips, 2.0 * single + 1e-9);
+  EXPECT_GT(r.useful_gips, 1.5 * single);
+}
+
+TEST(Rates, MemoryBoundAppHitsBandwidthCeiling) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.mem_fraction = 1.0;
+  std::vector<ThreadView> threads;
+  for (int c = 0; c < 8; ++c) threads.push_back(on_p(c));
+  AppRates r = compute_rates(app, machine, threads, machine.memory_gips, 0.0);
+  EXPECT_LE(r.useful_gips, machine.memory_gips + 1e-9);
+  // Halving the bandwidth share halves the fully memory-bound throughput
+  // once the cap binds.
+  AppRates half = compute_rates(app, machine, threads, machine.memory_gips / 2.0, 0.0);
+  EXPECT_LT(half.useful_gips, r.useful_gips);
+}
+
+TEST(Rates, ImbalanceBindsToSlowestThread) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.imbalance_sensitivity = 1.0;
+  // One P thread + one E thread, static partitioning: rate = 2·min.
+  AppRates r = compute_rates(app, machine, {on_p(0), on_e(0)}, machine.memory_gips, 0.0);
+  double e_rate = machine.core_types[1].base_gips;
+  EXPECT_NEAR(r.useful_gips, 2.0 * e_rate, 1e-9);
+  // Full rebalancing recovers the sum.
+  AppRates balanced = compute_rates(app, machine, {on_p(0), on_e(0)}, machine.memory_gips, 1.0);
+  EXPECT_NEAR(balanced.useful_gips,
+              machine.core_types[0].base_gips + machine.core_types[1].base_gips, 1e-9);
+  // Partial mitigation (OS migration mixing) lies strictly between.
+  AppRates mixed = compute_rates(app, machine, {on_p(0), on_e(0)}, machine.memory_gips,
+                                 kOsMigrationMixing);
+  EXPECT_GT(mixed.useful_gips, r.useful_gips);
+  EXPECT_LT(mixed.useful_gips, balanced.useful_gips);
+}
+
+TEST(Rates, SpinningInflatesMeasuredIpsAboveUseful) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.imbalance_sensitivity = 1.0;
+  app.sync_ips_inflation = 0.9;
+  AppRates r = compute_rates(app, machine, {on_p(0), on_e(0)}, machine.memory_gips, 0.0);
+  EXPECT_GT(r.measured_gips, r.useful_gips);
+  // Measured never exceeds the raw issue rate.
+  EXPECT_LE(r.measured_gips,
+            machine.core_types[0].base_gips + machine.core_types[1].base_gips + 1e-9);
+}
+
+TEST(Rates, ContentionMakesMoreThreadsSlower) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.contention = 0.1;
+  app.contention_quadratic = 0.06;
+  std::vector<ThreadView> few{on_p(0), on_p(1), on_p(2), on_p(3)};
+  std::vector<ThreadView> many;
+  for (int c = 0; c < 8; ++c) many.push_back(on_p(c));
+  for (int c = 0; c < 16; ++c) many.push_back(on_e(c));
+  AppRates r_few = compute_rates(app, machine, few, machine.memory_gips, 0.0);
+  AppRates r_many = compute_rates(app, machine, many, machine.memory_gips, 0.0);
+  // The quadratic CAS-storm term makes 24 workers *slower* than 4.
+  EXPECT_LT(r_many.useful_gips, r_few.useful_gips);
+}
+
+TEST(Rates, OversubscriptionSplitsAndPenalises) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.oversub_penalty = 0.5;
+  // Two threads time-sharing one hardware thread yield less than one
+  // exclusive thread (multiplexing overhead + lock-holder preemption).
+  AppRates shared =
+      compute_rates(app, machine, {on_p(0, 1, 2), on_p(0, 1, 2)}, machine.memory_gips, 0.0);
+  AppRates exclusive = compute_rates(app, machine, {on_p(0)}, machine.memory_gips, 0.0);
+  EXPECT_LT(shared.useful_gips, exclusive.useful_gips);
+}
+
+TEST(Rates, PowerScalesWithCoresAndIsSharedAcrossTenants) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  AppRates one = compute_rates(app, machine, {on_p(0)}, machine.memory_gips, 0.0);
+  AppRates two = compute_rates(app, machine, {on_p(0), on_p(1)}, machine.memory_gips, 0.0);
+  EXPECT_NEAR(two.power_w, 2.0 * one.power_w, 1e-9);
+  // A thread sharing a slot is attributed half the slot power.
+  AppRates half = compute_rates(app, machine, {on_p(0, 1, 2)}, machine.memory_gips, 0.0);
+  EXPECT_LT(half.power_w, one.power_w);
+}
+
+TEST(Rates, SpinningKeepsPowerHighWhileSleepingDrops) {
+  auto machine = hw();
+  AppBehavior spinner = plain_app();
+  spinner.imbalance_sensitivity = 1.0;
+  spinner.sync_ips_inflation = 0.95;
+  AppBehavior sleeper = spinner;
+  sleeper.sync_ips_inflation = 0.05;
+  std::vector<ThreadView> views{on_p(0), on_e(0)};
+  AppRates hot = compute_rates(spinner, machine, views, machine.memory_gips, 0.0);
+  AppRates cold = compute_rates(sleeper, machine, views, machine.memory_gips, 0.0);
+  EXPECT_GT(hot.power_w, cold.power_w);
+}
+
+TEST(Rates, RejectsMalformedInput) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.ipc = {1.0};  // wrong arity for a two-type machine
+  EXPECT_THROW(compute_rates(app, machine, {on_p(0)}, 1.0, 0.0), CheckFailure);
+  app = plain_app();
+  EXPECT_THROW(compute_rates(app, machine, {on_p(0)}, 1.0, 1.5), CheckFailure);
+  ThreadView bad{0, 0, 0, 1};  // zero sharers
+  EXPECT_THROW(compute_rates(app, machine, {bad}, 1.0, 0.0), CheckFailure);
+}
+
+TEST(ExclusiveRates, MatchesManualPlacement) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(machine, {2, 3});
+  AppRates from_erv = exclusive_rates(app, machine, erv, 0.0);
+  AppRates manual = compute_rates(
+      app, machine, {on_p(0, 2), on_p(0, 2), on_e(0), on_e(1), on_e(2)}, machine.memory_gips,
+      0.0);
+  EXPECT_NEAR(from_erv.useful_gips, manual.useful_gips, 1e-9);
+  EXPECT_NEAR(from_erv.power_w, manual.power_w, 1e-9);
+}
+
+TEST(PinnedRates, MatchesExclusiveWhenThreadsEqualSlots) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(machine, {4, 2});
+  AppRates exclusive = exclusive_rates(app, machine, erv, 0.0);
+  AppRates pinned = pinned_rates(app, machine, erv, 6, 0.0);
+  EXPECT_NEAR(pinned.useful_gips, exclusive.useful_gips, 1e-9);
+  EXPECT_NEAR(pinned.power_w, exclusive.power_w, 1e-9);
+}
+
+TEST(PinnedRates, OversubscribedThreadsTimeShare) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.oversub_penalty = 0.4;
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(machine, {4, 0});
+  AppRates matched = pinned_rates(app, machine, erv, 4, 0.0);
+  AppRates crowded = pinned_rates(app, machine, erv, 8, 0.0);
+  EXPECT_LT(crowded.useful_gips, matched.useful_gips);
+}
+
+TEST(PinnedRates, FewerThreadsLeaveSlotsIdle) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(machine, {4, 0});
+  AppRates two = pinned_rates(app, machine, erv, 2, 0.0);
+  AppRates four = pinned_rates(app, machine, erv, 4, 0.0);
+  EXPECT_LT(two.useful_gips, four.useful_gips);
+  EXPECT_LT(two.power_w, four.power_w);
+}
+
+TEST(PinnedRates, ValidatesThreadCount) {
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  platform::ExtendedResourceVector erv =
+      platform::ExtendedResourceVector::from_threads(machine, {1, 0});
+  EXPECT_THROW(pinned_rates(app, machine, erv, 0, 0.0), CheckFailure);
+}
+
+TEST(Rates, MemoryStallsDoNotInflateMeasuredIps) {
+  // perf counts retired instructions: spinning at a barrier retires, a
+  // memory-stalled pipeline does not. A fully memory-bound app's measured
+  // IPS must track its useful rate even with high sync_ips_inflation.
+  auto machine = hw();
+  AppBehavior app = plain_app();
+  app.mem_fraction = 1.0;
+  app.sync_ips_inflation = 0.9;
+  std::vector<ThreadView> threads;
+  for (int c = 0; c < 8; ++c) threads.push_back(on_p(c));
+  AppRates r = compute_rates(app, machine, threads, 5.0, 0.0);
+  EXPECT_NEAR(r.measured_gips, r.useful_gips, 1e-9);
+}
+
+// --- Catalog invariants the paper's anecdotes rely on -----------------------
+
+TEST(Catalog, RaptorLakeHasAllBenchmarks) {
+  WorkloadCatalog cat = WorkloadCatalog::raptor_lake();
+  for (const char* name : {"bt.C", "cg.C", "ep.C", "ft.C", "is.C", "lu.C", "mg.C", "sp.C",
+                           "ua.C", "binpack", "fractal", "parallel-preorder", "pi", "primes",
+                           "seismic", "vgg", "alexnet"})
+    EXPECT_TRUE(cat.has_app(name)) << name;
+  EXPECT_EQ(cat.regression_study_apps().size(), 15u);  // §5.2's 15 applications
+  EXPECT_THROW(cat.app("nonexistent"), CheckFailure);
+}
+
+TEST(Catalog, OdroidHasKpnVariants) {
+  WorkloadCatalog cat = WorkloadCatalog::odroid();
+  EXPECT_EQ(cat.app("mandelbrot").adaptivity, AdaptivityType::kCustom);
+  EXPECT_EQ(cat.app("mandelbrot-static").adaptivity, AdaptivityType::kStatic);
+  EXPECT_GT(cat.app("mandelbrot-static").default_threads, 0);
+  EXPECT_TRUE(cat.app("lms").provides_utility);
+}
+
+TEST(Catalog, MgPrefersEfficientCores) {
+  auto machine = hw();
+  WorkloadCatalog cat = WorkloadCatalog::raptor_lake();
+  const AppBehavior& mg = cat.app("mg.C");
+  auto all_e = platform::ExtendedResourceVector::from_threads(machine, {0, 16});
+  auto all_p = platform::ExtendedResourceVector::from_threads(machine, {16, 0});
+  AppRates on_e_rates = exclusive_rates(mg, machine, all_e, 0.0);
+  AppRates on_p_rates = exclusive_rates(mg, machine, all_p, 0.0);
+  // Similar throughput (memory bound), but far less power on the E-cores.
+  EXPECT_GT(on_e_rates.useful_gips, 0.7 * on_p_rates.useful_gips);
+  EXPECT_LT(on_e_rates.power_w, 0.7 * on_p_rates.power_w);
+}
+
+TEST(Catalog, BinpackPeaksAtFewWorkers) {
+  auto machine = hw();
+  WorkloadCatalog cat = WorkloadCatalog::raptor_lake();
+  const AppBehavior& binpack = cat.app("binpack");
+  double best_small = 0.0, full = 0.0;
+  for (int threads = 1; threads <= 8; ++threads) {
+    auto erv = platform::ExtendedResourceVector::from_threads(machine, {threads, 0});
+    best_small = std::max(best_small, exclusive_rates(binpack, machine, erv, 0.0).useful_gips);
+  }
+  full = exclusive_rates(binpack, machine,
+                         platform::ExtendedResourceVector::full(machine), 0.0)
+             .useful_gips;
+  EXPECT_GT(best_small, 3.0 * full);  // the 6.91x scale-down headroom
+}
+
+TEST(Catalog, ScenariosReferToKnownApps) {
+  for (const WorkloadCatalog& cat :
+       {WorkloadCatalog::raptor_lake(), WorkloadCatalog::odroid()}) {
+    for (const Scenario& scenario : cat.all_scenarios()) {
+      EXPECT_FALSE(scenario.apps.empty());
+      for (const ScenarioApp& app : scenario.apps) EXPECT_TRUE(cat.has_app(app.app)) << app.app;
+    }
+    EXPECT_FALSE(cat.multi_scenarios().empty());
+    for (const Scenario& s : cat.multi_scenarios()) EXPECT_TRUE(s.is_multi());
+  }
+}
+
+TEST(Catalog, AdaptivityTypeNames) {
+  EXPECT_STREQ(to_string(AdaptivityType::kStatic), "static");
+  EXPECT_STREQ(to_string(AdaptivityType::kScalable), "scalable");
+  EXPECT_STREQ(to_string(AdaptivityType::kCustom), "custom");
+}
+
+}  // namespace
+}  // namespace harp::model

@@ -1,0 +1,222 @@
+// Unit + property tests for hardware descriptions, extended resource
+// vectors, enumeration, and spatially isolated core assignment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "src/common/check.hpp"
+#include "src/platform/hardware.hpp"
+#include "src/platform/resource_vector.hpp"
+
+namespace harp::platform {
+namespace {
+
+TEST(Hardware, RaptorLakeShape) {
+  HardwareDescription hw = raptor_lake();
+  ASSERT_EQ(hw.num_core_types(), 2);
+  EXPECT_EQ(hw.core_types[0].name, "P");
+  EXPECT_EQ(hw.core_types[0].core_count, 8);
+  EXPECT_EQ(hw.core_types[0].smt_width, 2);
+  EXPECT_EQ(hw.core_types[1].core_count, 16);
+  EXPECT_EQ(hw.total_hardware_threads(), 32);
+  EXPECT_EQ(hw.hardware_threads(0), 16);
+  EXPECT_EQ(hw.type_index("E"), 1);
+  EXPECT_EQ(hw.type_index("big"), -1);
+  EXPECT_GT(hw.power_gamma, 1.0);
+}
+
+TEST(Hardware, OdroidShape) {
+  HardwareDescription hw = odroid_xu3e();
+  EXPECT_EQ(hw.total_hardware_threads(), 8);
+  EXPECT_EQ(hw.core_types[0].name, "big");
+  // The big cores must be faster but hungrier than LITTLE.
+  EXPECT_GT(hw.core_types[0].base_gips, hw.core_types[1].base_gips);
+  EXPECT_GT(hw.core_types[0].active_power_w, hw.core_types[1].active_power_w);
+}
+
+TEST(Hardware, JsonRoundTrip) {
+  HardwareDescription hw = raptor_lake();
+  auto restored = HardwareDescription::from_json(hw.to_json());
+  ASSERT_TRUE(restored.ok());
+  const HardwareDescription& r = restored.value();
+  EXPECT_EQ(r.name, hw.name);
+  ASSERT_EQ(r.core_types.size(), hw.core_types.size());
+  EXPECT_DOUBLE_EQ(r.core_types[0].active_power_w, hw.core_types[0].active_power_w);
+  EXPECT_DOUBLE_EQ(r.memory_gips, hw.memory_gips);
+}
+
+TEST(Hardware, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/harp_hw_test.json";
+  HardwareDescription hw = odroid_xu3e();
+  ASSERT_TRUE(hw.save(path).ok());
+  auto loaded = HardwareDescription::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().name, hw.name);
+  std::remove(path.c_str());
+}
+
+TEST(Hardware, FromJsonValidatesShape) {
+  EXPECT_FALSE(HardwareDescription::from_json(json::Value(3.0)).ok());
+  EXPECT_FALSE(HardwareDescription::from_json(json::parse(R"({"name":"x"})").value()).ok());
+  EXPECT_FALSE(HardwareDescription::from_json(
+                   json::parse(R"({"name":"x","core_types":[]})").value())
+                   .ok());
+  EXPECT_FALSE(HardwareDescription::from_json(
+                   json::parse(R"({"name":"x","core_types":[{"name":"P","core_count":0}]})").value())
+                   .ok());
+}
+
+TEST(Erv, PaperExampleVector) {
+  // §4.1.2: 4 E-cores and 3 P-cores, two of them with both hyperthreads:
+  // extended resource vector [1, 2, 4]ᵀ.
+  HardwareDescription hw = raptor_lake();
+  ExtendedResourceVector erv = ExtendedResourceVector::zero(hw);
+  erv.set_count(0, 1, 1);  // one P-core at 1 thread
+  erv.set_count(0, 2, 2);  // two P-cores at 2 threads
+  erv.set_count(1, 1, 4);  // four E-cores
+  EXPECT_EQ(erv.feature_vector(), (std::vector<double>{1, 2, 4}));
+  EXPECT_EQ(erv.cores_used(0), 3);
+  EXPECT_EQ(erv.threads(0), 5);
+  EXPECT_EQ(erv.threads(1), 4);
+  EXPECT_EQ(erv.total_threads(), 9);
+  EXPECT_EQ(erv.total_cores(), 7);
+  EXPECT_TRUE(erv.fits(hw));
+  EXPECT_EQ(erv.to_string(hw), "P[1x1t,2x2t] E[4x1t]");
+}
+
+TEST(Erv, FromThreadsPacksSmtFirst) {
+  HardwareDescription hw = raptor_lake();
+  ExtendedResourceVector erv = ExtendedResourceVector::from_threads(hw, {5, 3});
+  EXPECT_EQ(erv.count(0, 2), 2);  // 2 cores fully loaded
+  EXPECT_EQ(erv.count(0, 1), 1);  // 1 core half loaded
+  EXPECT_EQ(erv.count(1, 1), 3);
+  EXPECT_EQ(erv.total_threads(), 8);
+  EXPECT_THROW(ExtendedResourceVector::from_threads(hw, {17, 0}), CheckFailure);
+}
+
+TEST(Erv, ZeroAndFull) {
+  HardwareDescription hw = raptor_lake();
+  EXPECT_TRUE(ExtendedResourceVector::zero(hw).is_zero());
+  ExtendedResourceVector full = ExtendedResourceVector::full(hw);
+  EXPECT_EQ(full.total_threads(), 32);
+  EXPECT_TRUE(full.fits(hw));
+}
+
+TEST(Erv, FitsRejectsOverCapacity) {
+  HardwareDescription hw = odroid_xu3e();
+  ExtendedResourceVector erv = ExtendedResourceVector::zero(hw);
+  erv.set_count(0, 1, 5);  // only 4 big cores exist
+  EXPECT_FALSE(erv.fits(hw));
+}
+
+TEST(Erv, NormalizedDistance) {
+  HardwareDescription hw = raptor_lake();
+  ExtendedResourceVector a = ExtendedResourceVector::zero(hw);
+  ExtendedResourceVector b = ExtendedResourceVector::zero(hw);
+  b.set_count(0, 2, 8);   // all P fully loaded: one dim moves by 8/8
+  b.set_count(1, 1, 16);  // all E: one dim moves by 16/16
+  EXPECT_NEAR(a.normalized_distance(b, hw), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.normalized_distance(a, hw), 0.0);
+}
+
+TEST(Erv, JsonRoundTrip) {
+  HardwareDescription hw = raptor_lake();
+  ExtendedResourceVector erv = ExtendedResourceVector::from_threads(hw, {7, 11});
+  auto restored = ExtendedResourceVector::from_json(erv.to_json());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored.value() == erv);
+}
+
+TEST(Erv, FromJsonValidates) {
+  EXPECT_FALSE(ExtendedResourceVector::from_json(json::Value(1.0)).ok());
+  EXPECT_FALSE(ExtendedResourceVector::from_json(json::parse("[[-1]]").value()).ok());
+  EXPECT_FALSE(ExtendedResourceVector::from_json(json::parse("[]").value()).ok());
+}
+
+TEST(Enumerate, OdroidCountIsExact) {
+  // 4 big (no SMT) → 5 options; 4 LITTLE → 5 options; minus the zero vector.
+  std::vector<ExtendedResourceVector> points = enumerate_coarse_points(odroid_xu3e());
+  EXPECT_EQ(points.size(), 24u);
+}
+
+TEST(Enumerate, RaptorLakeCountIsExact) {
+  // P: (n1,n2) with n1+n2 ≤ 8 → 45 options; E: 17 options; minus zero.
+  std::vector<ExtendedResourceVector> points = enumerate_coarse_points(raptor_lake());
+  EXPECT_EQ(points.size(), 45u * 17u - 1u);
+}
+
+TEST(Enumerate, AllPointsUniqueAndFeasible) {
+  HardwareDescription hw = raptor_lake();
+  std::set<ExtendedResourceVector> seen;
+  for (const ExtendedResourceVector& erv : enumerate_coarse_points(hw)) {
+    EXPECT_TRUE(erv.fits(hw));
+    EXPECT_FALSE(erv.is_zero());
+    EXPECT_TRUE(seen.insert(erv).second) << "duplicate point";
+  }
+}
+
+TEST(Assign, DisjointCoresForConcurrentApps) {
+  HardwareDescription hw = raptor_lake();
+  ExtendedResourceVector a = ExtendedResourceVector::from_threads(hw, {4, 0});
+  ExtendedResourceVector b = ExtendedResourceVector::from_threads(hw, {8, 8});
+  auto result = assign_cores(hw, {a, b});
+  ASSERT_TRUE(result.ok());
+  const auto& allocs = result.value();
+  ASSERT_EQ(allocs.size(), 2u);
+  std::set<int> p_cores;
+  for (const auto& alloc : allocs)
+    for (const auto& [core, threads] : alloc.cores[0]) {
+      (void)threads;
+      EXPECT_TRUE(p_cores.insert(core).second) << "P-core shared between apps";
+    }
+  EXPECT_EQ(allocs[0].total_threads(), 4);
+  EXPECT_EQ(allocs[1].total_threads(), 16);
+}
+
+TEST(Assign, RoundTripsToSameErv) {
+  HardwareDescription hw = raptor_lake();
+  ExtendedResourceVector erv = ExtendedResourceVector::from_threads(hw, {5, 7});
+  auto result = assign_cores(hw, {erv});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value()[0].to_erv(hw) == erv);
+}
+
+TEST(Assign, FailsWhenOverCommitted) {
+  HardwareDescription hw = odroid_xu3e();
+  ExtendedResourceVector all = ExtendedResourceVector::full(hw);
+  auto result = assign_cores(hw, {all, all});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Assign, EmptyDemandYieldsEmptyAllocation) {
+  HardwareDescription hw = odroid_xu3e();
+  auto result = assign_cores(hw, {ExtendedResourceVector::zero(hw)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value()[0].is_empty());
+}
+
+// Property sweep: from_threads must always produce a vector realising the
+// requested thread counts and staying within capacity.
+class FromThreadsProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FromThreadsProperty, RealisesThreadCounts) {
+  HardwareDescription hw = raptor_lake();
+  auto [p_threads, e_threads] = GetParam();
+  ExtendedResourceVector erv = ExtendedResourceVector::from_threads(hw, {p_threads, e_threads});
+  EXPECT_EQ(erv.threads(0), p_threads);
+  EXPECT_EQ(erv.threads(1), e_threads);
+  EXPECT_TRUE(erv.fits(hw));
+  // Packing must be minimal in cores: ⌈threads/smt⌉ cores of each type.
+  EXPECT_EQ(erv.cores_used(0), (p_threads + 1) / 2);
+  EXPECT_EQ(erv.cores_used(1), e_threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThreadCounts, FromThreadsProperty,
+                         ::testing::Values(std::pair{0, 0}, std::pair{1, 0}, std::pair{2, 0},
+                                           std::pair{3, 5}, std::pair{16, 16}, std::pair{9, 1},
+                                           std::pair{0, 16}, std::pair{15, 13}));
+
+}  // namespace
+}  // namespace harp::platform

@@ -1,0 +1,206 @@
+// Integration tests for the HARP RM policy on the simulator: registration,
+// learning, allocation quality, offline tables, no-scaling/overhead modes,
+// co-allocation, and table persistence across application restarts.
+#include <gtest/gtest.h>
+
+#include "src/harp/dse.hpp"
+#include "src/harp/policy.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+#include "src/sched/baselines.hpp"
+#include "src/sim/runner.hpp"
+
+namespace harp::core {
+namespace {
+
+platform::HardwareDescription hw() { return platform::raptor_lake(); }
+model::WorkloadCatalog catalog() { return model::WorkloadCatalog::raptor_lake(); }
+
+sim::RunResult run(const model::Scenario& scenario, sim::Policy& policy,
+                   sim::RunOptions options = {}) {
+  sim::ScenarioRunner runner(hw(), catalog(), scenario, options);
+  return runner.run(policy);
+}
+
+model::Scenario single(const std::string& name) { return model::Scenario{name, {{name, 0.0}}}; }
+
+TEST(HarpPolicy, NamesFollowConfiguration) {
+  EXPECT_EQ(HarpPolicy{HarpOptions{}}.name(), "harp");
+  HarpOptions offline;
+  offline.mode = HarpOptions::Mode::kOffline;
+  EXPECT_EQ(HarpPolicy{offline}.name(), "harp-offline");
+  HarpOptions noscale;
+  noscale.apply_scaling = false;
+  EXPECT_EQ(HarpPolicy{noscale}.name(), "harp-noscaling");
+  HarpOptions overhead;
+  overhead.apply_affinity = false;
+  EXPECT_EQ(HarpPolicy{overhead}.name(), "harp-overhead");
+}
+
+TEST(HarpPolicy, LearnsStablePointsWithinPaperTimescale) {
+  HarpPolicy policy{HarpOptions{}};
+  sim::RunOptions options;
+  options.repeat_horizon = 60.0;
+  double stable_at = -1.0;
+  options.tick_hook = [&](double now) {
+    if (stable_at < 0.0 && policy.all_stable()) stable_at = now;
+  };
+  (void)run(single("mg.C"), policy, options);
+  ASSERT_GT(stable_at, 0.0) << "never reached the stable stage";
+  // Paper: 29.8 ± 5.9 s single-app; allow generous slack.
+  EXPECT_LT(stable_at, 50.0);
+  EXPECT_GT(stable_at, 10.0);
+  EXPECT_GE(policy.tables().at("mg.C").points(20).size(), 25u);
+}
+
+TEST(HarpPolicy, OfflineTablesBeatCfsOnEnergy) {
+  std::map<std::string, OperatingPointTable> offline;
+  offline["mg.C"] = run_offline_dse(catalog().app("mg.C"), hw());
+  HarpOptions options;
+  options.mode = HarpOptions::Mode::kOffline;
+  options.offline_tables = offline;
+  HarpPolicy policy(options);
+  sim::RunResult managed = run(single("mg.C"), policy);
+
+  sched::CfsPolicy cfs;
+  sim::RunResult baseline = run(single("mg.C"), cfs);
+  EXPECT_LT(managed.package_energy_j, 0.8 * baseline.package_energy_j);
+  EXPECT_LT(managed.makespan, 1.3 * baseline.makespan);
+}
+
+TEST(HarpPolicy, ScalesBinpackDown) {
+  // The paper's outlier (§6.3.1): scaling away the queue contention wins
+  // integer factors.
+  std::map<std::string, OperatingPointTable> offline;
+  offline["binpack"] = run_offline_dse(catalog().app("binpack"), hw());
+  HarpOptions options;
+  options.mode = HarpOptions::Mode::kOffline;
+  options.offline_tables = offline;
+  HarpPolicy policy(options);
+  sim::RunResult managed = run(single("binpack"), policy);
+  sched::CfsPolicy cfs;
+  sim::RunResult baseline = run(single("binpack"), cfs);
+  EXPECT_GT(baseline.makespan / managed.makespan, 3.0);
+}
+
+TEST(HarpPolicy, MultiAppBeatsCfsAfterWarmup) {
+  model::Scenario scenario{"mix", {{"cg.C", 0.0}, {"ua.C", 0.0}}};
+  // Warm-up: learn the tables with repeated executions.
+  std::map<std::string, OperatingPointTable> learned;
+  {
+    HarpPolicy warmup{HarpOptions{}};
+    sim::RunOptions options;
+    options.repeat_horizon = 80.0;
+    (void)run(scenario, warmup, options);
+    learned = warmup.tables();
+  }
+  HarpOptions options;
+  options.offline_tables = learned;
+  HarpPolicy policy(options);
+  sim::RunResult managed = run(scenario, policy);
+  sched::CfsPolicy cfs;
+  sim::RunResult baseline = run(scenario, cfs);
+  EXPECT_LT(managed.makespan, baseline.makespan);
+  EXPECT_LT(managed.package_energy_j, baseline.package_energy_j);
+}
+
+TEST(HarpPolicy, AllocationsAreDisjointAcrossApps) {
+  std::map<std::string, OperatingPointTable> offline;
+  for (const char* name : {"ep.C", "mg.C"})
+    offline[name] = run_offline_dse(catalog().app(name), hw());
+  HarpOptions options;
+  options.mode = HarpOptions::Mode::kOffline;
+  options.offline_tables = offline;
+  HarpPolicy policy(options);
+  model::Scenario scenario{"pair", {{"ep.C", 0.0}, {"mg.C", 0.0}}};
+  sim::RunOptions run_options;
+  run_options.tick_hook = [&](double now) {
+    if (now < 2.0) return;
+    auto configs = policy.active_configs();
+    if (configs.size() == 2) {
+      int p_total = 0, e_total = 0;
+      for (auto& [name, erv] : configs) {
+        p_total += erv.cores_used(0);
+        e_total += erv.cores_used(1);
+      }
+      EXPECT_LE(p_total, 8);
+      EXPECT_LE(e_total, 16);
+    }
+  };
+  (void)run(scenario, policy, run_options);
+}
+
+TEST(HarpPolicy, NoScalingKeepsDefaultThreadCounts) {
+  std::map<std::string, OperatingPointTable> offline;
+  offline["mg.C"] = run_offline_dse(catalog().app("mg.C"), hw());
+  HarpOptions options;
+  options.mode = HarpOptions::Mode::kOffline;
+  options.offline_tables = offline;
+  options.apply_scaling = false;
+  HarpPolicy policy(options);
+  sim::RunResult noscale = run(single("mg.C"), policy);
+
+  HarpOptions scaled = options;
+  scaled.apply_scaling = true;
+  HarpPolicy policy2(scaled);
+  sim::RunResult with_scaling = run(single("mg.C"), policy2);
+  // Without adaptation the partition is oversubscribed: strictly worse.
+  EXPECT_GT(noscale.makespan, with_scaling.makespan);
+}
+
+TEST(HarpPolicy, OverheadModeStaysWithinPaperBounds) {
+  HarpOptions options;
+  options.apply_affinity = false;
+  options.apply_scaling = false;
+  HarpPolicy policy(options);
+  sim::RunResult managed = run(single("sp.C"), policy);
+  sched::CfsPolicy cfs;
+  sim::RunResult baseline = run(single("sp.C"), cfs);
+  double overhead = managed.makespan / baseline.makespan - 1.0;
+  EXPECT_GE(overhead, 0.0);
+  EXPECT_LT(overhead, 0.03);  // §6.6: ~1 % single-app
+}
+
+TEST(HarpPolicy, TablesPersistAcrossRestarts) {
+  HarpPolicy policy{HarpOptions{}};
+  sim::RunOptions options;
+  options.repeat_horizon = 25.0;
+  (void)run(single("ep.C"), policy, options);
+  // ep.C (~2.5 s) restarted repeatedly; the table kept accumulating across
+  // process lifetimes instead of restarting from scratch.
+  EXPECT_GE(policy.tables().at("ep.C").points(20).size(), 5u);
+}
+
+TEST(HarpPolicy, StageQueryForUnknownAppIsInitial) {
+  HarpPolicy policy{HarpOptions{}};
+  EXPECT_EQ(policy.stage_of("unknown"), MaturityStage::kInitial);
+  EXPECT_EQ(policy.attributed_energy_j("unknown"), 0.0);
+}
+
+TEST(HarpPolicy, AttributedEnergyAccumulates) {
+  HarpPolicy policy{HarpOptions{}};
+  (void)run(single("mg.C"), policy);
+  EXPECT_GT(policy.attributed_energy_j("mg.C"), 100.0);
+}
+
+TEST(HarpPolicy, StaticAppsGetAffinityOnly) {
+  auto odroid = platform::odroid_xu3e();
+  auto cat = model::WorkloadCatalog::odroid();
+  std::map<std::string, OperatingPointTable> offline;
+  offline["lms-static"] = run_offline_dse(cat.app("lms-static"), odroid);
+  HarpOptions options;
+  options.mode = HarpOptions::Mode::kOffline;
+  options.offline_tables = offline;
+  HarpPolicy policy(options);
+  sim::ScenarioRunner runner(odroid, cat, model::Scenario{"lms-static", {{"lms-static", 0.0}}},
+                             sim::RunOptions{});
+  sim::RunResult result = runner.run(policy);
+  EXPECT_EQ(result.apps[0].completions, 1);
+  // The static pipeline has 6 processes; HARP must not grant more threads.
+  auto configs = policy.active_configs();
+  if (auto it = configs.find("lms-static"); it != configs.end())
+    EXPECT_LE(it->second.total_threads(), 6);
+}
+
+}  // namespace
+}  // namespace harp::core

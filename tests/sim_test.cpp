@@ -1,0 +1,307 @@
+// Tests for the machine simulator: slot indexing, placement/spreading,
+// progress and energy accounting, telemetry semantics, controls, and the
+// scenario lifecycle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/check.hpp"
+#include "src/model/catalog.hpp"
+#include "src/sched/baselines.hpp"
+#include "src/sim/runner.hpp"
+
+namespace harp::sim {
+namespace {
+
+platform::HardwareDescription hw() { return platform::raptor_lake(); }
+
+model::WorkloadCatalog catalog() { return model::WorkloadCatalog::raptor_lake(); }
+
+model::Scenario single(const std::string& name) { return model::Scenario{name, {{name, 0.0}}}; }
+
+TEST(SlotMap, CountsAndRoundTrip) {
+  SlotMap slots(hw());
+  EXPECT_EQ(slots.num_slots(), 32);  // 8 P-cores x 2 + 16 E-cores
+  for (int i = 0; i < slots.num_slots(); ++i) {
+    const Slot& s = slots.slot(i);
+    EXPECT_EQ(slots.index(s.type, s.core, s.smt), i);
+  }
+  EXPECT_THROW(slots.slot(32), CheckFailure);
+  EXPECT_THROW(slots.index(0, 99, 0), CheckFailure);
+}
+
+TEST(SlotMap, SpreadOrderFillsFastCoresBeforeSmtSiblings) {
+  platform::HardwareDescription machine = hw();
+  SlotMap slots(machine);
+  const std::vector<int>& order = slots.spread_order();
+  ASSERT_EQ(order.size(), 32u);
+  // First 8: P-core primary threads; next 16: E-cores; last 8: P siblings.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(slots.slot(order[static_cast<std::size_t>(i)]).type, 0);
+    EXPECT_EQ(slots.slot(order[static_cast<std::size_t>(i)]).smt, 0);
+  }
+  for (int i = 8; i < 24; ++i) EXPECT_EQ(slots.slot(order[static_cast<std::size_t>(i)]).type, 1);
+  for (int i = 24; i < 32; ++i) EXPECT_EQ(slots.slot(order[static_cast<std::size_t>(i)]).smt, 1);
+}
+
+TEST(SlotMap, SlotsOfAllocation) {
+  platform::HardwareDescription machine = hw();
+  SlotMap slots(machine);
+  platform::CoreAllocation alloc = platform::CoreAllocation::empty(machine);
+  alloc.cores[0].emplace_back(3, 2);  // P-core 3, both hyperthreads
+  alloc.cores[1].emplace_back(5, 1);  // E-core 5
+  std::vector<int> s = slots.slots_of(alloc);
+  ASSERT_EQ(s.size(), 3u);
+  std::set<int> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(Runner, SingleAppCompletesWithPlausibleTime) {
+  sched::CfsPolicy cfs;
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult result = runner.run(cfs);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].completions, 1);
+  EXPECT_GT(result.apps[0].exec_seconds, 1.0);
+  EXPECT_LT(result.apps[0].exec_seconds, 10.0);
+  EXPECT_GT(result.package_energy_j, 0.0);
+  EXPECT_NEAR(result.makespan, result.apps[0].finish, 0.05);
+}
+
+TEST(Runner, ArrivalDelaysStart) {
+  model::Scenario scenario{"staggered", {{"ep.C", 0.0}, {"ep.C", 5.0}}};
+  sched::CfsPolicy cfs;
+  ScenarioRunner runner(hw(), catalog(), scenario, RunOptions{});
+  RunResult result = runner.run(cfs);
+  EXPECT_GT(result.apps[1].finish, 5.0);
+  EXPECT_GT(result.makespan, 5.0);
+}
+
+TEST(Runner, EnergyIncludesIdleAndUncore) {
+  // An almost-empty machine still draws uncore + idle power for the whole
+  // makespan.
+  sched::CfsPolicy cfs;
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult result = runner.run(cfs);
+  platform::HardwareDescription machine = hw();
+  double floor = machine.uncore_power_w * result.makespan;
+  EXPECT_GT(result.package_energy_j, floor);
+}
+
+TEST(Runner, ControlRestrictsPlacementAndThreads) {
+  // Pin ep.C to 4 E-cores with 4 threads; the CPU-time accounting must show
+  // E-type time only.
+  platform::HardwareDescription machine = hw();
+  SlotMap slots(machine);
+  AppControl control;
+  control.threads = 4;
+  for (int c = 0; c < 4; ++c) control.allowed_slots.push_back(slots.index(1, c, 0));
+  sched::PinnedPolicy pinned({{"ep.C", control}});
+  ScenarioRunner runner(machine, catalog(), single("ep.C"), RunOptions{});
+  RunResult result = runner.run(pinned);
+  EXPECT_LT(result.apps[0].cpu_seconds_by_type[0], 0.3);  // startup thread only
+  EXPECT_GT(result.apps[0].cpu_seconds_by_type[1], 1.0);
+}
+
+TEST(Runner, SmallerAllocationIsSlowerButCheaper) {
+  platform::HardwareDescription machine = hw();
+  SlotMap slots(machine);
+  AppControl small;
+  small.threads = 4;
+  for (int c = 0; c < 4; ++c) small.allowed_slots.push_back(slots.index(1, c, 0));
+  sched::PinnedPolicy pinned({{"ep.C", small}});
+  ScenarioRunner restricted(machine, catalog(), single("ep.C"), RunOptions{});
+  RunResult with_small = restricted.run(pinned);
+
+  sched::CfsPolicy cfs;
+  ScenarioRunner full(machine, catalog(), single("ep.C"), RunOptions{});
+  RunResult with_full = full.run(cfs);
+
+  EXPECT_GT(with_small.makespan, with_full.makespan);
+  EXPECT_LT(with_small.package_energy_j / with_small.makespan,
+            with_full.package_energy_j / with_full.makespan);  // lower avg power
+}
+
+TEST(Runner, MgmtDragSlowsProgress) {
+  AppControl dragged;
+  dragged.mgmt_drag = 0.2;
+  sched::PinnedPolicy pinned({{"ep.C", dragged}});
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult with_drag = runner.run(pinned);
+
+  sched::CfsPolicy cfs;
+  ScenarioRunner clean(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult without = clean.run(cfs);
+  EXPECT_GT(with_drag.makespan, 1.1 * without.makespan);
+}
+
+TEST(Runner, OverheadChargeStealsProgress) {
+  // A policy that burns RM CPU every tick measurably extends the makespan.
+  class BurnPolicy : public Policy {
+   public:
+    std::string name() const override { return "burn"; }
+    void attach(RunnerApi& api) override { api_ = &api; }
+    void tick() override { api_->charge_overhead(0.01); }  // 10 ms per 10 ms tick
+    RunnerApi* api_ = nullptr;
+  };
+  BurnPolicy burn;
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult burned = runner.run(burn);
+
+  sched::CfsPolicy cfs;
+  ScenarioRunner clean(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult baseline = clean.run(cfs);
+  EXPECT_GT(burned.makespan, baseline.makespan);
+}
+
+TEST(Runner, PerfCounterMeasuresRatesSinceLastRead) {
+  class ProbePolicy : public Policy {
+   public:
+    std::string name() const override { return "probe"; }
+    void attach(RunnerApi& api) override { api_ = &api; }
+    void tick() override {
+      if (api_->now() >= 1.0 && first_read_ < 0.0) {
+        for (const RunningAppInfo& app : api_->running_apps())
+          first_read_ = api_->read_perf_gips(app.id);
+      }
+    }
+    RunnerApi* api_ = nullptr;
+    double first_read_ = -1.0;
+  };
+  ProbePolicy probe;
+  RunOptions options;
+  options.perf_noise = 0.0;
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), options);
+  (void)runner.run(probe);
+  // ep.C on the whole machine retires tens of giga-instructions per second.
+  EXPECT_GT(probe.first_read_, 10.0);
+  EXPECT_LT(probe.first_read_, 200.0);
+}
+
+TEST(Runner, PackageEnergyReadsAreDeltas) {
+  class EnergyProbe : public Policy {
+   public:
+    std::string name() const override { return "eprobe"; }
+    void attach(RunnerApi& api) override { api_ = &api; }
+    void tick() override {
+      if (api_->now() >= next_) {
+        next_ += 1.0;
+        reads_.push_back(api_->read_package_energy());
+      }
+    }
+    RunnerApi* api_ = nullptr;
+    double next_ = 1.0;
+    std::vector<double> reads_;
+  };
+  EnergyProbe probe;
+  RunOptions options;
+  options.energy_noise = 0.0;
+  ScenarioRunner runner(hw(), catalog(), single("mg.C"), options);
+  (void)runner.run(probe);
+  ASSERT_GE(probe.reads_.size(), 3u);
+  // Every ~1 s window of a busy machine burns tens of joules, not the
+  // cumulative total.
+  for (std::size_t i = 1; i < probe.reads_.size(); ++i) {
+    EXPECT_GT(probe.reads_[i], 10.0);
+    EXPECT_LT(probe.reads_[i], 300.0);
+  }
+}
+
+TEST(Runner, UtilityOnlyForProvidingApps) {
+  class UtilityProbe : public Policy {
+   public:
+    std::string name() const override { return "uprobe"; }
+    void attach(RunnerApi& api) override { api_ = &api; }
+    void tick() override {
+      if (api_->now() >= 1.0 && !checked_) {
+        checked_ = true;
+        for (const RunningAppInfo& app : api_->running_apps())
+          has_utility_ = api_->read_app_utility(app.id).has_value();
+      }
+    }
+    RunnerApi* api_ = nullptr;
+    bool checked_ = false;
+    bool has_utility_ = false;
+  };
+  UtilityProbe with;
+  ScenarioRunner runner_vgg(hw(), catalog(), single("vgg"), RunOptions{});
+  (void)runner_vgg.run(with);
+  EXPECT_TRUE(with.has_utility_);
+
+  UtilityProbe without;
+  ScenarioRunner runner_ep(hw(), catalog(), single("ep.C"), RunOptions{});
+  (void)runner_ep.run(without);
+  EXPECT_FALSE(without.has_utility_);
+}
+
+TEST(Runner, RepeatHorizonRestartsApps) {
+  sched::CfsPolicy cfs;
+  RunOptions options;
+  options.repeat_horizon = 12.0;
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), options);
+  RunResult result = runner.run(cfs);
+  EXPECT_GE(result.apps[0].completions, 2);
+  EXPECT_NEAR(result.makespan, 12.0, 0.1);
+}
+
+TEST(Runner, LifecycleCallbacksFire) {
+  class CountPolicy : public Policy {
+   public:
+    std::string name() const override { return "count"; }
+    void on_app_start(AppId) override { ++starts_; }
+    void on_app_exit(AppId) override { ++exits_; }
+    int starts_ = 0;
+    int exits_ = 0;
+  };
+  CountPolicy count;
+  model::Scenario scenario{"pair", {{"ep.C", 0.0}, {"is.C", 0.0}}};
+  ScenarioRunner runner(hw(), catalog(), scenario, RunOptions{});
+  (void)runner.run(count);
+  EXPECT_EQ(count.starts_, 2);
+  EXPECT_EQ(count.exits_, 2);
+}
+
+TEST(Runner, DeterministicForSeed) {
+  auto run_with_seed = [&](std::uint64_t seed) {
+    RunOptions options;
+    options.seed = seed;
+    sched::CfsPolicy cfs;
+    ScenarioRunner runner(hw(), catalog(), single("is.C"), options);
+    return runner.run(cfs);
+  };
+  RunResult a = run_with_seed(3);
+  RunResult b = run_with_seed(3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.package_energy_j, b.package_energy_j);
+}
+
+TEST(Runner, GovernorPerformanceBurnsMoreIdlePower) {
+  auto run_with = [&](Governor governor) {
+    RunOptions options;
+    options.governor = governor;
+    platform::HardwareDescription machine = hw();
+    SlotMap slots(machine);
+    AppControl small;
+    small.threads = 2;
+    small.allowed_slots = {slots.index(1, 0, 0), slots.index(1, 1, 0)};
+    sched::PinnedPolicy pinned({{"mg.C", small}});
+    ScenarioRunner runner(machine, catalog(), single("mg.C"), options);
+    return runner.run(pinned);
+  };
+  RunResult powersave = run_with(Governor::kPowersave);
+  RunResult performance = run_with(Governor::kPerformance);
+  // Mostly-idle machine: performance governor's shallow idle states cost.
+  EXPECT_GT(performance.package_energy_j / performance.makespan,
+            powersave.package_energy_j / powersave.makespan);
+}
+
+TEST(RunResult, AppLookup) {
+  sched::CfsPolicy cfs;
+  ScenarioRunner runner(hw(), catalog(), single("ep.C"), RunOptions{});
+  RunResult result = runner.run(cfs);
+  EXPECT_EQ(result.app("ep.C").name, "ep.C");
+  EXPECT_THROW(result.app("nope"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace harp::sim

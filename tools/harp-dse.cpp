@@ -1,0 +1,107 @@
+// harp-dse — generate application description files by offline design-space
+// exploration (§3.2.1).
+//
+// Sweeps every coarse configuration of the chosen platform for the selected
+// catalog applications (through the behaviour models; on real hardware this
+// step would execute the applications) and writes the Pareto-filtered
+// operating-point tables into a /etc/harp-style configuration directory,
+// ready for harpd.
+//
+// Usage:
+//   harp-dse --hardware raptor-lake|odroid-xu3e --out <config-dir>
+//            [--apps mg.C,ep.C,...] [--full-sweep]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.hpp"
+#include "src/harp/config_dir.hpp"
+#include "src/harp/dse.hpp"
+#include "src/model/catalog.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: harp-dse --hardware raptor-lake|odroid-xu3e --out <dir>\n"
+               "                [--apps name,name,...] [--full-sweep]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hardware_name;
+  std::string out_dir;
+  std::string apps_arg;
+  bool full_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--hardware") {
+      const char* v = next();
+      if (v == nullptr) return usage(), 2;
+      hardware_name = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(), 2;
+      out_dir = v;
+    } else if (arg == "--apps") {
+      const char* v = next();
+      if (v == nullptr) return usage(), 2;
+      apps_arg = v;
+    } else if (arg == "--full-sweep") {
+      full_sweep = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (out_dir.empty()) return usage(), 2;
+
+  harp::platform::HardwareDescription hw;
+  harp::model::WorkloadCatalog catalog = harp::model::WorkloadCatalog::raptor_lake();
+  if (hardware_name == "raptor-lake") {
+    hw = harp::platform::raptor_lake();
+  } else if (hardware_name == "odroid-xu3e") {
+    hw = harp::platform::odroid_xu3e();
+    catalog = harp::model::WorkloadCatalog::odroid();
+  } else {
+    usage();
+    return 2;
+  }
+
+  std::vector<std::string> apps;
+  if (apps_arg.empty()) {
+    for (const harp::model::AppBehavior& app : catalog.apps()) apps.push_back(app.name);
+  } else {
+    for (const std::string& name : harp::split(apps_arg, ',')) {
+      if (!catalog.has_app(name)) {
+        std::fprintf(stderr, "harp-dse: unknown application '%s'\n", name.c_str());
+        return 1;
+      }
+      apps.push_back(name);
+    }
+  }
+
+  harp::core::ConfigDirectory config(out_dir);
+  if (harp::Status s = config.save_hardware(hw); !s.ok()) {
+    std::fprintf(stderr, "harp-dse: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  harp::core::DseOptions options;
+  options.pareto_filter = !full_sweep;
+  for (const std::string& name : apps) {
+    harp::core::OperatingPointTable table =
+        harp::core::run_offline_dse(catalog.app(name), hw, options);
+    if (harp::Status s = config.save_table(table); !s.ok()) {
+      std::fprintf(stderr, "harp-dse: %s\n", s.error().message.c_str());
+      return 1;
+    }
+    std::printf("%-20s %4zu operating points -> %s\n", name.c_str(), table.size(),
+                config.app_path(name).c_str());
+  }
+  std::printf("wrote hardware description -> %s\n", config.hardware_path().c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// harp-inspect — inspect application description files (§4.3: the config
+// directory is deliberately user-accessible so administrators and power
+// users can audit and tune HARP's decisions).
+//
+// Prints an operating-point table with energy-utility costs, marks the
+// table's Pareto front, and shows which point the allocator would pick for
+// an otherwise idle machine.
+//
+// Usage:
+//   harp-inspect --hardware <hardware.json> <app-description.json>...
+//   harp-inspect --hardware raptor-lake|odroid-xu3e <app-description.json>...
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harp/allocator.hpp"
+#include "src/harp/operating_point.hpp"
+#include "src/mlmodels/pareto.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: harp-inspect --hardware <file|raptor-lake|odroid-xu3e> "
+               "<description.json>...\n");
+}
+
+void inspect(const harp::platform::HardwareDescription& hw,
+             const harp::core::OperatingPointTable& table) {
+  using harp::core::OperatingPoint;
+  std::vector<OperatingPoint> points = table.points(0);
+  std::printf("\napplication: %s (%zu operating points, v* normaliser %.3f)\n",
+              table.app_name().c_str(), points.size(), table.utility_max());
+  std::printf("%-28s %10s %9s %10s %8s %7s\n", "configuration", "utility", "power",
+              "zeta", "measured", "pareto");
+
+  std::vector<std::vector<double>> objectives;
+  for (const OperatingPoint& p : points)
+    objectives.push_back({-p.nfc.utility, p.nfc.power_w});
+  std::vector<std::size_t> front = harp::ml::pareto_front(objectives);
+  std::vector<bool> on_front(points.size(), false);
+  for (std::size_t i : front) on_front[i] = true;
+
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (table.cost_of(points[i]) < table.cost_of(points[best])) best = i;
+    std::printf("%-28s %10.2f %9.2f %10.1f %8d %7s\n", points[i].erv.to_string(hw).c_str(),
+                points[i].nfc.utility, points[i].nfc.power_w, table.cost_of(points[i]),
+                points[i].measurements, on_front[i] ? "*" : "");
+  }
+  if (!points.empty())
+    std::printf("allocator pick on an idle machine: %s (zeta %.1f)\n",
+                points[best].erv.to_string(hw).c_str(), table.cost_of(points[best]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hardware_arg;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--hardware") {
+      if (i + 1 >= argc) return usage(), 2;
+      hardware_arg = argv[++i];
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (hardware_arg.empty() || files.empty()) return usage(), 2;
+
+  harp::platform::HardwareDescription hw;
+  if (hardware_arg == "raptor-lake") {
+    hw = harp::platform::raptor_lake();
+  } else if (hardware_arg == "odroid-xu3e") {
+    hw = harp::platform::odroid_xu3e();
+  } else {
+    auto loaded = harp::platform::HardwareDescription::load(hardware_arg);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "harp-inspect: %s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    hw = std::move(loaded).take();
+  }
+  std::printf("hardware: %s (%d hardware threads)\n", hw.name.c_str(),
+              hw.total_hardware_threads());
+
+  for (const std::string& file : files) {
+    auto table = harp::core::OperatingPointTable::load(file);
+    if (!table.ok()) {
+      std::fprintf(stderr, "harp-inspect: %s: %s\n", file.c_str(),
+                   table.error().message.c_str());
+      return 1;
+    }
+    inspect(hw, table.value());
+  }
+  return 0;
+}
