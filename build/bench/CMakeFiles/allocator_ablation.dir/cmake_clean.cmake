@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_ablation.dir/allocator_ablation.cpp.o"
+  "CMakeFiles/allocator_ablation.dir/allocator_ablation.cpp.o.d"
+  "allocator_ablation"
+  "allocator_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

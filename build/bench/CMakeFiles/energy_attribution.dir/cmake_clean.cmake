@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_attribution.dir/energy_attribution.cpp.o"
+  "CMakeFiles/energy_attribution.dir/energy_attribution.cpp.o.d"
+  "energy_attribution"
+  "energy_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

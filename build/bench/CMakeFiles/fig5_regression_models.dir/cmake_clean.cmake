@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_regression_models.dir/fig5_regression_models.cpp.o"
+  "CMakeFiles/fig5_regression_models.dir/fig5_regression_models.cpp.o.d"
+  "fig5_regression_models"
+  "fig5_regression_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_regression_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

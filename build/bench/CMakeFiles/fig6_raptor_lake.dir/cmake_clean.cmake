@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_raptor_lake.dir/fig6_raptor_lake.cpp.o"
+  "CMakeFiles/fig6_raptor_lake.dir/fig6_raptor_lake.cpp.o.d"
+  "fig6_raptor_lake"
+  "fig6_raptor_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_raptor_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

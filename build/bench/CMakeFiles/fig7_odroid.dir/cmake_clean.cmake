@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_odroid.dir/fig7_odroid.cpp.o"
+  "CMakeFiles/fig7_odroid.dir/fig7_odroid.cpp.o.d"
+  "fig7_odroid"
+  "fig7_odroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_odroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_learning.dir/fig8_learning.cpp.o"
+  "CMakeFiles/fig8_learning.dir/fig8_learning.cpp.o.d"
+  "fig8_learning"
+  "fig8_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_ablation.dir/governor_ablation.cpp.o"
+  "CMakeFiles/governor_ablation.dir/governor_ablation.cpp.o.d"
+  "governor_ablation"
+  "governor_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_extension.dir/phase_extension.cpp.o"
+  "CMakeFiles/phase_extension.dir/phase_extension.cpp.o.d"
+  "phase_extension"
+  "phase_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kpn.dir/custom_kpn.cpp.o"
+  "CMakeFiles/custom_kpn.dir/custom_kpn.cpp.o.d"
+  "custom_kpn"
+  "custom_kpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiapp_desktop.dir/multiapp_desktop.cpp.o"
+  "CMakeFiles/multiapp_desktop.dir/multiapp_desktop.cpp.o.d"
+  "multiapp_desktop"
+  "multiapp_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiapp_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("linalg")
+subdirs("platform")
+subdirs("model")
+subdirs("sim")
+subdirs("sched")
+subdirs("mlmodels")
+subdirs("energy")
+subdirs("ipc")
+subdirs("harp")
+subdirs("libharp")

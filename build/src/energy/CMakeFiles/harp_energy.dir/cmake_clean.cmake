@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_energy.dir/attribution.cpp.o"
+  "CMakeFiles/harp_energy.dir/attribution.cpp.o.d"
+  "libharp_energy.a"
+  "libharp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

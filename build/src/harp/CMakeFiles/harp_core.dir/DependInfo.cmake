@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harp/allocator.cpp" "src/harp/CMakeFiles/harp_core.dir/allocator.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/harp/config_dir.cpp" "src/harp/CMakeFiles/harp_core.dir/config_dir.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/config_dir.cpp.o.d"
+  "/root/repo/src/harp/dse.cpp" "src/harp/CMakeFiles/harp_core.dir/dse.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/dse.cpp.o.d"
+  "/root/repo/src/harp/dvfs.cpp" "src/harp/CMakeFiles/harp_core.dir/dvfs.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/dvfs.cpp.o.d"
+  "/root/repo/src/harp/exploration.cpp" "src/harp/CMakeFiles/harp_core.dir/exploration.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/exploration.cpp.o.d"
+  "/root/repo/src/harp/operating_point.cpp" "src/harp/CMakeFiles/harp_core.dir/operating_point.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/operating_point.cpp.o.d"
+  "/root/repo/src/harp/policy.cpp" "src/harp/CMakeFiles/harp_core.dir/policy.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/policy.cpp.o.d"
+  "/root/repo/src/harp/rm_server.cpp" "src/harp/CMakeFiles/harp_core.dir/rm_server.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/rm_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/harp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/harp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlmodels/CMakeFiles/harp_mlmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/harp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/harp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/harp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

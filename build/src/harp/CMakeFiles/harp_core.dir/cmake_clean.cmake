@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_core.dir/allocator.cpp.o"
+  "CMakeFiles/harp_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/harp_core.dir/config_dir.cpp.o"
+  "CMakeFiles/harp_core.dir/config_dir.cpp.o.d"
+  "CMakeFiles/harp_core.dir/dse.cpp.o"
+  "CMakeFiles/harp_core.dir/dse.cpp.o.d"
+  "CMakeFiles/harp_core.dir/dvfs.cpp.o"
+  "CMakeFiles/harp_core.dir/dvfs.cpp.o.d"
+  "CMakeFiles/harp_core.dir/exploration.cpp.o"
+  "CMakeFiles/harp_core.dir/exploration.cpp.o.d"
+  "CMakeFiles/harp_core.dir/operating_point.cpp.o"
+  "CMakeFiles/harp_core.dir/operating_point.cpp.o.d"
+  "CMakeFiles/harp_core.dir/policy.cpp.o"
+  "CMakeFiles/harp_core.dir/policy.cpp.o.d"
+  "CMakeFiles/harp_core.dir/rm_server.cpp.o"
+  "CMakeFiles/harp_core.dir/rm_server.cpp.o.d"
+  "libharp_core.a"
+  "libharp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

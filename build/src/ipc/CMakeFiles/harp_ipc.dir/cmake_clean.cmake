@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_ipc.dir/messages.cpp.o"
+  "CMakeFiles/harp_ipc.dir/messages.cpp.o.d"
+  "CMakeFiles/harp_ipc.dir/transport.cpp.o"
+  "CMakeFiles/harp_ipc.dir/transport.cpp.o.d"
+  "CMakeFiles/harp_ipc.dir/wire.cpp.o"
+  "CMakeFiles/harp_ipc.dir/wire.cpp.o.d"
+  "libharp_ipc.a"
+  "libharp_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

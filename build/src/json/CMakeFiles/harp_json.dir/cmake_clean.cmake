@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_json.dir/json.cpp.o"
+  "CMakeFiles/harp_json.dir/json.cpp.o.d"
+  "libharp_json.a"
+  "libharp_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

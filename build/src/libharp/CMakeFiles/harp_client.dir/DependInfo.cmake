@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libharp/client.cpp" "src/libharp/CMakeFiles/harp_client.dir/client.cpp.o" "gcc" "src/libharp/CMakeFiles/harp_client.dir/client.cpp.o.d"
+  "/root/repo/src/libharp/fine_grained.cpp" "src/libharp/CMakeFiles/harp_client.dir/fine_grained.cpp.o" "gcc" "src/libharp/CMakeFiles/harp_client.dir/fine_grained.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/harp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/harp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_client.dir/client.cpp.o"
+  "CMakeFiles/harp_client.dir/client.cpp.o.d"
+  "CMakeFiles/harp_client.dir/fine_grained.cpp.o"
+  "CMakeFiles/harp_client.dir/fine_grained.cpp.o.d"
+  "libharp_client.a"
+  "libharp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/harp_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/harp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/harp_linalg.dir/matrix.cpp.o.d"
+  "libharp_linalg.a"
+  "libharp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_mlmodels.dir/pareto.cpp.o"
+  "CMakeFiles/harp_mlmodels.dir/pareto.cpp.o.d"
+  "CMakeFiles/harp_mlmodels.dir/regressors.cpp.o"
+  "CMakeFiles/harp_mlmodels.dir/regressors.cpp.o.d"
+  "libharp_mlmodels.a"
+  "libharp_mlmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_mlmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_model.dir/behavior.cpp.o"
+  "CMakeFiles/harp_model.dir/behavior.cpp.o.d"
+  "CMakeFiles/harp_model.dir/catalog.cpp.o"
+  "CMakeFiles/harp_model.dir/catalog.cpp.o.d"
+  "libharp_model.a"
+  "libharp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_platform.dir/hardware.cpp.o"
+  "CMakeFiles/harp_platform.dir/hardware.cpp.o.d"
+  "CMakeFiles/harp_platform.dir/resource_vector.cpp.o"
+  "CMakeFiles/harp_platform.dir/resource_vector.cpp.o.d"
+  "libharp_platform.a"
+  "libharp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_sched.dir/baselines.cpp.o"
+  "CMakeFiles/harp_sched.dir/baselines.cpp.o.d"
+  "libharp_sched.a"
+  "libharp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/harp_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/harp_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/slots.cpp" "src/sim/CMakeFiles/harp_sim.dir/slots.cpp.o" "gcc" "src/sim/CMakeFiles/harp_sim.dir/slots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/harp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/harp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

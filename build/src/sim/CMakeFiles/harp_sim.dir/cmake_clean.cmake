@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_sim.dir/runner.cpp.o"
+  "CMakeFiles/harp_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/harp_sim.dir/slots.cpp.o"
+  "CMakeFiles/harp_sim.dir/slots.cpp.o.d"
+  "libharp_sim.a"
+  "libharp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

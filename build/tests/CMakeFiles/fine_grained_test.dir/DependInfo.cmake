@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fine_grained_test.cpp" "tests/CMakeFiles/fine_grained_test.dir/fine_grained_test.cpp.o" "gcc" "tests/CMakeFiles/fine_grained_test.dir/fine_grained_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/libharp/CMakeFiles/harp_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/harp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/harp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

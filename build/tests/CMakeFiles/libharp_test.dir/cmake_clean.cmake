@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libharp_test.dir/libharp_test.cpp.o"
+  "CMakeFiles/libharp_test.dir/libharp_test.cpp.o.d"
+  "libharp_test"
+  "libharp_test.pdb"
+  "libharp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libharp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

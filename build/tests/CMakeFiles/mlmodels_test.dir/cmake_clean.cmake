@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmodels_test.dir/mlmodels_test.cpp.o"
+  "CMakeFiles/mlmodels_test.dir/mlmodels_test.cpp.o.d"
+  "mlmodels_test"
+  "mlmodels_test.pdb"
+  "mlmodels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmodels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

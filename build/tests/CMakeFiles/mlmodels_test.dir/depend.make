@@ -1,0 +1,2 @@
+# Empty dependencies file for mlmodels_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operating_point_test.dir/operating_point_test.cpp.o"
+  "CMakeFiles/operating_point_test.dir/operating_point_test.cpp.o.d"
+  "operating_point_test"
+  "operating_point_test.pdb"
+  "operating_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operating_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_test.dir/phase_test.cpp.o"
+  "CMakeFiles/phase_test.dir/phase_test.cpp.o.d"
+  "phase_test"
+  "phase_test.pdb"
+  "phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

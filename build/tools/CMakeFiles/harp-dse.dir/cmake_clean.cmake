@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp-dse.dir/harp-dse.cpp.o"
+  "CMakeFiles/harp-dse.dir/harp-dse.cpp.o.d"
+  "harp-dse"
+  "harp-dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp-dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp-inspect.dir/harp-inspect.cpp.o"
+  "CMakeFiles/harp-inspect.dir/harp-inspect.cpp.o.d"
+  "harp-inspect"
+  "harp-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp-inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harpd.dir/harpd.cpp.o"
+  "CMakeFiles/harpd.dir/harpd.cpp.o.d"
+  "harpd"
+  "harpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for harpd.
+# This may be replaced when dependencies are built.
