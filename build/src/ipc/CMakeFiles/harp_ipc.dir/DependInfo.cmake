@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/fault_injection.cpp" "src/ipc/CMakeFiles/harp_ipc.dir/fault_injection.cpp.o" "gcc" "src/ipc/CMakeFiles/harp_ipc.dir/fault_injection.cpp.o.d"
   "/root/repo/src/ipc/messages.cpp" "src/ipc/CMakeFiles/harp_ipc.dir/messages.cpp.o" "gcc" "src/ipc/CMakeFiles/harp_ipc.dir/messages.cpp.o.d"
   "/root/repo/src/ipc/transport.cpp" "src/ipc/CMakeFiles/harp_ipc.dir/transport.cpp.o" "gcc" "src/ipc/CMakeFiles/harp_ipc.dir/transport.cpp.o.d"
   "/root/repo/src/ipc/wire.cpp" "src/ipc/CMakeFiles/harp_ipc.dir/wire.cpp.o" "gcc" "src/ipc/CMakeFiles/harp_ipc.dir/wire.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/harp_ipc.dir/fault_injection.cpp.o"
+  "CMakeFiles/harp_ipc.dir/fault_injection.cpp.o.d"
   "CMakeFiles/harp_ipc.dir/messages.cpp.o"
   "CMakeFiles/harp_ipc.dir/messages.cpp.o.d"
   "CMakeFiles/harp_ipc.dir/transport.cpp.o"

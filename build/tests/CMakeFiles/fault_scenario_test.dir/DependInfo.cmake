@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_scenario_test.cpp" "tests/CMakeFiles/fault_scenario_test.dir/fault_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/fault_scenario_test.dir/fault_scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/libharp/CMakeFiles/harp_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/harp/CMakeFiles/harp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/harp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/harp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlmodels/CMakeFiles/harp_mlmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/harp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/harp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_scenario_test.dir/fault_scenario_test.cpp.o"
+  "CMakeFiles/fault_scenario_test.dir/fault_scenario_test.cpp.o.d"
+  "fault_scenario_test"
+  "fault_scenario_test.pdb"
+  "fault_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -24,3 +24,4 @@ include("/root/repo/build/tests/fine_grained_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/dvfs_test[1]_include.cmake")
 include("/root/repo/build/tests/phase_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_scenario_test[1]_include.cmake")

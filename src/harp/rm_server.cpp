@@ -12,6 +12,7 @@ struct RmServer::Client {
   std::unique_ptr<ipc::Channel> channel;
   bool registered = false;
   std::int32_t app_id = -1;
+  std::int32_t pid = 0;
   std::string name;
   ipc::WireAdaptivity adaptivity = ipc::WireAdaptivity::kStatic;
   bool provides_utility = false;
@@ -19,6 +20,13 @@ struct RmServer::Client {
   OperatingPoint active_point;
   bool has_active = false;
   double last_utility = 0.0;
+  /// Lease bookkeeping: renewed by any received frame; < 0 = not seen yet.
+  double last_heard = -1.0;
+  /// Consecutive malformed frames (reset by any valid message).
+  int malformed = 0;
+  /// Last activation pushed, replayed on idempotent re-registration.
+  ipc::ActivateMsg last_activation;
+  bool activation_sent = false;
 };
 
 RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
@@ -52,6 +60,22 @@ const OperatingPoint* RmServer::current_point(const std::string& app_name) const
   return nullptr;
 }
 
+std::vector<ClientSnapshot> RmServer::snapshot() const {
+  std::vector<ClientSnapshot> out;
+  out.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    ClientSnapshot snap;
+    snap.name = client->name;
+    snap.pid = client->pid;
+    snap.app_id = client->app_id;
+    snap.registered = client->registered;
+    snap.last_heard = client->last_heard;
+    if (client->activation_sent && client->has_active) snap.granted = client->last_activation.cores;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 void RmServer::poll(double now_seconds) {
   // Accept pending connections.
   if (server_ != nullptr) {
@@ -66,14 +90,34 @@ void RmServer::poll(double now_seconds) {
     }
   }
 
+  // Start the lease clock for channels adopted since the last cycle.
+  for (const auto& client : clients_)
+    if (client->last_heard < 0.0) client->last_heard = now_seconds;
+
   // Drain client messages; drop broken/closed clients.
   for (std::size_t i = 0; i < clients_.size();) {
-    process_client_messages(*clients_[i]);
+    process_client_messages(*clients_[i], now_seconds);
     if (clients_[i]->channel->closed()) {
       drop_client(i);
       continue;
     }
     ++i;
+  }
+
+  // Lease expiry: evict silent clients and reclaim their grants in this same
+  // cycle (the reallocation below reruns the MMKP over the survivors).
+  if (options_.lease_seconds > 0.0) {
+    for (std::size_t i = 0; i < clients_.size();) {
+      if (now_seconds - clients_[i]->last_heard > options_.lease_seconds) {
+        HARP_WARN << "client '" << clients_[i]->name << "' lease expired ("
+                  << options_.lease_seconds << " s silent); evicting";
+        clients_[i]->channel->close();
+        ++lease_evictions_;
+        drop_client(i);
+        continue;
+      }
+      ++i;
+    }
   }
 
   if (needs_realloc_) reallocate();
@@ -87,31 +131,35 @@ void RmServer::poll(double now_seconds) {
   }
 }
 
-void RmServer::process_client_messages(Client& client) {
+void RmServer::process_client_messages(Client& client, double now_seconds) {
   while (true) {
     Result<std::optional<ipc::Message>> message = client.channel->poll();
     if (!message.ok()) {
+      const std::string& what = message.error().message;
+      if (!client.channel->closed() && what.rfind("proto:", 0) == 0) {
+        // A single malformed frame was consumed; the stream is intact. Keep
+        // the client (a garbage frame must not take down the event loop) but
+        // bound its strikes. Receiving anything still proves liveness.
+        client.last_heard = now_seconds;
+        if (++client.malformed > options_.max_malformed_frames) {
+          HARP_WARN << "client '" << client.name << "': too many malformed frames; dropping";
+          client.channel->close();
+          return;
+        }
+        HARP_WARN << "malformed frame from '" << client.name << "' (" << what << "); ignored";
+        continue;
+      }
       client.channel->close();
       return;
     }
     if (!message.value().has_value()) return;
+    client.last_heard = now_seconds;
+    client.malformed = 0;
     const ipc::Message& m = *message.value();
 
     if (const auto* request = std::get_if<ipc::RegisterRequest>(&m)) {
-      if (client.registered) {
-        HARP_WARN << "duplicate registration from '" << request->app_name << "'";
-        client.channel->close();
-        return;
-      }
-      client.registered = true;
-      client.app_id = next_app_id_++;
-      client.name = request->app_name;
-      client.adaptivity = request->adaptivity;
-      client.provides_utility = request->provides_utility;
-      client.table = OperatingPointTable(client.name);
-      (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
-      needs_realloc_ = true;
-      HARP_INFO << "registered '" << client.name << "' (pid " << request->pid << ")";
+      handle_registration(client, *request);
+      if (client.channel->closed()) return;
       continue;
     }
     if (!client.registered) {
@@ -146,8 +194,51 @@ void RmServer::process_client_messages(Client& client) {
       needs_realloc_ = true;
       return;
     }
+    if (std::holds_alternative<ipc::Heartbeat>(m)) continue;  // lease already renewed
     HARP_WARN << "unexpected message type from '" << client.name << "'";
   }
+}
+
+void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& request) {
+  if (client.registered) {
+    if (request.app_name == client.name && request.pid == client.pid) {
+      // Idempotent re-registration: the client lost our ack (flaky link) and
+      // retried. Re-ack with the original id and replay the last activation
+      // so both sides converge without a fresh allocation round.
+      (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
+      if (client.activation_sent)
+        (void)client.channel->send(ipc::Message(client.last_activation));
+      return;
+    }
+    HARP_WARN << "conflicting re-registration from '" << client.name << "' as '"
+              << request.app_name << "'; dropping client";
+    client.channel->close();
+    return;
+  }
+
+  // A registration with the identity of an existing client supersedes it:
+  // the old connection is a zombie of a crashed/restarted process whose
+  // socket has not been torn down yet. Evict it so its cores free up now.
+  for (const auto& other : clients_) {
+    if (other.get() == &client || !other->registered) continue;
+    if (other->name == request.app_name && other->pid == request.pid) {
+      HARP_WARN << "registration of '" << request.app_name << "' (pid " << request.pid
+                << ") supersedes a stale connection; evicting the old one";
+      other->channel->close();
+      needs_realloc_ = true;
+    }
+  }
+
+  client.registered = true;
+  client.app_id = next_app_id_++;
+  client.pid = request.pid;
+  client.name = request.app_name;
+  client.adaptivity = request.adaptivity;
+  client.provides_utility = request.provides_utility;
+  client.table = OperatingPointTable(client.name);
+  (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
+  needs_realloc_ = true;
+  HARP_INFO << "registered '" << client.name << "' (pid " << request.pid << ")";
 }
 
 void RmServer::drop_client(std::size_t index) {
@@ -198,6 +289,7 @@ AllocationGroup RmServer::build_group(const Client& client) const {
 
 void RmServer::reallocate() {
   needs_realloc_ = false;
+  ++realloc_count_;
   std::vector<Client*> registered;
   for (const auto& client : clients_)
     if (client->registered) registered.push_back(client.get());
@@ -217,6 +309,8 @@ void RmServer::reallocate() {
       activate.erv = platform::ExtendedResourceVector::full(hw_);
       activate.parallelism = 0;
       client->has_active = false;
+      client->last_activation = activate;
+      client->activation_sent = true;
       (void)client->channel->send(ipc::Message(activate));
     }
     return;
@@ -238,6 +332,8 @@ void RmServer::reallocate() {
     activate.rebalance = client->adaptivity == ipc::WireAdaptivity::kCustom;
     client->active_point = point;
     client->has_active = true;
+    client->last_activation = activate;
+    client->activation_sent = true;
     (void)client->channel->send(ipc::Message(activate));
   }
 }

@@ -29,6 +29,25 @@ struct RmServerOptions {
   SolverKind solver = SolverKind::kLagrangian;
   /// Seconds between utility-feedback requests (§4.1.1 step 4).
   double utility_poll_interval_s = 1.0;
+  /// Client lease: a client silent for longer than this is evicted and its
+  /// cores reclaimed within the same poll() cycle. Any received frame (even
+  /// a malformed one) renews the lease; libharp sends heartbeats when idle.
+  /// 0 disables lease tracking.
+  double lease_seconds = 30.0;
+  /// Consecutive malformed ("proto:") frames tolerated per client before the
+  /// connection is cut; a valid frame resets the count.
+  int max_malformed_frames = 8;
+};
+
+/// Diagnostic view of one connected client (scenario tests, harp-inspect).
+struct ClientSnapshot {
+  std::string name;
+  std::int32_t pid = 0;
+  std::int32_t app_id = -1;
+  bool registered = false;
+  double last_heard = 0.0;
+  /// Exclusive core grants currently held (empty under co-allocation).
+  std::vector<ipc::ActivateMsg::CoreGrant> granted;
 };
 
 class RmServer {
@@ -57,10 +76,19 @@ class RmServer {
   /// The activation most recently pushed to a named application.
   const OperatingPoint* current_point(const std::string& app_name) const;
 
+  /// Per-client diagnostic snapshot (invariant checks, tooling).
+  std::vector<ClientSnapshot> snapshot() const;
+
+  /// Times the MMKP ran since construction (observability for tests).
+  std::uint64_t realloc_count() const { return realloc_count_; }
+  /// Clients evicted for lease expiry since construction.
+  std::uint64_t lease_evictions() const { return lease_evictions_; }
+
  private:
   struct Client;
 
-  void process_client_messages(Client& client);
+  void process_client_messages(Client& client, double now_seconds);
+  void handle_registration(Client& client, const ipc::RegisterRequest& request);
   void drop_client(std::size_t index);
   void reallocate();
   AllocationGroup build_group(const Client& client) const;
@@ -73,6 +101,8 @@ class RmServer {
   std::int32_t next_app_id_ = 1;
   bool needs_realloc_ = false;
   double last_utility_poll_ = 0.0;
+  std::uint64_t realloc_count_ = 0;
+  std::uint64_t lease_evictions_ = 0;
 };
 
 }  // namespace harp::core

@@ -1,0 +1,133 @@
+#include "src/ipc/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "src/ipc/wire.hpp"
+
+namespace harp::ipc {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kGarbage: return "garbage";
+    case FaultKind::kTransientError: return "transient-error";
+    case FaultKind::kClose: return "close";
+  }
+  return "?";
+}
+
+FaultInjectingChannel::FaultInjectingChannel(std::unique_ptr<Channel> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+FaultKind FaultInjectingChannel::decide(std::uint64_t seq) {
+  for (const FaultRule& rule : plan_.script)
+    if (rule.at_send == seq) return rule.kind;
+  // One uniform draw per send keeps the stream position independent of which
+  // probabilities are enabled, so schedules stay comparable across plans
+  // with the same seed.
+  double u = rng_.uniform();
+  double acc = plan_.drop_p;
+  if (u < acc) return FaultKind::kDrop;
+  if (u < (acc += plan_.duplicate_p)) return FaultKind::kDuplicate;
+  if (u < (acc += plan_.reorder_p)) return FaultKind::kReorder;
+  if (u < (acc += plan_.truncate_p)) return FaultKind::kTruncate;
+  if (u < (acc += plan_.garbage_p)) return FaultKind::kGarbage;
+  if (u < (acc += plan_.transient_error_p)) return FaultKind::kTransientError;
+  return FaultKind::kNone;
+}
+
+Status FaultInjectingChannel::deliver(const std::vector<std::uint8_t>& frame) {
+  return inner_->send_raw(frame);
+}
+
+void FaultInjectingChannel::flush_held() {
+  if (!held_.has_value()) return;
+  (void)deliver(*held_);
+  held_.reset();
+}
+
+Status FaultInjectingChannel::send(const Message& message) {
+  if (inner_->closed()) return Status(make_error("io: channel closed"));
+  std::uint64_t seq = stats_.sends++;
+  switch (decide(seq)) {
+    case FaultKind::kNone: {
+      Status sent = deliver(encode(message));
+      flush_held();
+      return sent;
+    }
+    case FaultKind::kDrop:
+      ++stats_.drops;
+      flush_held();
+      return Status{};  // silent loss: the sender believes it went out
+    case FaultKind::kDuplicate: {
+      ++stats_.duplicates;
+      std::vector<std::uint8_t> frame = encode(message);
+      Status sent = deliver(frame);
+      if (sent.ok()) (void)deliver(frame);
+      flush_held();
+      return sent;
+    }
+    case FaultKind::kReorder: {
+      ++stats_.reorders;
+      if (held_.has_value()) flush_held();  // at most one frame in flight
+      held_ = encode(message);
+      return Status{};
+    }
+    case FaultKind::kTruncate: {
+      ++stats_.truncates;
+      std::vector<std::uint8_t> frame = encode(message);
+      std::size_t keep = std::max<std::size_t>(1, frame.size() / 2);
+      frame.resize(keep);
+      Status sent = deliver(frame);
+      flush_held();
+      return sent;
+    }
+    case FaultKind::kGarbage: {
+      ++stats_.garbled;
+      std::vector<std::uint8_t> frame = encode(message);
+      if (frame.size() > kFrameHeaderSize) {
+        // Keep the header (length + type) valid so framed transports stay in
+        // sync and exercise the payload-decode rejection path.
+        for (std::size_t i = kFrameHeaderSize; i < frame.size(); ++i)
+          frame[i] = static_cast<std::uint8_t>(rng_.uniform_int(0, 255));
+      } else {
+        // Empty payload: corrupt the message type instead (unknown type).
+        frame[kFrameHeaderSize - 2] = 0xFF;
+        frame[kFrameHeaderSize - 1] = 0x7F;
+      }
+      Status sent = deliver(frame);
+      flush_held();
+      return sent;
+    }
+    case FaultKind::kTransientError:
+      ++stats_.transient_errors;
+      return Status(make_error("io: injected transient send error"));
+    case FaultKind::kClose:
+      ++stats_.closes;
+      held_.reset();
+      inner_->close();
+      return Status(make_error("io: injected link failure"));
+  }
+  return Status{};
+}
+
+Status FaultInjectingChannel::send_raw(const std::vector<std::uint8_t>& frame) {
+  // Raw frames bypass the schedule: they come from another fault layer or a
+  // test poking bytes directly, which should see the wire verbatim.
+  return inner_->send_raw(frame);
+}
+
+Result<std::optional<Message>> FaultInjectingChannel::poll() { return inner_->poll(); }
+
+bool FaultInjectingChannel::closed() const { return inner_->closed(); }
+
+void FaultInjectingChannel::close() {
+  held_.reset();
+  inner_->close();
+}
+
+}  // namespace harp::ipc

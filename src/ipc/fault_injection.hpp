@@ -1,0 +1,102 @@
+// Fault-injecting channel decorator for protocol robustness testing.
+//
+// Wraps any Channel and applies a seeded, scriptable fault schedule to the
+// send path: message drop, duplication, reordering, truncated and garbage
+// frames (via Channel::send_raw), transient send errors, and abrupt link
+// closure. Every decision is driven by a deterministic PRNG plus an explicit
+// per-message script, so a failing scenario replays bit-identically from its
+// seed — the foundation of the deterministic scenario harness in
+// tests/fault_scenario_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ipc/transport.hpp"
+
+namespace harp::ipc {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop,            ///< message silently discarded
+  kDuplicate,       ///< message delivered twice
+  kReorder,         ///< message held back and delivered after the next one
+  kTruncate,        ///< frame cut short mid-payload
+  kGarbage,         ///< frame header kept, payload bytes randomised
+  kTransientError,  ///< send fails with "io: injected transient send error"
+  kClose,           ///< link abruptly closed
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault: applied to the `at_send`-th send (0-based sequence
+/// number counted across the channel's lifetime).
+struct FaultRule {
+  std::uint64_t at_send = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+/// A fault schedule: explicit script entries win over the seeded random
+/// probabilities, which are evaluated per send in a fixed order (drop,
+/// duplicate, reorder, truncate, garbage, transient error).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> script;
+  double drop_p = 0.0;
+  double duplicate_p = 0.0;
+  double reorder_p = 0.0;
+  double truncate_p = 0.0;
+  double garbage_p = 0.0;
+  double transient_error_p = 0.0;
+
+  /// A plan that never injects anything (still counts sends).
+  static FaultPlan clean() { return FaultPlan{}; }
+};
+
+/// Counters for assertions and debugging output.
+struct FaultStats {
+  std::uint64_t sends = 0;  ///< send() calls observed (sequence numbers)
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t truncates = 0;
+  std::uint64_t garbled = 0;
+  std::uint64_t transient_errors = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t injected() const {
+    return drops + duplicates + reorders + truncates + garbled + transient_errors + closes;
+  }
+};
+
+/// Channel decorator applying a FaultPlan to outbound traffic. The receive
+/// path is passed through untouched — wrap both ends of a pair to make a
+/// link flaky in both directions.
+class FaultInjectingChannel : public Channel {
+ public:
+  FaultInjectingChannel(std::unique_ptr<Channel> inner, FaultPlan plan);
+
+  Status send(const Message& message) override;
+  Status send_raw(const std::vector<std::uint8_t>& frame) override;
+  Result<std::optional<Message>> poll() override;
+  bool closed() const override;
+  void close() override;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultKind decide(std::uint64_t seq);
+  Status deliver(const std::vector<std::uint8_t>& frame);
+  void flush_held();
+
+  std::unique_ptr<Channel> inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  /// Frame held back by a reorder fault, delivered after the next send.
+  std::optional<std::vector<std::uint8_t>> held_;
+};
+
+}  // namespace harp::ipc

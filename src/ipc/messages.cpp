@@ -48,6 +48,7 @@ MessageType type_of(const Message& message) {
     MessageType operator()(const UtilityRequest&) { return MessageType::kUtilityRequest; }
     MessageType operator()(const UtilityReport&) { return MessageType::kUtilityReport; }
     MessageType operator()(const Deregister&) { return MessageType::kDeregister; }
+    MessageType operator()(const Heartbeat&) { return MessageType::kHeartbeat; }
   };
   return std::visit(Visitor{}, message);
 }
@@ -84,7 +85,7 @@ std::vector<std::uint8_t> encode(const Message& message) {
         } else if constexpr (std::is_same_v<T, UtilityReport>) {
           payload.f64(msg.utility);
         }
-        // UtilityRequest and Deregister have empty payloads.
+        // UtilityRequest, Deregister and Heartbeat have empty payloads.
       },
       message);
 
@@ -159,6 +160,10 @@ Result<Message> decode(MessageType type, const std::vector<std::uint8_t>& payloa
     case MessageType::kDeregister: {
       if (!payload.empty()) return proto_error("Deregister carries payload");
       return Message(Deregister{});
+    }
+    case MessageType::kHeartbeat: {
+      if (!payload.empty()) return proto_error("Heartbeat carries payload");
+      return Message(Heartbeat{});
     }
   }
   return proto_error("unknown message type");

@@ -27,6 +27,7 @@ enum class MessageType : std::uint16_t {
   kUtilityRequest = 5,
   kUtilityReport = 6,
   kDeregister = 7,
+  kHeartbeat = 8,
 };
 
 /// Application adaptivity classes on the wire (§4.1.3).
@@ -81,8 +82,12 @@ struct UtilityReport {
 /// App → RM: clean shutdown.
 struct Deregister {};
 
+/// App → RM: liveness beacon renewing the client's lease. Sent by libharp
+/// when nothing else has gone out for a while; carries no payload.
+struct Heartbeat {};
+
 using Message = std::variant<RegisterRequest, RegisterAck, OperatingPointsMsg, ActivateMsg,
-                             UtilityRequest, UtilityReport, Deregister>;
+                             UtilityRequest, UtilityReport, Deregister, Heartbeat>;
 
 MessageType type_of(const Message& message);
 

@@ -35,10 +35,12 @@ class InProcChannel : public Channel {
 
   ~InProcChannel() override { close(); }
 
-  Status send(const Message& message) override {
+  Status send(const Message& message) override { return send_raw(encode(message)); }
+
+  Status send_raw(const std::vector<std::uint8_t>& frame) override {
     std::scoped_lock lock(tx_->mutex);
     if (tx_->closed) return Status(make_error("io: channel closed"));
-    tx_->frames.push_back(encode(message));
+    tx_->frames.push_back(frame);
     return Status{};
   }
 
@@ -98,9 +100,10 @@ class UnixChannel : public Channel {
 
   ~UnixChannel() override { close(); }
 
-  Status send(const Message& message) override {
+  Status send(const Message& message) override { return send_raw(encode(message)); }
+
+  Status send_raw(const std::vector<std::uint8_t>& frame) override {
     if (fd_ < 0) return Status(make_error("io: channel closed"));
-    std::vector<std::uint8_t> frame = encode(message);
     std::size_t sent = 0;
     while (sent < frame.size()) {
       ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
@@ -158,7 +161,8 @@ class UnixChannel : public Channel {
                   buffer_.begin() + static_cast<long>(kFrameHeaderSize + payload_size));
     Result<Message> message = decode(static_cast<MessageType>(type), payload);
     if (!message.ok()) {
-      close();
+      // The frame boundary was intact, so the stream stays in sync: report
+      // the malformed payload but keep the channel usable ("proto:" error).
       return Result<std::optional<Message>>(message.error());
     }
     return std::optional<Message>(std::move(message).take());

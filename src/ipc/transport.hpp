@@ -18,6 +18,13 @@
 namespace harp::ipc {
 
 /// A bidirectional, non-blocking message channel.
+///
+/// Error taxonomy (matched on message prefix, see result.hpp):
+///  - "proto:" — a single malformed frame was consumed; the channel remains
+///    usable and subsequent poll()s deliver later frames. Callers decide how
+///    many strikes a peer gets.
+///  - "io:"    — the link itself failed (peer closed, socket error); the
+///    channel is unusable and closed() turns true.
 class Channel {
  public:
   virtual ~Channel() = default;
@@ -26,8 +33,16 @@ class Channel {
   /// channel is closed.
   virtual Status send(const Message& message) = 0;
 
+  /// Send a pre-encoded (possibly deliberately malformed) frame verbatim.
+  /// The escape hatch the fault-injection layer uses to put truncated or
+  /// garbage bytes on the wire; transports without a byte path may refuse.
+  virtual Status send_raw(const std::vector<std::uint8_t>& frame) {
+    (void)frame;
+    return Status(make_error("io: raw frames unsupported on this channel"));
+  }
+
   /// Non-blocking receive: nullopt when no complete message is pending.
-  /// A protocol violation or a closed peer yields an error.
+  /// A protocol violation or a closed peer yields an error (see taxonomy).
   virtual Result<std::optional<Message>> poll() = 0;
 
   virtual bool closed() const = 0;

@@ -2,80 +2,191 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "src/common/check.hpp"
+#include "src/common/logging.hpp"
 
 namespace harp::client {
 
-HarpClient::HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks)
-    : channel_(std::move(channel)), config_(std::move(config)), callbacks_(std::move(callbacks)) {}
+namespace {
+
+/// Send-path errors that leave the channel open are transient (e.g. an
+/// injected fault or a slow peer); the message is safe to retry.
+bool is_transient(const ipc::Channel& channel) { return !channel.closed(); }
+
+constexpr int kMaxMalformedFromRm = 8;
+
+}  // namespace
+
+const char* to_string(LinkState state) {
+  switch (state) {
+    case LinkState::kRegistering: return "registering";
+    case LinkState::kConnected: return "connected";
+    case LinkState::kDisconnected: return "disconnected";
+    case LinkState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+HarpClient::HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks,
+                       ChannelFactory factory)
+    : channel_(std::move(channel)),
+      config_(std::move(config)),
+      callbacks_(std::move(callbacks)),
+      factory_(std::move(factory)),
+      jitter_rng_(config_.jitter_seed) {}
 
 HarpClient::~HarpClient() {
-  if (!deregistered_ && channel_ != nullptr && !channel_->closed()) (void)deregister();
+  if (!deregistered_) (void)deregister();
+}
+
+Result<std::unique_ptr<HarpClient>> HarpClient::make(std::unique_ptr<ipc::Channel> channel,
+                                                     Config config, Callbacks callbacks,
+                                                     ChannelFactory factory, bool blocking) {
+  if (config.app_name.empty())
+    return Result<std::unique_ptr<HarpClient>>(make_error("proto: app_name required"));
+  if (config.provides_utility && !callbacks.utility_provider)
+    return Result<std::unique_ptr<HarpClient>>(
+        make_error("proto: provides_utility requires a utility_provider callback"));
+  auto client = std::unique_ptr<HarpClient>(new HarpClient(
+      std::move(channel), std::move(config), std::move(callbacks), std::move(factory)));
+  Status begun = client->begin_registration();
+  if (!begun.ok() && !client->factory_)
+    return Result<std::unique_ptr<HarpClient>>(begun.error());
+  if (blocking) {
+    Status registered = client->block_until_registered();
+    if (!registered.ok()) return Result<std::unique_ptr<HarpClient>>(registered.error());
+  }
+  return client;
 }
 
 Result<std::unique_ptr<HarpClient>> HarpClient::connect(const std::string& socket_path,
                                                         Config config, Callbacks callbacks) {
   Result<std::unique_ptr<ipc::Channel>> channel = ipc::unix_connect(socket_path);
   if (!channel.ok()) return Result<std::unique_ptr<HarpClient>>(channel.error());
-  return over_channel(std::move(channel).take(), std::move(config), std::move(callbacks));
+  ChannelFactory factory = [socket_path] { return ipc::unix_connect(socket_path); };
+  return make(std::move(channel).take(), std::move(config), std::move(callbacks),
+              std::move(factory), /*blocking=*/true);
 }
 
 Result<std::unique_ptr<HarpClient>> HarpClient::over_channel(
     std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks) {
-  if (config.app_name.empty())
-    return Result<std::unique_ptr<HarpClient>>(make_error("proto: app_name required"));
-  if (config.provides_utility && !callbacks.utility_provider)
-    return Result<std::unique_ptr<HarpClient>>(
-        make_error("proto: provides_utility requires a utility_provider callback"));
-  auto client = std::unique_ptr<HarpClient>(
-      new HarpClient(std::move(channel), std::move(config), std::move(callbacks)));
-  Status registered = client->perform_registration();
-  if (!registered.ok()) return Result<std::unique_ptr<HarpClient>>(registered.error());
-  return client;
+  return make(std::move(channel), std::move(config), std::move(callbacks), nullptr,
+              /*blocking=*/true);
 }
 
-Status HarpClient::perform_registration() {
+Result<std::unique_ptr<HarpClient>> HarpClient::deferred(std::unique_ptr<ipc::Channel> channel,
+                                                         Config config, Callbacks callbacks,
+                                                         ChannelFactory factory) {
+  return make(std::move(channel), std::move(config), std::move(callbacks), std::move(factory),
+              /*blocking=*/false);
+}
+
+ipc::Message HarpClient::register_request() const {
   ipc::RegisterRequest request;
   request.pid = config_.pid != 0 ? config_.pid : static_cast<std::int32_t>(::getpid());
   request.app_name = config_.app_name;
   request.adaptivity = config_.adaptivity;
   request.provides_utility = config_.provides_utility;
-  Status sent = channel_->send(ipc::Message(request));
-  if (!sent.ok()) return sent;
+  return ipc::Message(request);
+}
 
-  // Wait (bounded) for the acknowledgement; the RM answers registrations
-  // promptly, so a short poll loop suffices even over real sockets.
-  for (int attempt = 0; attempt < 2000; ++attempt) {
-    Result<std::optional<ipc::Message>> message = channel_->poll();
-    if (!message.ok()) return Status(message.error());
-    if (message.value().has_value()) {
-      const ipc::Message& m = *message.value();
-      if (const auto* ack = std::get_if<ipc::RegisterAck>(&m)) {
-        if (ack->app_id < 0) return Status(make_error("proto: registration rejected"));
-        app_id_ = ack->app_id;
-        return Status{};
-      }
-      // Tolerate an eager activation arriving before the ack is processed.
-      Status handled = handle(m);
-      if (!handled.ok()) return handled;
-      continue;
-    }
+Status HarpClient::begin_registration() {
+  state_ = LinkState::kRegistering;
+  register_sent_at_ = last_now_;
+  Status sent = channel_->send(register_request());
+  if (!sent.ok()) {
+    if (is_transient(*channel_)) return Status{};  // kRegistering retry timer re-sends
+    // Channel already dead; reconnect machinery (if any) takes over on poll.
+    state_ = factory_ ? LinkState::kDisconnected : LinkState::kClosed;
+    if (factory_) next_retry_at_ = last_now_ + backoff_delay(attempt_);
+    return sent;
+  }
+  return Status{};
+}
+
+Status HarpClient::block_until_registered() {
+  // The RM answers registrations promptly, so a short poll loop suffices
+  // even over real sockets. Requires the RM to be polled concurrently.
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    Status polled = poll();
+    if (!polled.ok()) return polled;
+    if (state_ == LinkState::kConnected) return Status{};
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return Status(make_error("io: registration timed out"));
 }
 
-Status HarpClient::submit_operating_points(
-    const std::vector<ipc::OperatingPointsMsg::Point>& points) {
-  ipc::OperatingPointsMsg msg;
-  msg.points = points;
-  return channel_->send(ipc::Message(msg));
+double HarpClient::wall_clock_seconds() {
+  auto now = std::chrono::steady_clock::now();
+  if (!clock_base_.has_value()) clock_base_ = now;
+  return std::chrono::duration<double>(now - *clock_base_).count();
 }
 
-Status HarpClient::handle(const ipc::Message& message) {
+Status HarpClient::poll() { return poll(wall_clock_seconds()); }
+
+Status HarpClient::poll(double now_seconds) {
+  last_now_ = now_seconds;
+  if (state_ == LinkState::kClosed)
+    return Status(make_error("io: client closed"));
+  if (state_ == LinkState::kDisconnected) {
+    try_reconnect(now_seconds);
+    if (state_ == LinkState::kDisconnected) return Status{};  // retry scheduled
+    if (state_ == LinkState::kClosed)
+      return Status(make_error("io: reconnect attempts exhausted"));
+  }
+
+  while (true) {
+    Result<std::optional<ipc::Message>> message = channel_->poll();
+    if (!message.ok()) {
+      const std::string& what = message.error().message;
+      if (!channel_->closed() && what.rfind("proto:", 0) == 0) {
+        // One malformed frame from the RM; the stream is still in sync.
+        if (++malformed_from_rm_ > kMaxMalformedFromRm) {
+          channel_->close();
+          return link_down(message.error(), now_seconds);
+        }
+        continue;
+      }
+      return link_down(message.error(), now_seconds);
+    }
+    if (!message.value().has_value()) break;
+    malformed_from_rm_ = 0;
+    Status handled = handle(*message.value(), now_seconds);
+    if (!handled.ok()) return handled;
+  }
+
+  // The RegisterRequest or its ack can be lost on a flaky link; registration
+  // is idempotent server-side, so retransmit on a timer until acknowledged.
+  if (state_ == LinkState::kRegistering && config_.register_retry_s > 0.0 &&
+      now_seconds - register_sent_at_ >= config_.register_retry_s) {
+    register_sent_at_ = now_seconds;
+    Status sent = channel_->send(register_request());
+    if (!sent.ok() && !is_transient(*channel_)) return link_down(sent.error(), now_seconds);
+  }
+
+  // Liveness heartbeat: keep the RM-side lease fresh during idle stretches.
+  if (state_ == LinkState::kConnected && config_.heartbeat_interval_s > 0.0 &&
+      now_seconds - last_tx_ >= config_.heartbeat_interval_s)
+    (void)transmit(ipc::Message(ipc::Heartbeat{}), /*droppable=*/true, now_seconds);
+  return Status{};
+}
+
+Status HarpClient::handle(const ipc::Message& message, double now_seconds) {
+  if (const auto* ack = std::get_if<ipc::RegisterAck>(&message)) {
+    if (state_ == LinkState::kConnected) return Status{};  // duplicate ack; idempotent
+    if (ack->app_id < 0) {
+      channel_->close();
+      state_ = LinkState::kClosed;
+      return Status(make_error("proto: registration rejected"));
+    }
+    app_id_ = ack->app_id;
+    on_registered(now_seconds);
+    return Status{};
+  }
   if (const auto* activate = std::get_if<ipc::ActivateMsg>(&message)) {
     Activation activation;
     activation.erv = activate->erv;
@@ -89,20 +200,136 @@ Status HarpClient::handle(const ipc::Message& message) {
   if (std::holds_alternative<ipc::UtilityRequest>(message)) {
     ipc::UtilityReport report;
     report.utility = callbacks_.utility_provider ? callbacks_.utility_provider() : 0.0;
-    return channel_->send(ipc::Message(report));
+    return transmit(ipc::Message(report), /*droppable=*/true, now_seconds);
   }
-  // Other message kinds are RM-bound; receiving one here is a peer bug.
-  return Status(make_error("proto: unexpected message from RM"));
+  // Other message kinds are RM-bound; a misdelivered one is a peer bug but
+  // not worth killing the link over.
+  HARP_WARN << "libharp '" << config_.app_name << "': ignoring unexpected message from RM";
+  return Status{};
 }
 
-Status HarpClient::poll() {
-  while (true) {
-    Result<std::optional<ipc::Message>> message = channel_->poll();
-    if (!message.ok()) return Status(message.error());
-    if (!message.value().has_value()) return Status{};
-    Status handled = handle(*message.value());
-    if (!handled.ok()) return handled;
+void HarpClient::on_registered(double now_seconds) {
+  state_ = LinkState::kConnected;
+  attempt_ = 0;
+  last_tx_ = now_seconds;
+  // Replay the description-file table so a restarted RM regains the same
+  // view it had before the link dropped (idempotent re-registration).
+  if (!submitted_points_.empty()) {
+    ipc::OperatingPointsMsg msg;
+    msg.points = submitted_points_;
+    (void)transmit(ipc::Message(msg), /*droppable=*/false, now_seconds);
   }
+  flush_pending(now_seconds);
+}
+
+Status HarpClient::submit_operating_points(
+    const std::vector<ipc::OperatingPointsMsg::Point>& points) {
+  submitted_points_.insert(submitted_points_.end(), points.begin(), points.end());
+  if (state_ == LinkState::kClosed)
+    return Status(make_error("io: client closed"));
+  if (state_ != LinkState::kConnected) return Status{};  // replayed after registration
+  ipc::OperatingPointsMsg msg;
+  msg.points = points;
+  return transmit(ipc::Message(msg), /*droppable=*/false, last_now_);
+}
+
+Status HarpClient::transmit(const ipc::Message& message, bool droppable, double now_seconds) {
+  if (state_ == LinkState::kClosed)
+    return Status(make_error("io: client closed"));
+  if (state_ == LinkState::kDisconnected) {
+    enqueue(message, droppable);
+    return factory_ ? Status{} : Status(make_error("io: link down and no reconnect factory"));
+  }
+  Status sent = channel_->send(message);
+  if (sent.ok()) {
+    last_tx_ = now_seconds;
+    return Status{};
+  }
+  if (is_transient(*channel_)) {
+    enqueue(message, droppable);
+    return Status{};
+  }
+  enqueue(message, droppable);
+  return link_down(sent.error(), now_seconds);
+}
+
+void HarpClient::enqueue(ipc::Message message, bool droppable) {
+  if (pending_.size() >= config_.max_pending_sends) {
+    auto oldest_droppable = std::find_if(pending_.begin(), pending_.end(),
+                                         [](const Pending& p) { return p.droppable; });
+    if (oldest_droppable != pending_.end()) {
+      pending_.erase(oldest_droppable);
+      ++dropped_sends_;
+    } else if (droppable) {
+      ++dropped_sends_;  // queue full of must-deliver messages; shed the new one
+      return;
+    } else {
+      pending_.pop_front();  // bound memory even in pathological cases
+      ++dropped_sends_;
+    }
+  }
+  pending_.push_back(Pending{std::move(message), droppable});
+}
+
+void HarpClient::flush_pending(double now_seconds) {
+  while (!pending_.empty() && state_ == LinkState::kConnected) {
+    Pending entry = std::move(pending_.front());
+    pending_.pop_front();
+    Status sent = channel_->send(entry.message);
+    if (sent.ok()) {
+      last_tx_ = now_seconds;
+      continue;
+    }
+    // Put it back and stop: either a transient hiccup (retried on the next
+    // flush) or the link just died (reconnect machinery takes over).
+    pending_.push_front(std::move(entry));
+    if (!is_transient(*channel_)) (void)link_down(sent.error(), now_seconds);
+    break;
+  }
+}
+
+Status HarpClient::link_down(const Error& error, double now_seconds) {
+  channel_->close();
+  if (deregistered_) {
+    state_ = LinkState::kClosed;
+    return Status{};
+  }
+  if (!factory_) {
+    state_ = LinkState::kClosed;
+    return Status(error);
+  }
+  state_ = LinkState::kDisconnected;
+  attempt_ = 0;
+  next_retry_at_ = now_seconds + backoff_delay(attempt_);
+  HARP_INFO << "libharp '" << config_.app_name << "': link lost (" << error.message
+            << "); reconnecting";
+  return Status{};
+}
+
+double HarpClient::backoff_delay(int attempt) {
+  double base = config_.retry.initial_backoff_s * static_cast<double>(1ull << std::min(attempt, 20));
+  base = std::min(base, config_.retry.max_backoff_s);
+  double jitter = 1.0 + config_.retry.jitter_frac * (2.0 * jitter_rng_.uniform() - 1.0);
+  return base * std::max(jitter, 0.0);
+}
+
+void HarpClient::try_reconnect(double now_seconds) {
+  if (now_seconds < next_retry_at_) return;
+  Result<std::unique_ptr<ipc::Channel>> fresh = factory_();
+  if (fresh.ok()) {
+    channel_ = std::move(fresh).take();
+    ++reconnects_;
+    malformed_from_rm_ = 0;
+    Status begun = begin_registration();
+    if (begun.ok() || state_ == LinkState::kRegistering) return;
+  }
+  ++attempt_;
+  if (config_.retry.max_attempts > 0 && attempt_ >= config_.retry.max_attempts) {
+    state_ = LinkState::kClosed;
+    return;
+  }
+  state_ = LinkState::kDisconnected;
+  next_retry_at_ = now_seconds + backoff_delay(attempt_);
 }
 
 int HarpClient::recommended_parallelism(int user_requested) const {
@@ -115,10 +342,23 @@ int HarpClient::recommended_parallelism(int user_requested) const {
 
 Status HarpClient::deregister() {
   deregistered_ = true;
-  if (channel_ == nullptr || channel_->closed()) return Status{};
-  Status sent = channel_->send(ipc::Message(ipc::Deregister{}));
-  channel_->close();
-  return sent;
+  if (channel_ != nullptr && !channel_->closed() &&
+      (state_ == LinkState::kConnected || state_ == LinkState::kRegistering)) {
+    // Single bounded, best-effort send: a half-open peer must not block or
+    // fail shutdown — the RM's lease reclaims the grant either way.
+    (void)channel_->send(ipc::Message(ipc::Deregister{}));
+  }
+  if (channel_ != nullptr) channel_->close();
+  pending_.clear();
+  state_ = LinkState::kClosed;
+  return Status{};
+}
+
+void HarpClient::drop_link() {
+  if (channel_ != nullptr) channel_->close();
+  pending_.clear();
+  deregistered_ = true;  // crash semantics: no Deregister notice ever goes out
+  state_ = LinkState::kClosed;
 }
 
 }  // namespace harp::client

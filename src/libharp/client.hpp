@@ -2,8 +2,8 @@
 //
 // libharp mediates between an application and the HARP RM: it registers the
 // application (adaptivity type, capability flags), optionally submits the
-// operating points from the application's description file, receives
-// operating-point activations, and reports utility on request.
+// operating points from its description file, receives operating-point
+// activations, and reports utility on request.
 //
 // Adaptivity integration (§4.1.3/§4.1.4):
 //  - static apps need nothing beyond registration; the activation carries
@@ -14,8 +14,18 @@
 //    the paper's num_threads adjustment.
 //  - custom apps register an on_activate callback and reconfigure
 //    themselves (the KPN parallel-region scaling of the paper).
+//
+// Fault tolerance: the RM is a long-lived daemon, but the link to it is not
+// (RM restarts, socket hiccups). The client therefore runs a small link
+// state machine — registering → connected → disconnected → (reconnect) —
+// with capped exponential backoff + deterministic jitter, idempotent
+// re-registration that replays the submitted operating-point table, and a
+// bounded outbound queue so utility reports survive a transient disconnect.
+// See DESIGN.md "Failure model & recovery".
 #pragma once
 
+#include <chrono>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "src/common/result.hpp"
+#include "src/common/rng.hpp"
 #include "src/ipc/transport.hpp"
 
 namespace harp::client {
@@ -35,12 +46,32 @@ struct Activation {
   bool rebalance = false;
 };
 
+/// Reconnect backoff: capped exponential with deterministic jitter.
+struct RetryPolicy {
+  double initial_backoff_s = 0.05;
+  double max_backoff_s = 2.0;
+  double jitter_frac = 0.1;  ///< ± fraction of the backoff, seeded PRNG
+  int max_attempts = 0;      ///< consecutive failed attempts before giving up; 0 = forever
+};
+
 struct Config {
   std::string app_name;
   ipc::WireAdaptivity adaptivity = ipc::WireAdaptivity::kScalable;
   bool provides_utility = false;
   /// PID reported to the RM; 0 = use the current process id.
   std::int32_t pid = 0;
+
+  RetryPolicy retry;
+  /// Outbound messages buffered while the link is down or busy; when full,
+  /// the oldest droppable message (utility report, heartbeat) is discarded.
+  std::size_t max_pending_sends = 64;
+  /// Seconds of send-side silence before a liveness heartbeat; 0 = disabled.
+  /// Set this well below the RM's lease when leases are enabled.
+  double heartbeat_interval_s = 0.0;
+  /// Retransmit interval for an unacknowledged RegisterRequest; 0 = never.
+  double register_retry_s = 0.5;
+  /// Seed for backoff jitter (deterministic reconnect timing in tests).
+  std::uint64_t jitter_seed = 1;
 };
 
 struct Callbacks {
@@ -50,31 +81,58 @@ struct Callbacks {
   std::function<double()> utility_provider;
 };
 
+/// Produces a fresh channel to the RM; consulted on every reconnect attempt.
+using ChannelFactory = std::function<Result<std::unique_ptr<ipc::Channel>>()>;
+
+/// Link state machine (see header comment).
+enum class LinkState {
+  kRegistering,   ///< channel up, RegisterRequest sent, awaiting ack
+  kConnected,     ///< registered; normal protocol flow
+  kDisconnected,  ///< link lost; reconnect pending (requires a factory)
+  kClosed,        ///< deregistered or permanently given up
+};
+
+const char* to_string(LinkState state);
+
 /// One application's connection to the HARP RM.
 class HarpClient {
  public:
   /// Connect over a Unix socket and register (Fig. 3 step 1). Blocks (with
   /// a bounded number of polls) until the RM acknowledges registration.
+  /// Installs a reconnect factory dialing the same socket path.
   static Result<std::unique_ptr<HarpClient>> connect(const std::string& socket_path,
                                                      Config config, Callbacks callbacks = {});
 
   /// Register over an existing channel — the in-process transport for tests
-  /// and deterministic integrations.
+  /// and deterministic integrations. Blocks like connect(); the RM must be
+  /// polled concurrently (e.g. from another thread).
   static Result<std::unique_ptr<HarpClient>> over_channel(std::unique_ptr<ipc::Channel> channel,
                                                           Config config,
                                                           Callbacks callbacks = {});
+
+  /// Non-blocking construction: the RegisterRequest is sent immediately but
+  /// the handshake completes during subsequent poll() calls — required for
+  /// single-threaded deterministic harnesses, where blocking would deadlock.
+  static Result<std::unique_ptr<HarpClient>> deferred(std::unique_ptr<ipc::Channel> channel,
+                                                      Config config, Callbacks callbacks = {},
+                                                      ChannelFactory factory = nullptr);
 
   ~HarpClient();
   HarpClient(const HarpClient&) = delete;
   HarpClient& operator=(const HarpClient&) = delete;
 
-  /// Fig. 3 step 2: submit operating points from the description file.
+  /// Fig. 3 step 2: submit operating points from the description file. The
+  /// points are retained and replayed on every re-registration.
   Status submit_operating_points(const std::vector<ipc::OperatingPointsMsg::Point>& points);
 
-  /// Pump the protocol: handle any pending RM messages (activations,
-  /// utility requests). Call regularly from the application's main/worker
+  /// Pump the protocol: handle pending RM messages (activations, utility
+  /// requests), advance the registration handshake, attempt reconnects and
+  /// emit heartbeats. Call regularly from the application's main/worker
   /// loop; the real library does this from its function hooks.
   Status poll();
+  /// Same, with an explicit monotonic clock (drives backoff + heartbeats
+  /// deterministically in tests).
+  Status poll(double now_seconds);
 
   /// The most recent activation, if any.
   const std::optional<Activation>& current_activation() const { return activation_; }
@@ -83,23 +141,75 @@ class HarpClient {
   /// active, otherwise the user's request (the GOMP_parallel hook).
   int recommended_parallelism(int user_requested) const;
 
-  /// Clean shutdown (also performed by the destructor).
+  /// Clean shutdown (also performed by the destructor). Best-effort and
+  /// bounded: on a half-open or dead link the Deregister notice is skipped —
+  /// the RM reclaims the grant via lease expiry — and the call still
+  /// succeeds without blocking.
   Status deregister();
+
+  /// Abrupt link loss without the Deregister notice — simulates an
+  /// application crash in fault scenarios. No reconnect is attempted.
+  void drop_link();
+
+  /// Install (or replace) the reconnect factory.
+  void set_channel_factory(ChannelFactory factory) { factory_ = std::move(factory); }
 
   std::int32_t app_id() const { return app_id_; }
   const std::string& app_name() const { return config_.app_name; }
+  LinkState link_state() const { return state_; }
+  bool registered() const { return state_ == LinkState::kConnected; }
+  std::size_t pending_sends() const { return pending_.size(); }
+  std::uint64_t dropped_sends() const { return dropped_sends_; }
+  int reconnect_count() const { return reconnects_; }
 
  private:
-  HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks);
-  Status perform_registration();
-  Status handle(const ipc::Message& message);
+  struct Pending {
+    ipc::Message message;
+    bool droppable = false;
+  };
+
+  HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks,
+             ChannelFactory factory);
+  static Result<std::unique_ptr<HarpClient>> make(std::unique_ptr<ipc::Channel> channel,
+                                                  Config config, Callbacks callbacks,
+                                                  ChannelFactory factory, bool blocking);
+  ipc::Message register_request() const;
+  Status begin_registration();
+  Status block_until_registered();
+  Status handle(const ipc::Message& message, double now_seconds);
+  void on_registered(double now_seconds);
+  /// Send now if the link is up, otherwise buffer (bounded). Returns an
+  /// error only when the message can never be delivered (no factory).
+  Status transmit(const ipc::Message& message, bool droppable, double now_seconds);
+  void enqueue(ipc::Message message, bool droppable);
+  void flush_pending(double now_seconds);
+  /// React to a fatal channel error: schedule a reconnect or go kClosed.
+  Status link_down(const Error& error, double now_seconds);
+  void try_reconnect(double now_seconds);
+  double backoff_delay(int attempt);
+  double wall_clock_seconds();
 
   std::unique_ptr<ipc::Channel> channel_;
   Config config_;
   Callbacks callbacks_;
+  ChannelFactory factory_;
+  LinkState state_ = LinkState::kRegistering;
   std::int32_t app_id_ = -1;
   std::optional<Activation> activation_;
   bool deregistered_ = false;
+
+  std::deque<Pending> pending_;
+  std::uint64_t dropped_sends_ = 0;
+  std::vector<ipc::OperatingPointsMsg::Point> submitted_points_;
+  Rng jitter_rng_;
+  int attempt_ = 0;
+  double next_retry_at_ = 0.0;
+  double register_sent_at_ = 0.0;
+  int reconnects_ = 0;
+  int malformed_from_rm_ = 0;
+  double last_tx_ = 0.0;
+  double last_now_ = 0.0;  ///< most recent poll() clock; timestamps out-of-poll sends
+  std::optional<std::chrono::steady_clock::time_point> clock_base_;
 };
 
 }  // namespace harp::client

@@ -160,6 +160,73 @@ TEST(Allocator, LagrangianTracksExactOnRandomInstances) {
   EXPECT_LE(feasibility_misses, 4);
 }
 
+TEST(Allocator, HeuristicsFeasibleAndBoundedOnRandomInstances) {
+  // Property sweep over both heuristics: whenever a heuristic claims
+  // feasibility, the selection must actually fit the capacity vector and the
+  // concrete grant must be spatially isolated; the cost must stay within a
+  // fixed factor of the branch-and-bound optimum (Lagrangian stays close,
+  // greedy is looser but still bounded on these instance sizes).
+  Rng rng(77);
+  Allocator exact(hw(), SolverKind::kExhaustive);
+  struct Heuristic {
+    Allocator solver;
+    double factor;
+    int compared = 0;
+  };
+  std::vector<Heuristic> heuristics;
+  heuristics.push_back({Allocator(hw(), SolverKind::kLagrangian), 1.5});
+  heuristics.push_back({Allocator(hw(), SolverKind::kGreedy), 4.0});
+  const std::vector<int> capacity{8, 16};
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<AllocationGroup> groups;
+    int n_apps = rng.uniform_int(2, 4);
+    for (int a = 0; a < n_apps; ++a) {
+      AllocationGroup group;
+      group.app_name = "app" + std::to_string(a);
+      int n_points = rng.uniform_int(2, 6);
+      for (int c = 0; c < n_points; ++c) {
+        OperatingPoint p;
+        p.erv = erv(rng.uniform_int(0, 8), rng.uniform_int(0, 10));
+        if (p.erv.total_threads() == 0) p.erv = erv(1, 0);
+        p.nfc.utility = static_cast<double>(p.erv.total_threads());
+        p.nfc.power_w = rng.uniform(1.0, 80.0);
+        group.candidates.push_back(p);
+        group.costs.push_back(rng.uniform(1.0, 200.0));
+      }
+      groups.push_back(std::move(group));
+    }
+    AllocationResult best = exact.solve(groups);
+
+    for (Heuristic& h : heuristics) {
+      AllocationResult approx = h.solver.solve(groups);
+      // Never claim feasibility on an instance the exact solver proved
+      // infeasible (a false grant would oversubscribe the machine).
+      if (!best.feasible) {
+        EXPECT_FALSE(approx.feasible);
+        continue;
+      }
+      if (!approx.feasible) continue;  // co-allocation fallback; tolerated
+      ++h.compared;
+      EXPECT_TRUE(selection_feasible(groups, approx.selection, capacity))
+          << "heuristic returned a capacity-violating selection on trial " << trial;
+      ASSERT_EQ(approx.allocations.size(), groups.size());
+      std::set<std::pair<std::size_t, int>> used;
+      for (const platform::CoreAllocation& alloc : approx.allocations)
+        for (std::size_t t = 0; t < alloc.cores.size(); ++t)
+          for (const auto& [core, threads] : alloc.cores[t]) {
+            (void)threads;
+            EXPECT_TRUE(used.insert({t, core}).second)
+                << "core assigned twice on trial " << trial;
+          }
+      EXPECT_LE(approx.total_cost, best.total_cost * h.factor + 1e-9)
+          << "optimality gap exceeded on trial " << trial;
+    }
+  }
+  // The sweep must actually exercise both heuristics, not skip via fallback.
+  for (const Heuristic& h : heuristics) EXPECT_GT(h.compared, 20);
+}
+
 TEST(SelectionHelpers, FeasibilityAndCost) {
   std::vector<AllocationGroup> groups{make_group("a", {{erv(4, 0), 3.0}, {erv(16, 16), 1.0}})};
   EXPECT_TRUE(selection_feasible(groups, {0}, {8, 16}));

@@ -1,14 +1,17 @@
 // Tests for the runtime exploration engine (§5.3): maturity stages, the
 // initial farthest-point heuristic, refinement-stage anomaly priority and
-// model-discrepancy selection, budget handling, and the NFC surrogate.
+// model-discrepancy selection, budget handling, the NFC surrogate, and the
+// exact stage boundaries under a scripted measurement stream.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "src/common/check.hpp"
 #include "src/harp/exploration.hpp"
+#include "src/harp/policy.hpp"
 #include "src/model/catalog.hpp"
 #include "src/platform/hardware.hpp"
+#include "src/sim/runner.hpp"
 
 namespace harp::core {
 namespace {
@@ -125,6 +128,84 @@ TEST(SelectNext, ExhaustedBudgetReturnsNothing) {
     ++picks;
   }
   EXPECT_EQ(explorer.measured_configs(table), 2);
+}
+
+TEST(Stage, BoundariesAreExactUnderScriptedStream) {
+  // Feed measurements one at a time and check the stage after every single
+  // measurement: the transitions must land exactly when the
+  // `initial_points`-th / `stable_points`-th configuration completes its
+  // final measurement — never one early (on a partially measured config)
+  // and never one late.
+  platform::HardwareDescription machine = hw();
+  ExplorationConfig config;
+  config.initial_points = 3;
+  config.stable_points = 6;
+  config.measurements_per_point = 4;
+  AppExplorer explorer(machine, config);
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  const model::AppBehavior& app = catalog.app("ft.C");
+
+  OperatingPointTable table("ft.C");
+  for (int completed = 0; completed < config.stable_points; ++completed) {
+    auto pick = explorer.select_next(table, {8, 16});
+    ASSERT_TRUE(pick.has_value());
+    model::AppRates rates = model::exclusive_rates(app, machine, *pick, 0.0);
+    for (int m = 1; m <= config.measurements_per_point; ++m) {
+      table.record_measurement(*pick, rates.measured_gips, rates.power_w);
+      int full = completed + (m == config.measurements_per_point ? 1 : 0);
+      EXPECT_EQ(explorer.measured_configs(table), full)
+          << "after measurement " << m << " of config " << completed + 1;
+      MaturityStage expected = full < config.initial_points ? MaturityStage::kInitial
+                               : full < config.stable_points ? MaturityStage::kRefinement
+                                                             : MaturityStage::kStable;
+      EXPECT_EQ(explorer.stage(table), expected)
+          << "after measurement " << m << " of config " << completed + 1;
+    }
+  }
+  EXPECT_EQ(explorer.stage(table), MaturityStage::kStable);
+}
+
+TEST(Stage, StableStageStopsPerturbingApp) {
+  // Once an application reaches the stable stage, the RM leaves it alone:
+  // with a long stable_realloc_interval its active configuration must not
+  // change again for the rest of the run.
+  HarpOptions options;
+  options.exploration.initial_points = 3;
+  options.exploration.stable_points = 8;
+  options.exploration.stable_realloc_interval = 100000;  // effectively never
+  HarpPolicy policy(options);
+
+  sim::RunOptions run_options;
+  // Long enough to pass the stable transition (~8 s with these thresholds)
+  // by a wide margin, short enough that the app does not complete and
+  // restart (a restart legitimately triggers a fresh allocation).
+  run_options.repeat_horizon = 35.0;
+  double stable_at = -1.0;
+  std::optional<platform::ExtendedResourceVector> stable_config;
+  int changes_after_stable = 0;
+  run_options.tick_hook = [&](double now) {
+    if (!policy.all_stable()) return;
+    if (stable_at < 0.0) stable_at = now;
+    // The stage flip itself applies one final allocation within the next few
+    // ticks; give it a one-second grace window, then the config must freeze.
+    if (now - stable_at < 1.0) return;
+    auto active = policy.active_configs();
+    auto it = active.find("mg.C");
+    if (it == active.end()) return;
+    if (!stable_config.has_value()) {
+      stable_config = it->second;
+    } else if (!(*stable_config == it->second)) {
+      ++changes_after_stable;
+      stable_config = it->second;
+    }
+  };
+
+  sim::ScenarioRunner runner(hw(), model::WorkloadCatalog::raptor_lake(),
+                             model::Scenario{"mg.C", {{"mg.C", 0.0}}}, run_options);
+  (void)runner.run(policy);
+  ASSERT_GE(stable_at, 0.0) << "never reached the stable stage";
+  ASSERT_TRUE(stable_config.has_value());
+  EXPECT_EQ(changes_after_stable, 0) << "stable-stage app was reconfigured";
 }
 
 TEST(NfcModel, PredictsMeasuredSurface) {

@@ -1,0 +1,286 @@
+// Deterministic fault scenarios for the RM ↔ libharp protocol.
+//
+// Each scenario drives a real RmServer plus real HarpClients through the
+// scenario harness (one thread, virtual clock, seeded fault injection) and
+// relies on World::check_invariants after every step: no core double-grant,
+// capacity conservation, no client retained past its lease. The scenarios
+// are parameterized over fault-plan seeds, so each timeline is exercised
+// under several distinct (but reproducible) fault interleavings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/platform/hardware.hpp"
+#include "tests/scenario_harness.hpp"
+
+namespace harp {
+namespace {
+
+using client::HarpClient;
+using client::LinkState;
+using ipc::FaultKind;
+using ipc::FaultPlan;
+using scenario::App;
+using scenario::World;
+
+std::vector<ipc::OperatingPointsMsg::Point> two_points(
+    const platform::HardwareDescription& hw) {
+  return {{platform::ExtendedResourceVector::from_threads(hw, {4, 0}), 100.0, 6.0},
+          {platform::ExtendedResourceVector::from_threads(hw, {0, 4}), 50.0, 1.2}};
+}
+
+client::Config app_config(const std::string& name, std::int32_t pid,
+                          std::uint64_t seed) {
+  client::Config config;
+  config.app_name = name;
+  config.pid = pid;
+  config.heartbeat_interval_s = 0.2;
+  config.jitter_seed = seed;
+  return config;
+}
+
+core::RmServerOptions rm_options() {
+  core::RmServerOptions options;
+  options.lease_seconds = 2.0;
+  options.utility_poll_interval_s = 0.25;
+  return options;
+}
+
+/// A lossy-but-alive link: frames drop, duplicate, garble and the sender
+/// sees transient errors, yet the link itself never closes.
+FaultPlan flaky(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_p = 0.12;
+  plan.duplicate_p = 0.08;
+  plan.reorder_p = 0.05;
+  plan.garbage_p = 0.04;
+  plan.transient_error_p = 0.08;
+  return plan;
+}
+
+class FaultScenario : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::uint64_t seed() const { return GetParam(); }
+};
+
+// Scenario 1 — crash during registration. Two clients die mid-handshake:
+// one before the RM ever sees its RegisterRequest processed to completion
+// (link already closed when the ack goes out), one after the ack was queued
+// but before the app reads it. A healthy bystander must keep its grant and
+// the RM must converge back to exactly one client.
+TEST_P(FaultScenario, CrashDuringRegistration) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  World world(hw, rm_options());
+
+  App* steady = world.spawn(app_config("steady", 100, seed()), flaky(seed()));
+  ASSERT_TRUE(steady->client->submit_operating_points(two_points(hw)).ok());
+  world.run(1.0);
+  ASSERT_TRUE(steady->client->registered());
+  ASSERT_TRUE(steady->client->current_activation().has_value());
+
+  // Crash A: link drops before the RM even polls — the RegisterRequest sits
+  // in a closed queue; the RM reads it, fails to ack, and must drop the
+  // corpse without disturbing the event loop.
+  App* corpse_a = world.spawn(app_config("corpse-a", 200, seed()), FaultPlan::clean());
+  world.crash(*corpse_a);
+  world.run(0.5);
+  EXPECT_EQ(world.registered_count("corpse-a"), 0);
+
+  // Crash B: the RM registers the app and queues the ack, then the app dies
+  // before ever reading it (RM-only step exposes the window).
+  App* corpse_b = world.spawn(app_config("corpse-b", 300, seed()), FaultPlan::clean());
+  world.step_rm_only(0.05);
+  world.crash(*corpse_b);
+  // The closed link (or, failing that, the lease) reclaims the slot.
+  world.run(3.0);
+  EXPECT_EQ(world.registered_count("corpse-b"), 0);
+
+  EXPECT_TRUE(steady->client->registered());
+  EXPECT_TRUE(steady->client->current_activation().has_value());
+  EXPECT_EQ(world.rm().client_count(), 1u);
+}
+
+// Scenario 2 — kill and restart. An app with a grant dies abruptly (no
+// Deregister) and a new instance with the same (name, pid) registers right
+// away. The RM must evict the zombie on the spot — not after the lease —
+// and the restarted instance must re-submit points and get a fresh grant.
+TEST_P(FaultScenario, AppKillAndRestart) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  World world(hw, rm_options());
+
+  App* first = world.spawn(app_config("phoenix", 4242, seed()), flaky(seed()));
+  ASSERT_TRUE(first->client->submit_operating_points(two_points(hw)).ok());
+  App* other = world.spawn(app_config("bystander", 7, seed()), flaky(seed() + 17));
+  ASSERT_TRUE(other->client->submit_operating_points(two_points(hw)).ok());
+  world.run(1.0);
+  ASSERT_TRUE(first->client->registered());
+  ASSERT_TRUE(other->client->registered());
+
+  world.crash(*first);
+
+  App* reborn = world.spawn(app_config("phoenix", 4242, seed() + 1), flaky(seed() + 1));
+  ASSERT_TRUE(reborn->client->submit_operating_points(two_points(hw)).ok());
+  world.run(1.0);
+
+  EXPECT_TRUE(reborn->client->registered());
+  EXPECT_TRUE(reborn->client->current_activation().has_value());
+  // Zombie evicted immediately on identity collision: never two phoenixes.
+  EXPECT_EQ(world.registered_count("phoenix"), 1);
+  EXPECT_EQ(world.rm().client_count(), 2u);
+  EXPECT_TRUE(other->client->registered());
+}
+
+// Scenario 3 — RM restart with clients alive. The daemon is torn down and
+// replaced; clients see the dead link, back off, redial through their
+// factories and re-register idempotently, replaying their operating-point
+// tables so the new RM can allocate without any application involvement.
+TEST_P(FaultScenario, RmRestartWithClientsAlive) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  World world(hw, rm_options());
+
+  App* a = world.spawn(app_config("alpha", 11, seed()), flaky(seed()));
+  ASSERT_TRUE(a->client->submit_operating_points(two_points(hw)).ok());
+  App* b = world.spawn(app_config("beta", 22, seed()), flaky(seed() + 31));
+  ASSERT_TRUE(b->client->submit_operating_points(two_points(hw)).ok());
+  world.run(1.0);
+  ASSERT_TRUE(a->client->registered());
+  ASSERT_TRUE(b->client->registered());
+  std::int32_t old_a_id = a->client->app_id();
+
+  world.restart_rm();
+  world.run(3.0);
+
+  EXPECT_TRUE(a->client->registered());
+  EXPECT_TRUE(b->client->registered());
+  EXPECT_GE(a->client->reconnect_count(), 1);
+  EXPECT_GE(b->client->reconnect_count(), 1);
+  EXPECT_EQ(world.rm().client_count(), 2u);
+  // The new RM re-learned the tables: both apps hold fresh activations.
+  EXPECT_TRUE(a->client->current_activation().has_value());
+  EXPECT_TRUE(b->client->current_activation().has_value());
+  // The id may change across RM generations; the client must track it.
+  EXPECT_GE(a->client->app_id(), 1);
+  (void)old_a_id;
+}
+
+// Scenario 4 — flaky link during exploration. An app streams operating
+// points incrementally (as online exploration would) and reports utility
+// over a link that drops/duplicates/garbles frames. Heartbeats and register
+// retransmits must keep the lease alive; utility must still reach the RM.
+TEST_P(FaultScenario, FlakyLinkDuringExploration) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  World world(hw, rm_options());
+
+  client::Callbacks callbacks;
+  callbacks.utility_provider = [] { return 77.5; };
+  client::Config config = app_config("explorer", 55, seed());
+  config.provides_utility = true;
+  // Faults in both directions: the app's sends AND the RM's acks/requests.
+  App* explorer = world.spawn(config, flaky(seed()), flaky(seed() + 101),
+                              std::move(callbacks));
+
+  // Stream the table in three installments, a second apart, while faults
+  // are active — the cumulative table is replayed on any re-registration.
+  std::vector<ipc::OperatingPointsMsg::Point> table = two_points(hw);
+  ASSERT_TRUE(explorer->client->submit_operating_points({table[0]}).ok());
+  world.run(1.0);
+  ASSERT_TRUE(explorer->client->submit_operating_points(table).ok());
+  world.run(1.0);
+  table.push_back({platform::ExtendedResourceVector::from_threads(hw, {2, 2}), 80.0, 3.0});
+  ASSERT_TRUE(explorer->client->submit_operating_points(table).ok());
+  world.run(8.0);
+
+  EXPECT_TRUE(explorer->client->registered());
+  EXPECT_TRUE(explorer->client->current_activation().has_value());
+  // Utility survived the lossy link (droppable, but retried every interval).
+  EXPECT_DOUBLE_EQ(world.rm().last_utility("explorer"), 77.5);
+  // The lease never fired: heartbeats kept the client alive throughout.
+  EXPECT_EQ(world.rm().lease_evictions(), 0u);
+  EXPECT_EQ(world.rm().client_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScenario, ::testing::Values(1u, 7u, 1234u));
+
+// Acceptance criterion: a lease-expired client's cores are reclaimed and
+// reallocated within ONE poll() cycle — the eviction sweep and the MMKP
+// re-solve happen in the same call.
+TEST(FaultLease, ExpiryReclaimsCoresWithinOnePoll) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  core::RmServerOptions options = rm_options();  // lease = 2 s
+  World world(hw, options);
+
+  App* keeper = world.spawn(app_config("keeper", 1, 1), FaultPlan::clean());
+  ASSERT_TRUE(keeper->client->submit_operating_points(two_points(hw)).ok());
+  App* sleeper = world.spawn(app_config("sleeper", 2, 2), FaultPlan::clean());
+  ASSERT_TRUE(sleeper->client->submit_operating_points(two_points(hw)).ok());
+  world.run(1.0);
+  ASSERT_TRUE(keeper->client->registered());
+  ASSERT_TRUE(sleeper->client->registered());
+  ASSERT_EQ(world.rm().client_count(), 2u);
+
+  // The sleeper hangs: socket open, but no polls → no heartbeats. One more
+  // step drains its final queued frames, after which its lease clock stops.
+  world.hang(*sleeper);
+  world.step(0.05);
+  std::uint64_t evictions_before = world.rm().lease_evictions();
+
+  // Step until the lease fires. The keeper heartbeats throughout, so only
+  // the sleeper can expire; in steady state nothing triggers the MMKP, so a
+  // realloc-count bump in the eviction step is attributable to that poll.
+  bool evicted = false;
+  for (int i = 0; i < 100 && !evicted; ++i) {
+    std::uint64_t reallocs = world.rm().realloc_count();
+    world.step(0.05);
+    if (world.rm().lease_evictions() > evictions_before) {
+      evicted = true;
+      // The SAME poll() call that evicted the sleeper re-ran the MMKP: its
+      // cores are reclaimed within one cycle, not one lease period later.
+      EXPECT_EQ(world.rm().realloc_count(), reallocs + 1);
+    }
+  }
+  ASSERT_TRUE(evicted);
+  EXPECT_EQ(world.rm().client_count(), 1u);
+  EXPECT_EQ(world.registered_count("sleeper"), 0);
+  EXPECT_EQ(world.registered_count("keeper"), 1);
+}
+
+// Malformed frames must not kill the RM event loop: a client that garbles a
+// few frames keeps its registration; one that spews garbage persistently is
+// cut after the strike limit without affecting its neighbour.
+TEST(FaultLease, MalformedFramesAreContained) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  World world(hw, rm_options());
+
+  App* neighbour = world.spawn(app_config("neighbour", 1, 1), FaultPlan::clean());
+  ASSERT_TRUE(neighbour->client->submit_operating_points(two_points(hw)).ok());
+
+  // Occasional garbage (4%) with healthy traffic in between: tolerated.
+  FaultPlan dirty;
+  dirty.seed = 9;
+  dirty.garbage_p = 0.04;
+  App* dirty_app = world.spawn(app_config("dirty", 2, 2), dirty);
+  ASSERT_TRUE(dirty_app->client->submit_operating_points(two_points(hw)).ok());
+
+  world.run(5.0);
+  EXPECT_TRUE(neighbour->client->registered());
+  EXPECT_TRUE(dirty_app->client->registered());
+  EXPECT_EQ(world.rm().client_count(), 2u);
+
+  // Pure garbage on every frame: the strike limit cuts this client only.
+  FaultPlan hostile;
+  hostile.seed = 10;
+  hostile.garbage_p = 1.0;
+  (void)world.spawn(app_config("attacker", 3, 3), hostile);
+  world.run(5.0);
+
+  EXPECT_EQ(world.registered_count("attacker"), 0);
+  EXPECT_TRUE(neighbour->client->registered());
+  EXPECT_TRUE(dirty_app->client->registered());
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,7 +1,10 @@
-// Tests for the wire codec, the protocol message set, and both transports
-// (in-process and AF_UNIX sockets).
+// Tests for the wire codec, the protocol message set, both transports
+// (in-process and AF_UNIX sockets), the fault-injection decorator, and a
+// seeded fuzz sweep over the frame decoder.
 #include <gtest/gtest.h>
 
+#include "src/common/rng.hpp"
+#include "src/ipc/fault_injection.hpp"
 #include "src/ipc/messages.hpp"
 #include "src/ipc/transport.hpp"
 #include "src/ipc/wire.hpp"
@@ -145,6 +148,153 @@ TEST(Messages, DecodeRejectsMalformedPayloads) {
   // the sign bit of the last 8-byte double (power) — decode must reject.
   payload[payload.size() - 1] |= 0x80;
   EXPECT_FALSE(decode(MessageType::kOperatingPoints, payload).ok());
+}
+
+TEST(Messages, HeartbeatRoundTrip) {
+  EXPECT_NO_THROW(encode_decode(Heartbeat{}));
+  // Heartbeats carry no payload; anything else is a protocol violation.
+  EXPECT_FALSE(decode(MessageType::kHeartbeat, {0}).ok());
+}
+
+// Seeded fuzz sweep: 10k adversarial byte strings — half pure noise, half
+// mutations of valid frames — must never crash the decoder, must fail with
+// a clean "proto:" error (never "io:"), and must leave the decode path fully
+// reusable (a known-good frame decodes between adversarial ones).
+TEST(Fuzz, DecoderSurvivesAdversarialFrames) {
+  Rng rng(0xF0CC1A);
+  ActivateMsg seedling;
+  seedling.erv = sample_erv();
+  seedling.cores = {{0, 1, 2}, {1, 3, 1}};
+  seedling.parallelism = 7;
+  const std::vector<std::vector<std::uint8_t>> templates = {
+      encode(Message(RegisterRequest{42, "fuzz", WireAdaptivity::kScalable, true})),
+      encode(Message(OperatingPointsMsg{{{sample_erv(), 2.0, 3.0}}})),
+      encode(Message(seedling)),
+      encode(Message(UtilityReport{1.5})),
+  };
+
+  auto try_decode = [](const std::vector<std::uint8_t>& frame) {
+    auto header = decode_frame_header(frame.data(), frame.size());
+    if (!header.ok()) {
+      EXPECT_EQ(header.error().message.rfind("proto:", 0), 0u) << header.error().message;
+      return;
+    }
+    if (frame.size() < kFrameHeaderSize + header.value().second) return;  // short frame
+    std::vector<std::uint8_t> payload(
+        frame.begin() + static_cast<long>(kFrameHeaderSize),
+        frame.begin() + static_cast<long>(kFrameHeaderSize + header.value().second));
+    auto decoded = decode(static_cast<MessageType>(header.value().first), payload);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.error().message.rfind("proto:", 0), 0u) << decoded.error().message;
+    }
+  };
+
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    std::vector<std::uint8_t> frame;
+    if (iteration % 2 == 0) {
+      // Pure noise of random length (including below the header size).
+      frame.resize(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+      for (std::uint8_t& b : frame) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    } else {
+      // Mutate a valid frame: flip bytes, truncate, or extend.
+      frame = templates[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+      int flips = rng.uniform_int(1, 8);
+      for (int f = 0; f < flips && !frame.empty(); ++f)
+        frame[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(frame.size()) - 1))] =
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      if (rng.uniform() < 0.3)
+        frame.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(frame.size()))));
+      else if (rng.uniform() < 0.2)
+        frame.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    try_decode(frame);
+
+    // Every so often, prove the decoder still works on well-formed input.
+    if (iteration % 1000 == 999) {
+      const std::vector<std::uint8_t>& good = templates[0];
+      auto header = decode_frame_header(good.data(), good.size());
+      ASSERT_TRUE(header.ok());
+      std::vector<std::uint8_t> payload(good.begin() + static_cast<long>(kFrameHeaderSize),
+                                        good.end());
+      auto decoded = decode(static_cast<MessageType>(header.value().first), payload);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(std::get<RegisterRequest>(decoded.value()).app_name, "fuzz");
+    }
+  }
+}
+
+// Channel-level fuzz: garbage frames injected with send_raw must surface as
+// recoverable "proto:" errors and the channel must stay usable for valid
+// traffic afterwards.
+TEST(Fuzz, InProcChannelSurvivesGarbageFrames) {
+  Rng rng(0xBADF00D);
+  auto [a, b] = make_in_process_pair();
+  int proto_errors = 0;
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::vector<std::uint8_t> frame(static_cast<std::size_t>(rng.uniform_int(0, 32)));
+    for (std::uint8_t& byte : frame)
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    ASSERT_TRUE(a->send_raw(frame).ok());
+    auto polled = b->poll();
+    if (!polled.ok()) {
+      EXPECT_EQ(polled.error().message.rfind("proto:", 0), 0u) << polled.error().message;
+      EXPECT_FALSE(b->closed());
+      ++proto_errors;
+    }
+    // Interleave valid traffic: the garbage must not poison the stream.
+    ASSERT_TRUE(a->send(Message(RegisterAck{iteration})).ok());
+    std::optional<Message> valid;
+    for (int drain = 0; drain < 4 && !valid.has_value(); ++drain) {
+      auto next = b->poll();
+      if (next.ok()) valid = next.value();
+    }
+    ASSERT_TRUE(valid.has_value()) << "valid frame lost after garbage, iter " << iteration;
+    EXPECT_EQ(std::get<RegisterAck>(*valid).app_id, iteration);
+  }
+  EXPECT_GT(proto_errors, 100);  // the sweep actually exercised the error path
+}
+
+TEST(FaultInjection, ScriptedFaultsAreExact) {
+  auto [rm_end, app_end] = make_in_process_pair();
+  FaultPlan plan = FaultPlan::clean();
+  plan.script = {{0, FaultKind::kDrop}, {2, FaultKind::kDuplicate}};
+  FaultInjectingChannel faulty(std::move(app_end), plan);
+
+  ASSERT_TRUE(faulty.send(Message(RegisterAck{0})).ok());  // dropped
+  ASSERT_TRUE(faulty.send(Message(RegisterAck{1})).ok());  // delivered
+  ASSERT_TRUE(faulty.send(Message(RegisterAck{2})).ok());  // duplicated
+
+  std::vector<int> seen;
+  while (true) {
+    auto polled = rm_end->poll();
+    ASSERT_TRUE(polled.ok());
+    if (!polled.value().has_value()) break;
+    seen.push_back(std::get<RegisterAck>(*polled.value()).app_id);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 2}));
+  EXPECT_EQ(faulty.stats().drops, 1u);
+  EXPECT_EQ(faulty.stats().duplicates, 1u);
+}
+
+TEST(FaultInjection, SameSeedSameFaults) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_p = 0.3;
+  plan.garbage_p = 0.2;
+  auto run_once = [&plan] {
+    auto [rm_end, app_end] = make_in_process_pair();
+    FaultInjectingChannel faulty(std::move(app_end), plan);
+    for (int i = 0; i < 200; ++i) (void)faulty.send(Message(RegisterAck{i}));
+    return faulty.stats();
+  };
+  FaultStats first = run_once();
+  FaultStats second = run_once();
+  EXPECT_EQ(first.drops, second.drops);
+  EXPECT_EQ(first.garbled, second.garbled);
+  EXPECT_GT(first.drops, 0u);
+  EXPECT_GT(first.garbled, 0u);
 }
 
 TEST(InProcTransport, MessagesFlowBothWays) {

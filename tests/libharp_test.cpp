@@ -215,6 +215,45 @@ TEST(LibharpClient, DeregisterDropsClient) {
   EXPECT_EQ(harness.rm().client_count(), 0u);
 }
 
+TEST(LibharpClient, DeregisterOnHalfOpenChannelDoesNotBlock) {
+  // Regression: the destructor calls deregister(); when the RM side is gone
+  // the Deregister notice cannot be delivered, and the call must neither
+  // block nor fail — the RM reclaims the grant via its lease instead.
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  client::Config config;
+  config.app_name = "orphan";
+  auto made = client::HarpClient::deferred(std::move(app_end), config);
+  ASSERT_TRUE(made.ok()) << made.error().message;
+  auto client = std::move(made).take();
+
+  rm_end->close();  // the RM died; the link is now half-open
+  (void)client->poll(0.0);
+
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client->deregister().ok());
+  client.reset();  // destructor must be a no-op after explicit deregister
+  double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed, 0.5) << "deregister/destructor blocked on a dead link";
+}
+
+TEST(LibharpClient, DestructorSurvivesUnregisteredHalfOpenLink) {
+  // Same, but the destructor itself performs the deregistration — and the
+  // handshake never completed, so every link state is exercised.
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  client::Config config;
+  config.app_name = "orphan2";
+  auto made = client::HarpClient::deferred(std::move(app_end), config);
+  ASSERT_TRUE(made.ok());
+  auto client = std::move(made).take();
+  EXPECT_FALSE(client->registered());  // ack never arrived
+  rm_end->close();
+
+  auto t0 = std::chrono::steady_clock::now();
+  client.reset();
+  double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed, 0.5);
+}
+
 TEST(RmServer, FullStackOverUnixSocket) {
   std::string path = ::testing::TempDir() + "/harp_rm_test.sock";
   platform::HardwareDescription hw = platform::raptor_lake();

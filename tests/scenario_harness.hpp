@@ -1,0 +1,161 @@
+// Deterministic scenario harness for RM ↔ libharp fault testing.
+//
+// Runs a real RmServer and N real HarpClients in ONE thread on a virtual
+// clock, wired through fault-injecting in-process channels. Because nothing
+// sleeps and every fault decision comes from a seeded PRNG (FaultPlan), a
+// scripted timeline replays bit-identically: a failing scenario is precisely
+// reproducible from its seed.
+//
+// Invariants checked after every step (see check_invariants):
+//   - no core is granted to two registered clients (spatial isolation),
+//   - the granted resource vector never exceeds the machine's capacity,
+//   - no client is retained past its lease.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/harp/rm_server.hpp"
+#include "src/ipc/fault_injection.hpp"
+#include "src/libharp/client.hpp"
+
+namespace harp::scenario {
+
+/// One simulated application process: the HarpClient plus its liveness flag.
+struct App {
+  std::unique_ptr<client::HarpClient> client;
+  bool alive = true;  ///< false = no longer polled (crashed or hung)
+};
+
+class World {
+ public:
+  explicit World(platform::HardwareDescription hw, core::RmServerOptions options = {})
+      : hw_(std::move(hw)), options_(options) {
+    rm_ = std::make_unique<core::RmServer>(hw_, options_);
+  }
+
+  core::RmServer& rm() { return *rm_; }
+  double now() const { return now_; }
+
+  /// Spawn a client whose link to the RM runs through a FaultInjectingChannel
+  /// on the app side (app→RM faults) and optionally one on the RM side
+  /// (RM→app faults). Reconnects create fresh fault-wrapped pairs against
+  /// whatever RmServer is current, so RM restarts are transparent.
+  App* spawn(client::Config config, ipc::FaultPlan app_side_plan,
+             ipc::FaultPlan rm_side_plan = ipc::FaultPlan::clean(),
+             client::Callbacks callbacks = {}) {
+    auto factory = [this, app_side_plan, rm_side_plan,
+                    dials = std::make_shared<std::uint64_t>(0)]()
+        -> Result<std::unique_ptr<ipc::Channel>> {
+      auto [rm_end, app_end] = ipc::make_in_process_pair();
+      ipc::FaultPlan rm_plan = rm_side_plan;
+      ipc::FaultPlan app_plan = app_side_plan;
+      // Each dial gets an independent (but still deterministic) fault stream.
+      rm_plan.seed += *dials;
+      app_plan.seed += *dials;
+      ++*dials;
+      rm_->adopt_channel(
+          std::make_unique<ipc::FaultInjectingChannel>(std::move(rm_end), rm_plan));
+      return std::unique_ptr<ipc::Channel>(
+          std::make_unique<ipc::FaultInjectingChannel>(std::move(app_end), app_plan));
+    };
+    Result<std::unique_ptr<ipc::Channel>> first = factory();
+    auto made = client::HarpClient::deferred(std::move(first).take(), std::move(config),
+                                             std::move(callbacks), factory);
+    EXPECT_TRUE(made.ok()) << made.error().message;
+    apps_.push_back(std::make_unique<App>());
+    apps_.back()->client = std::move(made).take();
+    return apps_.back().get();
+  }
+
+  /// Advance the virtual clock by dt and run one RM cycle plus one poll of
+  /// every live client. Invariants are checked after the cycle.
+  void step(double dt) {
+    now_ += dt;
+    rm_->poll(now_);
+    for (const auto& app : apps_)
+      if (app->alive) (void)app->client->poll(now_);
+    check_invariants();
+  }
+
+  /// Run `seconds` of virtual time in dt increments.
+  void run(double seconds, double dt = 0.05) {
+    int steps = static_cast<int>(seconds / dt + 0.5);
+    for (int i = 0; i < steps; ++i) step(dt);
+  }
+
+  /// Advance the clock and run ONLY the RM cycle — exposes windows where
+  /// clients have not yet reacted (e.g. an ack sitting in a dead queue), and
+  /// proves single-cycle properties like lease reclamation.
+  void step_rm_only(double dt) {
+    now_ += dt;
+    rm_->poll(now_);
+    check_invariants();
+  }
+
+  /// Abrupt application crash: the link drops with no Deregister notice and
+  /// the process is never polled again.
+  void crash(App& app) {
+    app.client->drop_link();
+    app.alive = false;
+  }
+
+  /// Application hang: the process stops polling (and heartbeating) but its
+  /// socket stays open — only the lease can reclaim its cores.
+  void hang(App& app) { app.alive = false; }
+
+  /// Tear down the RM daemon and start a fresh one (same hardware/options).
+  /// Clients notice the dead link and reconnect to the new instance through
+  /// their channel factories.
+  void restart_rm() { rm_ = std::make_unique<core::RmServer>(hw_, options_); }
+
+  /// Protocol-level safety invariants; checked after every step.
+  void check_invariants() const {
+    std::vector<core::ClientSnapshot> snaps = rm_->snapshot();
+    std::set<std::pair<int, int>> used;
+    std::vector<int> cores_per_type(hw_.core_types.size(), 0);
+    for (const core::ClientSnapshot& snap : snaps) {
+      if (!snap.registered) continue;
+      for (const ipc::ActivateMsg::CoreGrant& grant : snap.granted) {
+        EXPECT_TRUE(used.insert({grant.type, grant.core}).second)
+            << "core (" << grant.type << ", " << grant.core << ") granted to two clients"
+            << " (one of them '" << snap.name << "') at t=" << now_;
+        ASSERT_GE(grant.type, 0);
+        ASSERT_LT(static_cast<std::size_t>(grant.type), cores_per_type.size());
+        ++cores_per_type[static_cast<std::size_t>(grant.type)];
+      }
+    }
+    for (std::size_t t = 0; t < cores_per_type.size(); ++t) {
+      EXPECT_LE(cores_per_type[t], hw_.core_types[t].core_count)
+          << "granted cores of type " << t << " exceed capacity at t=" << now_;
+    }
+    if (options_.lease_seconds > 0.0) {
+      for (const core::ClientSnapshot& snap : snaps) {
+        if (snap.last_heard < 0.0) continue;  // adopted, not yet polled
+        EXPECT_LE(now_ - snap.last_heard, options_.lease_seconds + 1e-9)
+            << "client '" << snap.name << "' retained past its lease at t=" << now_;
+      }
+    }
+  }
+
+  /// Registered clients currently known to the RM with the given name.
+  int registered_count(const std::string& name) const {
+    int count = 0;
+    for (const core::ClientSnapshot& snap : rm_->snapshot())
+      if (snap.registered && snap.name == name) ++count;
+    return count;
+  }
+
+ private:
+  platform::HardwareDescription hw_;
+  core::RmServerOptions options_;
+  double now_ = 0.0;
+  std::unique_ptr<core::RmServer> rm_;
+  std::vector<std::unique_ptr<App>> apps_;
+};
+
+}  // namespace harp::scenario
