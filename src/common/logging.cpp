@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "src/common/mutex.hpp"
 
 namespace harp {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +29,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::scoped_lock lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[harp %s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

@@ -1,0 +1,41 @@
+// Annotated mutex wrapper. libstdc++'s std::mutex carries no thread-safety
+// attributes, so clang's -Wthread-safety cannot see through it; this thin
+// wrapper restores the attributes while staying a plain std::mutex at
+// runtime. All mutex-holding classes in HARP use harp::Mutex + HARP_GUARDED_BY
+// so both clang's analysis and harp-lint's R5 rule apply.
+#pragma once
+
+#include <mutex>
+
+#include "src/common/thread_annotations.hpp"
+
+namespace harp {
+
+/// std::mutex with clang capability annotations. Non-recursive, not copyable.
+class HARP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HARP_ACQUIRE() { mutex_.lock(); }
+  void unlock() HARP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() HARP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII guard for harp::Mutex (std::scoped_lock is equally unannotated).
+class HARP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HARP_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() HARP_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace harp

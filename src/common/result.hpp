@@ -18,8 +18,11 @@ struct Error {
 
 /// Minimal expected<T, Error>. Intentionally tiny: no monadic chaining beyond
 /// what the library needs, so the header stays cheap to include.
+/// [[nodiscard]]: silently dropping a Result swallows the error that HARP's
+/// feedback loops depend on; discard explicitly with (void) if truly fire-
+/// and-forget (harp-lint R1 polices the same rule).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
@@ -57,7 +60,7 @@ class Result {
 };
 
 /// Result<void> analogue.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,47 @@
+// Clang thread-safety-analysis attributes behind HARP_-prefixed macros.
+//
+// Annotations compile to nothing on GCC (and on clang without
+// -Wthread-safety), so they are pure documentation there; under
+// `clang++ -Wthread-safety` they turn the lock discipline into compiler
+// diagnostics. harp-lint's R5 rule additionally requires every data member
+// of a mutex-holding class to carry HARP_GUARDED_BY (or an explicit
+// suppression), so the discipline is enforced even on GCC-only setups.
+//
+// Use the annotated harp::Mutex / harp::MutexLock (mutex.hpp) as the
+// capability; std::mutex is not attribute-annotated by libstdc++, so clang
+// cannot reason about it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HARP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HARP_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability (mutexes).
+#define HARP_CAPABILITY(name) HARP_THREAD_ANNOTATION(capability(name))
+
+/// Marks a RAII guard type that acquires a capability for its lifetime.
+#define HARP_SCOPED_CAPABILITY HARP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member protected by the given mutex: only read/written while held.
+#define HARP_GUARDED_BY(x) HARP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define HARP_PT_GUARDED_BY(x) HARP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the given mutex(es) already held.
+#define HARP_REQUIRES(...) HARP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires / releases the given mutex(es).
+#define HARP_ACQUIRE(...) HARP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HARP_RELEASE(...) HARP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the given mutex(es) held.
+#define HARP_EXCLUDES(...) HARP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value annotations for try-lock style functions.
+#define HARP_TRY_ACQUIRE(...) HARP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Escape hatch: disable the analysis for one function (init/teardown paths).
+#define HARP_NO_THREAD_SAFETY_ANALYSIS HARP_THREAD_ANNOTATION(no_thread_safety_analysis)

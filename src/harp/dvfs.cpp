@@ -67,7 +67,6 @@ std::map<std::string, double> DvfsHarpPolicy::active_frequencies() const {
 
 void DvfsHarpPolicy::reallocate() {
   if (managed_.empty()) return;
-  const platform::HardwareDescription& hw = api_->hardware();
 
   // Build one choice group per app over the joint (allocation × frequency)
   // space; `freq_of[g][c]` remembers which level candidate c came from.

@@ -37,30 +37,54 @@ RmServer::~RmServer() = default;
 Status RmServer::listen(const std::string& socket_path) {
   Result<std::unique_ptr<ipc::UnixServer>> server = ipc::UnixServer::listen(socket_path);
   if (!server.ok()) return Status(server.error());
+  MutexLock lock(mutex_);
   server_ = std::move(server).take();
   return Status{};
 }
 
 void RmServer::adopt_channel(std::unique_ptr<ipc::Channel> channel) {
+  MutexLock lock(mutex_);
+  adopt_channel_locked(std::move(channel));
+}
+
+void RmServer::adopt_channel_locked(std::unique_ptr<ipc::Channel> channel) {
   auto client = std::make_unique<Client>();
   client->channel = std::move(channel);
   clients_.push_back(std::move(client));
 }
 
+std::size_t RmServer::client_count() const {
+  MutexLock lock(mutex_);
+  return clients_.size();
+}
+
+std::uint64_t RmServer::realloc_count() const {
+  MutexLock lock(mutex_);
+  return realloc_count_;
+}
+
+std::uint64_t RmServer::lease_evictions() const {
+  MutexLock lock(mutex_);
+  return lease_evictions_;
+}
+
 double RmServer::last_utility(const std::string& app_name) const {
+  MutexLock lock(mutex_);
   for (const auto& client : clients_)
     if (client->registered && client->name == app_name) return client->last_utility;
   return 0.0;
 }
 
-const OperatingPoint* RmServer::current_point(const std::string& app_name) const {
+std::optional<OperatingPoint> RmServer::current_point(const std::string& app_name) const {
+  MutexLock lock(mutex_);
   for (const auto& client : clients_)
     if (client->registered && client->name == app_name && client->has_active)
-      return &client->active_point;
-  return nullptr;
+      return client->active_point;
+  return std::nullopt;
 }
 
 std::vector<ClientSnapshot> RmServer::snapshot() const {
+  MutexLock lock(mutex_);
   std::vector<ClientSnapshot> out;
   out.reserve(clients_.size());
   for (const auto& client : clients_) {
@@ -77,6 +101,7 @@ std::vector<ClientSnapshot> RmServer::snapshot() const {
 }
 
 void RmServer::poll(double now_seconds) {
+  MutexLock lock(mutex_);
   // Accept pending connections.
   if (server_ != nullptr) {
     while (true) {
@@ -86,7 +111,7 @@ void RmServer::poll(double now_seconds) {
         break;
       }
       if (!accepted.value().has_value()) break;
-      adopt_channel(std::move(*accepted.value()));
+      adopt_channel_locked(std::move(*accepted.value()));
     }
   }
 
@@ -219,11 +244,15 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
   // A registration with the identity of an existing client supersedes it:
   // the old connection is a zombie of a crashed/restarted process whose
   // socket has not been torn down yet. Evict it so its cores free up now.
+  // Unregistering (not just closing) matters: the zombie may already have
+  // been drained this cycle, and a still-registered zombie would be handed
+  // a grant by the reallocation running later in the same poll().
   for (const auto& other : clients_) {
     if (other.get() == &client || !other->registered) continue;
     if (other->name == request.app_name && other->pid == request.pid) {
       HARP_WARN << "registration of '" << request.app_name << "' (pid " << request.pid
                 << ") supersedes a stale connection; evicting the old one";
+      other->registered = false;
       other->channel->close();
       needs_realloc_ = true;
     }

@@ -16,9 +16,11 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.hpp"
 #include "src/harp/allocator.hpp"
 #include "src/harp/operating_point.hpp"
 #include "src/ipc/transport.hpp"
@@ -68,41 +70,52 @@ class RmServer {
   /// `now_seconds` is the caller's clock (monotonic); drives utility polls.
   void poll(double now_seconds);
 
-  std::size_t client_count() const { return clients_.size(); }
+  /// The read-only accessors below may be called from a monitoring thread
+  /// while another thread drives poll(); they copy out under the lock and
+  /// never hand back references into client state.
+
+  std::size_t client_count() const;
 
   /// Most recent utility reported by a named application (0 if none).
   double last_utility(const std::string& app_name) const;
 
   /// The activation most recently pushed to a named application.
-  const OperatingPoint* current_point(const std::string& app_name) const;
+  std::optional<OperatingPoint> current_point(const std::string& app_name) const;
 
   /// Per-client diagnostic snapshot (invariant checks, tooling).
   std::vector<ClientSnapshot> snapshot() const;
 
   /// Times the MMKP ran since construction (observability for tests).
-  std::uint64_t realloc_count() const { return realloc_count_; }
+  std::uint64_t realloc_count() const;
   /// Clients evicted for lease expiry since construction.
-  std::uint64_t lease_evictions() const { return lease_evictions_; }
+  std::uint64_t lease_evictions() const;
 
  private:
   struct Client;
 
-  void process_client_messages(Client& client, double now_seconds);
-  void handle_registration(Client& client, const ipc::RegisterRequest& request);
-  void drop_client(std::size_t index);
-  void reallocate();
-  AllocationGroup build_group(const Client& client) const;
+  void adopt_channel_locked(std::unique_ptr<ipc::Channel> channel) HARP_REQUIRES(mutex_);
+  void process_client_messages(Client& client, double now_seconds) HARP_REQUIRES(mutex_);
+  void handle_registration(Client& client, const ipc::RegisterRequest& request)
+      HARP_REQUIRES(mutex_);
+  void drop_client(std::size_t index) HARP_REQUIRES(mutex_);
+  void reallocate() HARP_REQUIRES(mutex_);
+  AllocationGroup build_group(const Client& client) const HARP_REQUIRES(mutex_);
 
-  platform::HardwareDescription hw_;
-  RmServerOptions options_;
-  Allocator allocator_;
-  std::unique_ptr<ipc::UnixServer> server_;
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::int32_t next_app_id_ = 1;
-  bool needs_realloc_ = false;
-  double last_utility_poll_ = 0.0;
-  std::uint64_t realloc_count_ = 0;
-  std::uint64_t lease_evictions_ = 0;
+  /// Guards all server state: poll() holds it for a full event-loop
+  /// iteration; accessors take it briefly. hw_/options_/allocator_ are
+  /// written only at construction but are kept under the same lock so the
+  /// invariant stays one sentence long.
+  mutable Mutex mutex_;
+  platform::HardwareDescription hw_ HARP_GUARDED_BY(mutex_);
+  RmServerOptions options_ HARP_GUARDED_BY(mutex_);
+  Allocator allocator_ HARP_GUARDED_BY(mutex_);
+  std::unique_ptr<ipc::UnixServer> server_ HARP_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Client>> clients_ HARP_GUARDED_BY(mutex_);
+  std::int32_t next_app_id_ HARP_GUARDED_BY(mutex_) = 1;
+  bool needs_realloc_ HARP_GUARDED_BY(mutex_) = false;
+  double last_utility_poll_ HARP_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t realloc_count_ HARP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t lease_evictions_ HARP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace harp::core

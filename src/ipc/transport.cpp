@@ -9,8 +9,8 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
-#include <mutex>
 
+#include "src/common/mutex.hpp"
 #include "src/ipc/wire.hpp"
 
 namespace harp::ipc {
@@ -21,11 +21,12 @@ namespace {
 // In-process transport
 // ---------------------------------------------------------------------------
 
-/// Shared state of one direction: a queue of encoded frames.
+/// Shared state of one direction: a queue of encoded frames. Both channel
+/// ends touch it concurrently, so all state is guarded by `mutex`.
 struct InProcQueue {
-  std::mutex mutex;
-  std::deque<std::vector<std::uint8_t>> frames;
-  bool closed = false;
+  Mutex mutex;
+  std::deque<std::vector<std::uint8_t>> frames HARP_GUARDED_BY(mutex);
+  bool closed HARP_GUARDED_BY(mutex) = false;
 };
 
 class InProcChannel : public Channel {
@@ -38,7 +39,7 @@ class InProcChannel : public Channel {
   Status send(const Message& message) override { return send_raw(encode(message)); }
 
   Status send_raw(const std::vector<std::uint8_t>& frame) override {
-    std::scoped_lock lock(tx_->mutex);
+    MutexLock lock(tx_->mutex);
     if (tx_->closed) return Status(make_error("io: channel closed"));
     tx_->frames.push_back(frame);
     return Status{};
@@ -47,7 +48,7 @@ class InProcChannel : public Channel {
   Result<std::optional<Message>> poll() override {
     std::vector<std::uint8_t> frame;
     {
-      std::scoped_lock lock(rx_->mutex);
+      MutexLock lock(rx_->mutex);
       if (rx_->frames.empty()) {
         if (rx_->closed) return Result<std::optional<Message>>(make_error("io: peer closed"));
         return std::optional<Message>{};
@@ -67,16 +68,19 @@ class InProcChannel : public Channel {
   }
 
   bool closed() const override {
-    std::scoped_lock lock(tx_->mutex);
+    MutexLock lock(tx_->mutex);
     return tx_->closed;
   }
 
   void close() override {
+    // Take the two queue locks sequentially, never nested: the peer channel
+    // owns the same queues in the opposite roles, so nesting here would be
+    // an ABBA deadlock against a concurrent peer close().
     {
-      std::scoped_lock lock(tx_->mutex);
+      MutexLock lock(tx_->mutex);
       tx_->closed = true;
     }
-    std::scoped_lock lock(rx_->mutex);
+    MutexLock lock(rx_->mutex);
     rx_->closed = true;
   }
 
@@ -115,8 +119,14 @@ class UnixChannel : public Channel {
         // Briefly wait for the peer to drain; bounded so a dead peer cannot
         // wedge the RM.
         struct pollfd pfd{fd_, POLLOUT, 0};
-        if (::poll(&pfd, 1, 100) <= 0) return Status(make_error("io: send timeout"));
-        continue;
+        if (::poll(&pfd, 1, 100) > 0) continue;
+        // Giving up mid-frame leaves a partial frame on the wire and the
+        // byte stream permanently desynchronised, so the channel must die
+        // with it. Before any byte went out the stream is still clean and
+        // the caller may retry the whole frame.
+        if (sent > 0) close();
+        return Status(make_error(sent > 0 ? "io: send timeout mid-frame"
+                                          : "io: send timeout"));
       }
       if (n < 0 && errno == EINTR) continue;
       close();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "src/platform/hardware.hpp"
@@ -280,6 +281,63 @@ TEST(FaultLease, MalformedFramesAreContained) {
   EXPECT_EQ(world.registered_count("attacker"), 0);
   EXPECT_TRUE(neighbour->client->registered());
   EXPECT_TRUE(dirty_app->client->registered());
+}
+
+/// Drain every pending message from one end of an in-process channel.
+std::vector<ipc::Message> drain(ipc::Channel& channel) {
+  std::vector<ipc::Message> out;
+  while (true) {
+    auto polled = channel.poll();
+    if (!polled.ok() || !polled.value().has_value()) break;
+    out.push_back(*polled.value());
+  }
+  return out;
+}
+
+// Regression — a registration that supersedes a stale connection must also
+// unregister the zombie, not just close its socket: a still-registered
+// zombie is handed a grant by the reallocation running later in the same
+// poll(). With both instances demanding all four big cores the MMKP goes
+// infeasible, so the fresh instance used to be degraded to the
+// co-allocation fallback (full-machine erv, parallelism 0).
+TEST(RmServerSupersede, ZombieExcludedFromSameCycleReallocation) {
+  platform::HardwareDescription hw = platform::odroid_xu3e();
+  core::RmServer rm(hw, rm_options());
+  ipc::OperatingPointsMsg all_big;
+  all_big.points = {{platform::ExtendedResourceVector::from_threads(hw, {4, 0}), 100.0, 6.0}};
+
+  auto [rm_a, app_a] = ipc::make_in_process_pair();
+  rm.adopt_channel(std::move(rm_a));
+  ASSERT_TRUE(app_a->send(ipc::Message(ipc::RegisterRequest{
+                              77, "worker", ipc::WireAdaptivity::kScalable, false}))
+                  .ok());
+  ASSERT_TRUE(app_a->send(ipc::Message(all_big)).ok());
+  rm.poll(0.0);
+  EXPECT_FALSE(drain(*app_a).empty());  // ack + activation for the first instance
+
+  // The process restarted: a new connection arrives with the same identity
+  // and the same demand while the old socket is not torn down yet.
+  auto [rm_b, app_b] = ipc::make_in_process_pair();
+  rm.adopt_channel(std::move(rm_b));
+  ASSERT_TRUE(app_b->send(ipc::Message(ipc::RegisterRequest{
+                              77, "worker", ipc::WireAdaptivity::kScalable, false}))
+                  .ok());
+  ASSERT_TRUE(app_b->send(ipc::Message(all_big)).ok());
+  rm.poll(1.0);
+
+  bool activated = false;
+  for (const ipc::Message& m : drain(*app_b)) {
+    if (const auto* activate = std::get_if<ipc::ActivateMsg>(&m)) {
+      activated = true;
+      EXPECT_EQ(activate->erv.total_threads(), 4);
+      EXPECT_EQ(activate->parallelism, 4);
+      EXPECT_FALSE(activate->cores.empty());
+    }
+  }
+  EXPECT_TRUE(activated);
+
+  rm.poll(2.0);  // the closed zombie connection is reaped next cycle
+  EXPECT_EQ(rm.client_count(), 1u);
 }
 
 }  // namespace

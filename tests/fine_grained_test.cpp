@@ -11,6 +11,15 @@
 namespace harp::client {
 namespace {
 
+/// Parse a JSON literal the test knows is syntactically valid; fails the
+/// test (and returns null) on a parse error instead of touching the Result.
+json::Value doc(const std::string& text) {
+  Result<json::Value> r = json::parse(text);
+  EXPECT_TRUE(r.ok()) << "parse failed: " << text;
+  if (!r.ok()) return json::Value();
+  return std::move(r).take();
+}
+
 platform::HardwareDescription hw() { return platform::odroid_xu3e(); }
 
 FineGrainedPoint make_point(int big, int little, double utility, double power) {
@@ -119,15 +128,13 @@ TEST(FineGrained, FileRoundTrip) {
 TEST(FineGrained, FromJsonValidates) {
   EXPECT_FALSE(FineGrainedDescription::from_json(json::Value(1.0)).ok());
   EXPECT_FALSE(FineGrainedDescription::from_json(
-                   json::parse(R"({"application":"x","points":[{"resources":[[1]],
-                                   "utility":-5,"power":1}]})")
-                       .value())
+                   doc(R"({"application":"x","points":[{"resources":[[1]],
+                           "utility":-5,"power":1}]})"))
                    .ok());
   // Inconsistent thread mapping is rejected as a parse error, not a crash.
   EXPECT_FALSE(FineGrainedDescription::from_json(
-                   json::parse(R"({"application":"x","points":[{"resources":[[1],[0]],
-                                   "utility":5,"power":1,"threads":[0,0]}]})")
-                       .value())
+                   doc(R"({"application":"x","points":[{"resources":[[1],[0]],
+                           "utility":5,"power":1,"threads":[0,0]}]})"))
                    .ok());
 }
 

@@ -10,13 +10,22 @@
 namespace harp::json {
 namespace {
 
+/// Parse text the test requires to be valid; fails the test (and returns a
+/// null Value) otherwise, so call sites never touch an error-state Result.
+Value parsed(const std::string& text) {
+  Result<Value> r = parse(text);
+  EXPECT_TRUE(r.ok()) << "parse failed: " << text;
+  if (!r.ok()) return Value();
+  return std::move(r).take();
+}
+
 TEST(JsonParse, Scalars) {
-  EXPECT_TRUE(parse("null").value().is_null());
-  EXPECT_EQ(parse("true").value().as_bool(), true);
-  EXPECT_EQ(parse("false").value().as_bool(), false);
-  EXPECT_DOUBLE_EQ(parse("3.5").value().as_number(), 3.5);
-  EXPECT_DOUBLE_EQ(parse("-2e3").value().as_number(), -2000.0);
-  EXPECT_EQ(parse("\"hi\"").value().as_string(), "hi");
+  EXPECT_TRUE(parsed("null").is_null());
+  EXPECT_EQ(parsed("true").as_bool(), true);
+  EXPECT_EQ(parsed("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parsed("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parsed("-2e3").as_number(), -2000.0);
+  EXPECT_EQ(parsed("\"hi\"").as_string(), "hi");
 }
 
 TEST(JsonParse, NestedDocument) {
@@ -80,7 +89,7 @@ TEST(JsonValue, TypedAccessorsChecked) {
 }
 
 TEST(JsonValue, DefaultedLookups) {
-  Value v = parse(R"({"n": 2, "s": "x", "b": true})").value();
+  Value v = parsed(R"({"n": 2, "s": "x", "b": true})");
   EXPECT_DOUBLE_EQ(v.number_or("n", 9.0), 2.0);
   EXPECT_DOUBLE_EQ(v.number_or("missing", 9.0), 9.0);
   EXPECT_EQ(v.int_or("missing", 7), 7);
@@ -92,13 +101,13 @@ TEST(JsonValue, DefaultedLookups) {
 
 TEST(JsonDump, CompactRoundTrip) {
   const char* text = R"({"a":[1,2.5,"s"],"b":{"c":null,"d":false}})";
-  Value v = parse(text).value();
+  Value v = parsed(text);
   EXPECT_EQ(dump(v), text);
 }
 
 TEST(JsonDump, PrettyReparsesEqual) {
-  Value v = parse(R"({"a": [1, {"b": [true, null]}], "z": "end"})").value();
-  Value reparsed = parse(dump(v, 2)).value();
+  Value v = parsed(R"({"a": [1, {"b": [true, null]}], "z": "end"})");
+  Value reparsed = parsed(dump(v, 2));
   EXPECT_TRUE(v == reparsed);
 }
 
@@ -114,7 +123,7 @@ TEST(JsonDump, IntegersPrintWithoutDecimal) {
 
 TEST(JsonFile, SaveAndLoadRoundTrip) {
   std::string path = ::testing::TempDir() + "/harp_json_test.json";
-  Value v = parse(R"({"hw": {"cores": [8, 16]}})").value();
+  Value v = parsed(R"({"hw": {"cores": [8, 16]}})");
   ASSERT_TRUE(save_file(path, v).ok());
   auto loaded = load_file(path);
   ASSERT_TRUE(loaded.ok());

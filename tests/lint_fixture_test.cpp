@@ -1,0 +1,139 @@
+// Self-test for the harp-lint rule engine (tools/harp_lint) against the
+// fixture corpus in tests/lint_fixtures/.
+//
+// Each bad fixture marks its violating lines with a trailing
+// `expect: <rule-id>...` comment; the test parses those markers from the raw
+// text (the lexer swallows comments trailing #include lines, so markers must
+// not depend on tokenisation) and asserts the engine's findings match the
+// expected (file, line, rule) set exactly — no extras, no misses. Good
+// fixtures assert exact silence. Module-placement-sensitive rules (r2's
+// rng.hpp exemption, r3's layering) are driven by faking rel_path.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/harp_lint/lint.hpp"
+
+namespace harp::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(HARP_LINT_FIXTURE_DIR) + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Load a fixture, optionally under a faked repo-relative path.
+SourceFile fixture(const std::string& name, const std::string& rel_path = "") {
+  return SourceFile{rel_path.empty() ? "tests/lint_fixtures/" + name : rel_path,
+                    read_fixture(name)};
+}
+
+/// "file:line: rule" triples, comparable across expected and actual.
+std::set<std::string> keys_of(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings)
+    keys.insert(f.file + ":" + std::to_string(f.line) + ": " + f.rule);
+  return keys;
+}
+
+/// Expected keys from `expect: <rule-id>...` markers in the fixture text.
+std::set<std::string> expected_in(const SourceFile& src) {
+  std::set<std::string> keys;
+  std::istringstream lines(src.text);
+  std::string line;
+  int number = 0;
+  while (std::getline(lines, line)) {
+    ++number;
+    std::size_t marker = line.find("expect:");
+    if (marker == std::string::npos) continue;
+    std::istringstream rules(line.substr(marker + 7));
+    std::string rule;
+    while (rules >> rule)
+      keys.insert(src.rel_path + ":" + std::to_string(number) + ": " + rule);
+  }
+  return keys;
+}
+
+/// Run the engine restricted to `rules` and require findings == markers.
+void expect_exact(const std::vector<SourceFile>& files, const std::vector<std::string>& rules,
+                  const Options& base = {}) {
+  Options options = base;
+  options.rules = rules;
+  std::set<std::string> expected;
+  for (const SourceFile& f : files) {
+    std::set<std::string> marks = expected_in(f);
+    expected.insert(marks.begin(), marks.end());
+  }
+  std::set<std::string> actual = keys_of(run(files, options));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(LintFixtures, R1UncheckedResult) {
+  expect_exact({fixture("r1_bad.cpp"), fixture("r1_good.cpp")}, {"r1"});
+}
+
+TEST(LintFixtures, R2Determinism) {
+  expect_exact({fixture("r2_bad.cpp"), fixture("r2_good.cpp")}, {"r2"});
+}
+
+TEST(LintFixtures, R2RngHomeIsExempt) {
+  // The same violations under the sanctioned path produce nothing.
+  SourceFile exempt = fixture("r2_bad.cpp", "src/common/rng.hpp");
+  EXPECT_TRUE(run({exempt}, Options{{"r2"}}).empty());
+}
+
+TEST(LintFixtures, R3Layering) {
+  SourceFile bad = fixture("r3_bad.cpp", "src/common/r3_bad.cpp");
+  SourceFile good = fixture("r3_good.cpp", "src/harp/r3_good.cpp");
+  expect_exact({bad, good}, {"r3"});
+}
+
+TEST(LintFixtures, R4DispatchExhaustive) {
+  Options options;
+  options.enum_file = "tests/lint_fixtures/r4_messages_good.hpp";
+  options.dispatch_files = {"tests/lint_fixtures/r4_dispatch_good.cpp"};
+  expect_exact({fixture("r4_messages_good.hpp"), fixture("r4_dispatch_good.cpp")}, {"r4"},
+               options);
+}
+
+TEST(LintFixtures, R4DispatchHoles) {
+  Options options;
+  options.enum_file = "tests/lint_fixtures/r4_messages_bad.hpp";
+  options.dispatch_files = {"tests/lint_fixtures/r4_dispatch_bad.cpp"};
+  expect_exact({fixture("r4_messages_bad.hpp"), fixture("r4_dispatch_bad.cpp")}, {"r4"},
+               options);
+}
+
+TEST(LintFixtures, R5LockAnnotations) {
+  expect_exact({fixture("r5_bad.cpp"), fixture("r5_good.cpp")}, {"r5"});
+}
+
+TEST(LintFixtures, SuppressionsSilenceFindings) {
+  // All rules on: the only thing keeping these fixtures quiet is the
+  // well-formed allow() directives.
+  EXPECT_TRUE(run({fixture("suppress_good.cpp")}).empty());
+}
+
+TEST(LintFixtures, MalformedSuppressionsAreFindings) {
+  expect_exact({fixture("suppress_bad.cpp")}, {});
+}
+
+TEST(LintFixtures, FindingFormat) {
+  Finding f{"src/ipc/transport.cpp", 42, "r1", "return value discarded"};
+  EXPECT_EQ(format(f), "src/ipc/transport.cpp:42: r1 return value discarded");
+}
+
+TEST(LintFixtures, RuleFilterRestrictsOutput) {
+  // The r2 fixture under an r1-only run is silent: filtering works.
+  EXPECT_TRUE(run({fixture("r2_bad.cpp")}, Options{{"r1"}}).empty());
+}
+
+}  // namespace
+}  // namespace harp::lint

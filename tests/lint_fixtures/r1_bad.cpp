@@ -1,0 +1,34 @@
+// Bad fixture for r1 (unchecked-result): discarded fallible calls and
+// .value()/.error()/.take() without a dominating ok() check. Fixtures are
+// lexed, never compiled, so the declarations below are all the rule needs.
+#include "src/common/result.hpp"
+
+harp::Status send_frame(int fd);
+harp::Result<int> parse_num(const char* text);
+
+void discards_status() {
+  send_frame(3);  // expect: r1
+}
+
+void discards_inside_if(bool armed) {
+  if (armed) send_frame(4);  // expect: r1
+}
+
+int value_without_check() {
+  harp::Result<int> r = parse_num("4");
+  return r.value();  // expect: r1
+}
+
+int error_without_check() {
+  harp::Status s = send_frame(2);
+  return s.error().code;  // expect: r1
+}
+
+int take_without_check() {
+  harp::Result<int> r = parse_num("7");
+  return std::move(r).take();  // expect: r1
+}
+
+int value_on_temporary() {
+  return parse_num("5").value();  // expect: r1
+}

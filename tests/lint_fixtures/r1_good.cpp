@@ -1,0 +1,41 @@
+// Good fixture for r1 (unchecked-result): every sanctioned way of touching
+// a Result/Status — dominating ok() checks, negation checks, explicit
+// (void) discard, and propagation via return.
+#include "src/common/result.hpp"
+
+harp::Status send_frame(int fd);
+harp::Result<int> parse_num(const char* text);
+
+int checked_value() {
+  harp::Result<int> r = parse_num("4");
+  if (!r.ok()) return -1;
+  return r.value();
+}
+
+int checked_error_path() {
+  harp::Status s = send_frame(2);
+  if (s.ok()) return 0;
+  return s.error().code;
+}
+
+int checked_take() {
+  harp::Result<int> r = parse_num("7");
+  if (!r.ok()) return -1;
+  return std::move(r).take();
+}
+
+void explicit_discard() {
+  // Deliberate: the (void) cast is the sanctioned discard escape hatch.
+  (void)send_frame(3);
+}
+
+harp::Status propagated() { return send_frame(1); }
+
+int unrelated_value_member() {
+  struct Stat {
+    int value_ = 9;
+    int value() const { return value_; }
+  };
+  Stat st;
+  return st.value();  // not a Result: declaration narrows it to kOtherDecl
+}

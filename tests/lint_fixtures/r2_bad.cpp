@@ -1,0 +1,26 @@
+// Bad fixture for r2 (determinism): every nondeterminism pattern the rule
+// recognises. Also reused by the fixture test under the faked path
+// src/common/rng.hpp to prove the one sanctioned home is exempt.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // expect: r2
+  return rd();
+}
+
+int c_random() {
+  return rand();  // expect: r2
+}
+
+void seed_with_wall_clock() {
+  unsigned seed = static_cast<unsigned>(time(nullptr));  // expect: r2
+  srand(seed);                                           // expect: r2
+}
+
+double wall_clock_seconds() {
+  auto now = std::chrono::system_clock::now();  // expect: r2
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,23 @@
+// Good fixture for r2 (determinism): sanctioned clocks and seeded
+// randomness. steady_clock intervals, harp::Rng draws, member functions
+// that merely share a flagged name, and time() with an out-parameter.
+#include <chrono>
+#include <ctime>
+
+#include "src/common/rng.hpp"
+
+double interval_seconds() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double seeded_draw(harp::Rng& rng) { return rng.uniform(); }
+
+struct Dice {
+  int rand() const { return 4; }
+};
+
+int member_named_rand(const Dice& dice) { return dice.rand(); }
+
+std::time_t explicit_out_param(std::time_t* out) { return time(out); }

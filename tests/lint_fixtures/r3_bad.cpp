@@ -1,0 +1,7 @@
+// Bad fixture for r3 (layering). The fixture test scans this file under the
+// faked path src/common/r3_bad.cpp: 'common' is the bottom layer, so both
+// the upward include and the unknown-module include must be flagged.
+#include "src/platform/hardware.hpp"  // expect: r3
+#include "src/widgets/button.hpp"     // expect: r3
+
+int bottom_layer_function() { return 0; }

@@ -1,0 +1,11 @@
+// Good fixture for r3 (layering). Scanned under the faked path
+// src/harp/r3_good.cpp: 'harp' is the top layer and may include everything
+// below it; self-includes and angle includes are always allowed.
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/harp/operating_point.hpp"
+#include "src/ipc/transport.hpp"
+#include "src/platform/hardware.hpp"
+
+int top_layer_function() { return 0; }

@@ -1,0 +1,9 @@
+// Bad fixture dispatch for r4: never mentions Shutdown.  expect: r4
+#include "r4_messages_bad.hpp"
+
+void dispatch(MessageType type) {
+  if (type == MessageType::kPing) {
+    PingMsg ping;
+    (void)ping;
+  }
+}

@@ -1,0 +1,18 @@
+// Good fixture dispatch for r4: handles every payload struct declared by
+// r4_messages_good.hpp.
+#include "r4_messages_good.hpp"
+
+void dispatch(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: {
+      PingMsg ping;
+      (void)ping;
+      break;
+    }
+    case MessageType::kShutdown: {
+      Shutdown shutdown;
+      (void)shutdown;
+      break;
+    }
+  }
+}

@@ -1,0 +1,17 @@
+// Bad fixture enum for r4 (dispatch): kOrphan has no payload struct at all,
+// and the companion bad dispatch fixture never mentions Shutdown.
+#pragma once
+
+enum class MessageType {
+  kPing,
+  kShutdown,
+  kOrphan,  // expect: r4
+};
+
+struct PingMsg {
+  int sequence = 0;
+};
+
+struct Shutdown {
+  int reason = 0;
+};

@@ -1,0 +1,17 @@
+// Good fixture enum for r4 (dispatch): every enumerator has a payload
+// struct (bare name or Msg-suffixed), and the companion dispatch fixture
+// mentions them all.
+#pragma once
+
+enum class MessageType {
+  kPing,
+  kShutdown,
+};
+
+struct PingMsg {
+  int sequence = 0;
+};
+
+struct Shutdown {
+  int reason = 0;
+};

@@ -1,0 +1,15 @@
+// Bad fixture for r5 (lock-annotations): a mutex-holding class whose data
+// members carry no HARP_GUARDED_BY, including one declared first after an
+// access specifier (the splitter must not swallow it).
+#include "src/common/mutex.hpp"
+
+class BoundedQueue {
+ public:
+  void push(int v);
+  int pop();
+
+ private:
+  int depth_ = 0;  // expect: r5
+  harp::Mutex mutex_;
+  bool closed_ = false;  // expect: r5
+};

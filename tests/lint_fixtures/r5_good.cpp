@@ -1,0 +1,20 @@
+// Good fixture for r5 (lock-annotations): every data member of the
+// mutex-holding class is annotated; classes without a mutex are exempt.
+#include "src/common/mutex.hpp"
+#include "src/common/thread_annotations.hpp"
+
+class BoundedQueue {
+ public:
+  void push(int v);
+  int pop();
+
+ private:
+  harp::Mutex mutex_;
+  int depth_ HARP_GUARDED_BY(mutex_) = 0;
+  bool closed_ HARP_GUARDED_BY(mutex_) = false;
+};
+
+struct PlainAggregate {
+  int value = 0;
+  bool flag = false;
+};

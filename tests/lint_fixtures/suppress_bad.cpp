@@ -1,0 +1,12 @@
+// Fixture for malformed suppressions: a missing reason or an unknown verb
+// is itself a finding (rule "allow"), and the original finding is NOT
+// silenced.
+#include <cstdlib>
+
+int missing_reason() {
+  return rand();  // harp-lint: allow(r2) -- expect: allow r2
+}
+
+int wrong_verb() {
+  return rand();  // harp-lint: ignore(r2 no such verb) -- expect: allow r2
+}

@@ -1,0 +1,17 @@
+// Fixture for the suppression path: a well-formed
+// harp-lint: allow(<rule-id> <reason>) on the finding's line or the line
+// above silences it; allow(all ...) is the blanket form.
+#include <cstdlib>
+
+int legacy_random_above() {
+  // harp-lint: allow(r2 fixture exercises the line-above suppression form)
+  return rand();
+}
+
+int legacy_random_inline() {
+  return rand();  // harp-lint: allow(r2 fixture exercises the same-line form)
+}
+
+int legacy_random_blanket() {
+  return rand();  // harp-lint: allow(all fixture exercises the blanket form)
+}

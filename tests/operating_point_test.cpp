@@ -14,6 +14,15 @@
 namespace harp::core {
 namespace {
 
+/// Parse a JSON literal the test knows is syntactically valid; fails the
+/// test (and returns null) on a parse error instead of touching the Result.
+json::Value doc(const std::string& text) {
+  Result<json::Value> r = json::parse(text);
+  EXPECT_TRUE(r.ok()) << "parse failed: " << text;
+  if (!r.ok()) return json::Value();
+  return std::move(r).take();
+}
+
 platform::HardwareDescription hw() { return platform::raptor_lake(); }
 
 platform::ExtendedResourceVector erv(int p, int e) {
@@ -104,12 +113,9 @@ TEST(Table, FileRoundTrip) {
 
 TEST(Table, FromJsonValidates) {
   EXPECT_FALSE(OperatingPointTable::from_json(json::Value(1.0)).ok());
-  EXPECT_FALSE(
-      OperatingPointTable::from_json(json::parse(R"({"application":"x"})").value()).ok());
+  EXPECT_FALSE(OperatingPointTable::from_json(doc(R"({"application":"x"})")).ok());
   EXPECT_FALSE(OperatingPointTable::from_json(
-                   json::parse(
-                       R"({"application":"x","operating_points":[{"resources":[[1]],"utility":-1,"power":2}]})")
-                       .value())
+                   doc(R"({"application":"x","operating_points":[{"resources":[[1]],"utility":-1,"power":2}]})"))
                    .ok());
 }
 

@@ -13,6 +13,15 @@
 namespace harp::platform {
 namespace {
 
+/// Parse a JSON literal the test knows is syntactically valid; fails the
+/// test (and returns null) on a parse error instead of touching the Result.
+json::Value doc(const std::string& text) {
+  Result<json::Value> r = json::parse(text);
+  EXPECT_TRUE(r.ok()) << "parse failed: " << text;
+  if (!r.ok()) return json::Value();
+  return std::move(r).take();
+}
+
 TEST(Hardware, RaptorLakeShape) {
   HardwareDescription hw = raptor_lake();
   ASSERT_EQ(hw.num_core_types(), 2);
@@ -59,12 +68,10 @@ TEST(Hardware, FileRoundTrip) {
 
 TEST(Hardware, FromJsonValidatesShape) {
   EXPECT_FALSE(HardwareDescription::from_json(json::Value(3.0)).ok());
-  EXPECT_FALSE(HardwareDescription::from_json(json::parse(R"({"name":"x"})").value()).ok());
+  EXPECT_FALSE(HardwareDescription::from_json(doc(R"({"name":"x"})")).ok());
+  EXPECT_FALSE(HardwareDescription::from_json(doc(R"({"name":"x","core_types":[]})")).ok());
   EXPECT_FALSE(HardwareDescription::from_json(
-                   json::parse(R"({"name":"x","core_types":[]})").value())
-                   .ok());
-  EXPECT_FALSE(HardwareDescription::from_json(
-                   json::parse(R"({"name":"x","core_types":[{"name":"P","core_count":0}]})").value())
+                   doc(R"({"name":"x","core_types":[{"name":"P","core_count":0}]})"))
                    .ok());
 }
 
@@ -131,8 +138,8 @@ TEST(Erv, JsonRoundTrip) {
 
 TEST(Erv, FromJsonValidates) {
   EXPECT_FALSE(ExtendedResourceVector::from_json(json::Value(1.0)).ok());
-  EXPECT_FALSE(ExtendedResourceVector::from_json(json::parse("[[-1]]").value()).ok());
-  EXPECT_FALSE(ExtendedResourceVector::from_json(json::parse("[]").value()).ok());
+  EXPECT_FALSE(ExtendedResourceVector::from_json(doc("[[-1]]")).ok());
+  EXPECT_FALSE(ExtendedResourceVector::from_json(doc("[]")).ok());
 }
 
 TEST(Enumerate, OdroidCountIsExact) {

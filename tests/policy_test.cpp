@@ -198,8 +198,9 @@ TEST(HarpPolicy, StaticAppsGetAffinityOnly) {
   EXPECT_EQ(result.apps[0].completions, 1);
   // The static pipeline has 6 processes; HARP must not grant more threads.
   auto configs = policy.active_configs();
-  if (auto it = configs.find("lms-static"); it != configs.end())
+  if (auto it = configs.find("lms-static"); it != configs.end()) {
     EXPECT_LE(it->second.total_threads(), 6);
+  }
 }
 
 }  // namespace

@@ -64,6 +64,8 @@ class World {
           std::make_unique<ipc::FaultInjectingChannel>(std::move(app_end), app_plan));
     };
     Result<std::unique_ptr<ipc::Channel>> first = factory();
+    EXPECT_TRUE(first.ok()) << first.error().message;
+    if (!first.ok()) return nullptr;
     auto made = client::HarpClient::deferred(std::move(first).take(), std::move(config),
                                              std::move(callbacks), factory);
     EXPECT_TRUE(made.ok()) << made.error().message;

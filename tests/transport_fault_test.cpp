@@ -1,0 +1,56 @@
+// Regression tests for the AF_UNIX transport and the RM's socket accept
+// path. These use real sockets (and the send-timeout test blocks ~100 ms),
+// so the suite is deliberately not part of tier1.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/harp/rm_server.hpp"
+#include "src/ipc/transport.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp {
+namespace {
+
+// Regression — a frame that timed out mid-send used to return an error yet
+// leave the channel open with a partial frame on the wire, so every later
+// frame was parsed against the torn byte stream. The channel must die with
+// the frame instead.
+TEST(UnixTransport, MidFrameSendTimeoutClosesChannel) {
+  std::string path = ::testing::TempDir() + "/harp_send_timeout.sock";
+  auto server = ipc::UnixServer::listen(path);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+  auto client = ipc::unix_connect(path);
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  auto accepted = server.value()->accept();
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(accepted.value().has_value());
+
+  // Nobody reads the accepted end: a frame far larger than the socket
+  // buffer partially writes, then times out mid-frame.
+  std::vector<std::uint8_t> huge(8 * 1024 * 1024, 0xAB);
+  Status status = client.value()->send_raw(huge);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("mid-frame"), std::string::npos)
+      << status.error().message;
+  EXPECT_TRUE(client.value()->closed());
+  EXPECT_FALSE(client.value()->send_raw({1, 2, 3}).ok());
+}
+
+// Regression — poll() locks the server mutex and then adopted accepted
+// connections through the public adopt_channel(), which locks it again: the
+// first real socket client self-deadlocked the RM event loop.
+TEST(UnixTransport, RmAcceptsSocketClientsWithoutDeadlock) {
+  std::string path = ::testing::TempDir() + "/harp_accept.sock";
+  core::RmServer rm(platform::odroid_xu3e());
+  ASSERT_TRUE(rm.listen(path).ok());
+  auto client = ipc::unix_connect(path);
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  rm.poll(0.0);
+  EXPECT_EQ(rm.client_count(), 1u);
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# One-shot pre-PR gate: configure + build with warnings, a clang
+# thread-safety build when clang is available, harp-lint over the tree, and
+# the tier1 test suite. Run from anywhere; exits non-zero on the first
+# failure.
+#
+#   ./tools/check.sh            # gate against build-check/
+#   BUILD_DIR=build ./tools/check.sh
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${BUILD_DIR:-"$root/build-check"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure + build (warnings on) =="
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build" -j "$jobs"
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang thread-safety build =="
+  cmake -B "$build-clang" -S "$root" \
+    -DCMAKE_CXX_COMPILER=clang++ -DHARP_THREAD_SAFETY=ON >/dev/null
+  cmake --build "$build-clang" -j "$jobs"
+else
+  echo "== clang not found; skipping -Wthread-safety build =="
+fi
+
+echo "== harp-lint =="
+cmake --build "$build" -j "$jobs" --target harp-lint >/dev/null
+"$build/tools/harp-lint" --root "$root" src tests tools bench examples
+
+echo "== tier1 tests =="
+ctest --test-dir "$build" -L tier1 --output-on-failure
+
+echo "== check.sh: all gates passed =="

@@ -1,0 +1,201 @@
+#include "tools/harp_lint/lexer.hpp"
+
+#include <cctype>
+
+namespace harp::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile run() {
+    while (pos_ < text_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void push(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') return line_comment();
+    if (c == '/' && peek(1) == '*') return block_comment();
+    if (c == '#' && at_line_start()) return directive();
+    if (c == '"') return string_literal();
+    if (c == '\'') return char_literal();
+    if (c == 'R' && peek(1) == '"') return raw_string();
+    if (ident_start(c)) return identifier();
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    punct();
+  }
+
+  bool at_line_start() const {
+    std::size_t i = pos_;
+    while (i > 0) {
+      char c = text_[i - 1];
+      if (c == '\n') return true;
+      if (c != ' ' && c != '\t') return false;
+      --i;
+    }
+    return true;
+  }
+
+  void line_comment() {
+    int line = line_;
+    advance();
+    advance();
+    std::string body;
+    while (pos_ < text_.size() && peek() != '\n') body += advance();
+    out_.comments.push_back(Comment{line, body});
+  }
+
+  void block_comment() {
+    int line = line_;
+    advance();
+    advance();
+    std::string body;
+    while (pos_ < text_.size() && !(peek() == '*' && peek(1) == '/')) body += advance();
+    if (pos_ < text_.size()) {
+      advance();
+      advance();
+    }
+    out_.comments.push_back(Comment{line, body});
+  }
+
+  /// Preprocessor line: consumed to end of line (honouring \-continuations).
+  /// Quoted #include paths are recorded; everything else is dropped.
+  void directive() {
+    int line = line_;
+    std::string body;
+    while (pos_ < text_.size()) {
+      if (peek() == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (peek() == '\n') break;
+      if (peek() == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      body += advance();
+    }
+    std::size_t kw = body.find("include");
+    if (kw != std::string::npos) {
+      std::size_t open = body.find('"', kw);
+      if (open != std::string::npos) {
+        std::size_t close = body.find('"', open + 1);
+        if (close != std::string::npos)
+          out_.includes.push_back(Include{line, body.substr(open + 1, close - open - 1)});
+      }
+    }
+  }
+
+  void string_literal() {
+    int line = line_;
+    advance();
+    std::string body;
+    while (pos_ < text_.size() && peek() != '"') {
+      if (peek() == '\\' && pos_ + 1 < text_.size()) body += advance();
+      body += advance();
+    }
+    if (pos_ < text_.size()) advance();
+    push(TokKind::kString, std::move(body), line);
+  }
+
+  void char_literal() {
+    int line = line_;
+    advance();
+    std::string body;
+    while (pos_ < text_.size() && peek() != '\'') {
+      if (peek() == '\\' && pos_ + 1 < text_.size()) body += advance();
+      body += advance();
+    }
+    if (pos_ < text_.size()) advance();
+    push(TokKind::kString, std::move(body), line);
+  }
+
+  void raw_string() {
+    int line = line_;
+    advance();  // R
+    advance();  // "
+    std::string delim;
+    while (pos_ < text_.size() && peek() != '(') delim += advance();
+    if (pos_ < text_.size()) advance();  // (
+    std::string terminator = ")" + delim + "\"";
+    std::string body;
+    while (pos_ < text_.size() && text_.compare(pos_, terminator.size(), terminator) != 0)
+      body += advance();
+    for (std::size_t i = 0; i < terminator.size() && pos_ < text_.size(); ++i) advance();
+    push(TokKind::kString, std::move(body), line);
+  }
+
+  void identifier() {
+    int line = line_;
+    std::string name;
+    while (pos_ < text_.size() && ident_char(peek())) name += advance();
+    push(TokKind::kIdent, std::move(name), line);
+  }
+
+  void number() {
+    int line = line_;
+    std::string body;
+    while (pos_ < text_.size() &&
+           (ident_char(peek()) || peek() == '.' ||
+            ((peek() == '+' || peek() == '-') &&
+             (body.ends_with("e") || body.ends_with("E") || body.ends_with("p") ||
+              body.ends_with("P")))))
+      body += advance();
+    push(TokKind::kNumber, std::move(body), line);
+  }
+
+  /// Punctuation: `::` and `->` are kept as single tokens (the rules match on
+  /// member access and scope resolution); everything else is one char.
+  void punct() {
+    int line = line_;
+    char c = advance();
+    if (c == ':' && peek() == ':') {
+      advance();
+      push(TokKind::kPunct, "::", line);
+      return;
+    }
+    if (c == '-' && peek() == '>') {
+      advance();
+      push(TokKind::kPunct, "->", line);
+      return;
+    }
+    push(TokKind::kPunct, std::string(1, c), line);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace harp::lint

@@ -1,0 +1,61 @@
+// harp-lint rule engine: HARP-specific static analysis over the lexer's
+// token streams.
+//
+// Rules (see DESIGN.md "Static analysis & invariants" for rationale):
+//   r1  unchecked-result   Result<T>/Status return discarded, or
+//                          .value()/.error()/.take() without a dominating
+//                          ok() check in an enclosing scope.
+//   r2  determinism        std::random_device / rand() / srand() /
+//                          time(nullptr) / system_clock::now() outside
+//                          src/common/rng.hpp.
+//   r3  layering           #include "src/<module>/..." that violates the
+//                          module dependency DAG.
+//   r4  dispatch           a MessageType enumerator whose payload struct is
+//                          never mentioned in an RM/client dispatch file.
+//   r5  lock-annotations   a data member of a mutex-holding class without
+//                          HARP_GUARDED_BY / HARP_PT_GUARDED_BY.
+//   allow                  malformed suppression (missing mandatory reason).
+//
+// Suppressions: `// harp-lint: allow(<rule-id> <reason>)` on the finding's
+// line or the line directly above it. The reason is mandatory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace harp::lint {
+
+struct Finding {
+  std::string file;
+  int line = 1;
+  std::string rule;
+  std::string message;
+};
+
+/// One input translation unit. `rel_path` is the repo-relative path with
+/// forward slashes; the layering and determinism rules key off it, which is
+/// also how the fixture suite fakes module placement.
+struct SourceFile {
+  std::string rel_path;
+  std::string text;
+};
+
+struct Options {
+  /// Rule ids to run; empty = all rules.
+  std::vector<std::string> rules;
+  /// File whose `enum class MessageType` drives the dispatch rule. The rule
+  /// is skipped unless this file is part of the scanned set.
+  std::string enum_file = "src/ipc/messages.hpp";
+  /// Files whose token streams must mention every payload struct.
+  std::vector<std::string> dispatch_files = {"src/harp/rm_server.cpp",
+                                             "src/libharp/client.cpp"};
+};
+
+/// Run all requested rules over the file set, apply suppressions, and return
+/// findings sorted by (file, line, rule).
+std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& options = {});
+
+/// `file:line: rule-id message` — the one-line diagnostic format.
+std::string format(const Finding& finding);
+
+}  // namespace harp::lint

@@ -1,0 +1,125 @@
+// harp-lint — HARP-specific static analysis (rules r1–r5, see lint.hpp).
+//
+// Usage:
+//   harp-lint [--root <dir>] [--rules r1,r3] [path...]
+//
+// Paths (files or directories, default: src tests tools bench examples) are
+// resolved against --root (default: cwd). Directory walks collect *.cpp and
+// *.hpp and skip build outputs and the lint fixture corpus; explicitly named
+// files are always scanned. Exit status: 0 clean, 1 findings, 2 usage error.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/harp_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, "usage: harp-lint [--root <dir>] [--rules r1,r2,...] [path...]\n");
+}
+
+bool source_extension(const fs::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool skipped_dir_entry(const std::string& rel) {
+  return rel.find("lint_fixtures") != std::string::npos ||
+         rel.find("build/") != std::string::npos || rel.rfind("build", 0) == 0;
+}
+
+std::string rel_to(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  std::string out = (ec || rel.empty()) ? path.string() : rel.generic_string();
+  return out;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> rules;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(), 2;
+      root = fs::path(argv[++i]);
+    } else if (arg == "--rules") {
+      if (i + 1 >= argc) return usage(), 2;
+      std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        std::string rule = list.substr(start, comma - start);
+        if (!rule.empty()) rules.push_back(rule);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(), 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(), 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "tools", "bench", "examples"};
+
+  std::vector<harp::lint::SourceFile> files;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs, ec)) {
+        if (!entry.is_regular_file() || !source_extension(entry.path())) continue;
+        std::string rel = rel_to(root, entry.path());
+        if (skipped_dir_entry(rel)) continue;
+        std::string text;
+        if (!read_file(entry.path(), text)) {
+          std::fprintf(stderr, "harp-lint: cannot read %s\n", entry.path().c_str());
+          return 2;
+        }
+        files.push_back(harp::lint::SourceFile{rel, std::move(text)});
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      std::string text;
+      if (!read_file(abs, text)) {
+        std::fprintf(stderr, "harp-lint: cannot read %s\n", abs.c_str());
+        return 2;
+      }
+      files.push_back(harp::lint::SourceFile{rel_to(root, abs), std::move(text)});
+    } else {
+      std::fprintf(stderr, "harp-lint: no such path: %s\n", abs.c_str());
+      return 2;
+    }
+  }
+
+  harp::lint::Options options;
+  options.rules = rules;
+  std::vector<harp::lint::Finding> findings = harp::lint::run(files, options);
+  for (const harp::lint::Finding& finding : findings)
+    std::printf("%s\n", harp::lint::format(finding).c_str());
+  if (!findings.empty()) {
+    std::fprintf(stderr, "harp-lint: %zu finding(s) in %zu file(s) scanned\n", findings.size(),
+                 files.size());
+    return 1;
+  }
+  return 0;
+}
