@@ -6,6 +6,11 @@
 // next to the ground truth from exhaustive offline DSE.
 //
 // Build & run:  ./build/examples/online_exploration
+//
+// The run is traced: every allocation cycle, exploration decision, and
+// measurement lands in online_exploration_trace.jsonl, which harp-trace can
+// replay (`./build/tools/harp-trace online_exploration_trace.jsonl`).
+#include <cinttypes>
 #include <cstdio>
 #include <optional>
 
@@ -14,6 +19,10 @@
 #include "src/model/catalog.hpp"
 #include "src/platform/hardware.hpp"
 #include "src/sim/runner.hpp"
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/export.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
 
 using namespace harp;
 
@@ -23,7 +32,20 @@ int main() {
   const model::AppBehavior& app = catalog.app("seismic");
   model::Scenario scenario{app.name, {{app.name, 0.0}}};
 
-  core::HarpPolicy policy{core::HarpOptions{}};
+  // Trace the whole learning run against the simulated clock: the policy
+  // pins trace_clock to sim time inside its hooks, so replaying this binary
+  // produces a byte-identical trace file.
+  telemetry::ManualClock trace_clock;
+  telemetry::TracerOptions tracer_options;
+  tracer_options.capacity = 1 << 18;  // room for the full 60 s run
+  telemetry::Tracer tracer(&trace_clock, tracer_options);
+  telemetry::MetricsRegistry metrics;
+
+  core::HarpOptions harp_options;
+  harp_options.tracer = &tracer;
+  harp_options.metrics = &metrics;
+  harp_options.trace_clock = &trace_clock;
+  core::HarpPolicy policy{harp_options};
   sim::RunOptions options;
   options.seed = 5;
   options.repeat_horizon = 60.0;  // keep restarting the app while learning
@@ -76,5 +98,15 @@ int main() {
                 best_reference->erv.to_string(hw).c_str(),
                 reference.cost_of(*best_reference));
   }
+
+  const char* trace_path = "online_exploration_trace.jsonl";
+  Status wrote = telemetry::write_trace_file(trace_path, tracer.events());
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "trace: %s\n", wrote.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu trace events to %s (%" PRIu64 " dropped)\n",
+              tracer.events().size(), trace_path, tracer.dropped());
+  std::printf("inspect with: ./build/tools/harp-trace %s\n", trace_path);
   return 0;
 }

@@ -41,11 +41,15 @@ double selection_cost(const std::vector<AllocationGroup>& groups,
   return cost;
 }
 
-Allocator::Allocator(platform::HardwareDescription hw, SolverKind kind)
-    : hw_(std::move(hw)), kind_(kind) {}
+Allocator::Allocator(platform::HardwareDescription hw, SolverKind kind,
+                     telemetry::Tracer* tracer)
+    : hw_(std::move(hw)), kind_(kind), tracer_(tracer) {}
 
 AllocationResult Allocator::solve(const std::vector<AllocationGroup>& groups) const {
   HARP_CHECK(!groups.empty());
+  if (tracer_ != nullptr)
+    tracer_->begin(telemetry::EventType::kMmkpSolve, "rm",
+                   {{"groups", static_cast<double>(groups.size())}});
   for (const AllocationGroup& g : groups) {
     HARP_CHECK_MSG(!g.candidates.empty(), "group '" << g.app_name << "' has no candidates");
     HARP_CHECK(g.costs.size() == g.candidates.size());
@@ -61,7 +65,11 @@ AllocationResult Allocator::solve(const std::vector<AllocationGroup>& groups) co
   }
 
   AllocationResult result;
-  if (selection.empty()) return result;  // co-allocation required
+  if (selection.empty()) {
+    if (tracer_ != nullptr)
+      tracer_->end(telemetry::EventType::kMmkpSolve, "rm", {{"feasible", 0.0}});
+    return result;  // co-allocation required
+  }
 
   result.selection = selection;
   result.total_cost = selection_cost(groups, selection);
@@ -75,6 +83,9 @@ AllocationResult Allocator::solve(const std::vector<AllocationGroup>& groups) co
   auto assigned = platform::assign_cores(hw_, demands);
   HARP_CHECK_MSG(assigned.ok(), "feasible selection failed concrete assignment");
   result.allocations = std::move(assigned).take();
+  if (tracer_ != nullptr)
+    tracer_->end(telemetry::EventType::kMmkpSolve, "rm",
+                 {{"feasible", 1.0}, {"total_cost", result.total_cost}});
   return result;
 }
 

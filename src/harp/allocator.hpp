@@ -18,6 +18,7 @@
 
 #include "src/harp/operating_point.hpp"
 #include "src/platform/resource_vector.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::core {
 
@@ -49,7 +50,8 @@ enum class SolverKind { kLagrangian, kGreedy, kExhaustive };
 class Allocator {
  public:
   explicit Allocator(platform::HardwareDescription hw,
-                     SolverKind kind = SolverKind::kLagrangian);
+                     SolverKind kind = SolverKind::kLagrangian,
+                     telemetry::Tracer* tracer = nullptr);
 
   /// Solve the selection problem and compute concrete core assignments.
   /// Groups must be non-empty and every group must have >= 1 candidate.
@@ -72,6 +74,8 @@ class Allocator {
 
   platform::HardwareDescription hw_;
   SolverKind kind_;
+  /// Optional: wraps every solve() in a kMmkpSolve span (groups/cost/feasible).
+  telemetry::Tracer* tracer_;
 };
 
 /// True iff the selected points jointly fit the capacity vector.

@@ -21,6 +21,9 @@ OperatingPointTable run_offline_dse(const model::AppBehavior& app,
       app.adaptivity == model::AdaptivityType::kStatic && app.default_threads > 0;
 
   std::vector<platform::ExtendedResourceVector> candidates = enumerate_coarse_points(hw);
+  if (options.tracer != nullptr)
+    options.tracer->begin(telemetry::EventType::kDseSweep, app.name,
+                          {{"candidates", static_cast<double>(candidates.size())}});
   std::vector<NonFunctional> nfcs;
   nfcs.reserve(candidates.size());
   for (const platform::ExtendedResourceVector& erv : candidates) {
@@ -62,6 +65,9 @@ OperatingPointTable run_offline_dse(const model::AppBehavior& app,
     for (int m = 0; m < options.measurements_per_point; ++m)
       table.record_measurement(candidates[i], nfcs[i].utility, nfcs[i].power_w);
   }
+  if (options.tracer != nullptr)
+    options.tracer->end(telemetry::EventType::kDseSweep, app.name,
+                        {{"kept", static_cast<double>(keep.size())}});
   return table;
 }
 

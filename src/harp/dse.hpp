@@ -9,6 +9,7 @@
 
 #include "src/harp/operating_point.hpp"
 #include "src/model/behavior.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::core {
 
@@ -26,6 +27,8 @@ struct DseOptions {
   /// DVFS setting the sweep is profiled at (1 = calibrated maximum). The
   /// §7-outlook frequency extension generates one table per level.
   double freq_scale = 1.0;
+  /// Optional: each sweep is wrapped in a kDseSweep span (scope = app name).
+  telemetry::Tracer* tracer = nullptr;
 };
 
 /// Sweep every coarse configuration of `hw` for `app` and build its

@@ -77,6 +77,17 @@ std::vector<platform::ExtendedResourceVector> AppExplorer::in_budget_candidates(
 
 std::optional<platform::ExtendedResourceVector> AppExplorer::select_next(
     const OperatingPointTable& table, const std::vector<int>& core_budget) const {
+  std::optional<platform::ExtendedResourceVector> next = select_next_impl(table, core_budget);
+  if (config_.tracer != nullptr && next.has_value())
+    config_.tracer->instant(
+        telemetry::EventType::kExplorationSelect, table.app_name(),
+        {{"measured", static_cast<double>(measured_configs(table))}},
+        {{"erv", next->to_string(hw_)}, {"stage", to_string(stage(table))}});
+  return next;
+}
+
+std::optional<platform::ExtendedResourceVector> AppExplorer::select_next_impl(
+    const OperatingPointTable& table, const std::vector<int>& core_budget) const {
   // Unmeasured (or under-measured) configurations within the budget.
   std::vector<platform::ExtendedResourceVector> candidates;
   for (platform::ExtendedResourceVector& erv : in_budget_candidates(core_budget)) {

@@ -23,6 +23,7 @@
 #include "src/harp/operating_point.hpp"
 #include "src/mlmodels/regressors.hpp"
 #include "src/platform/resource_vector.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::core {
 
@@ -37,6 +38,8 @@ struct ExplorationConfig {
   double measurement_interval_s = 0.05;
   int stable_realloc_interval = 100;  ///< measurement ticks between stable re-allocations
   int regression_degree = 2;          ///< §5.2's winning model
+  /// Optional: every select_next() emits a kExplorationSelect instant.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 /// Utility+power surrogate over extended-resource-vector features.
@@ -75,6 +78,8 @@ class AppExplorer {
       const OperatingPointTable& table, const std::vector<int>& core_budget) const;
 
  private:
+  std::optional<platform::ExtendedResourceVector> select_next_impl(
+      const OperatingPointTable& table, const std::vector<int>& core_budget) const;
   std::vector<platform::ExtendedResourceVector> in_budget_candidates(
       const std::vector<int>& core_budget) const;
 

@@ -57,15 +57,22 @@ std::string HarpPolicy::name() const {
 
 void HarpPolicy::attach(sim::RunnerApi& api) {
   api_ = &api;
+  options_.exploration.tracer = options_.tracer;
   explorer_ = std::make_unique<AppExplorer>(api.hardware(), options_.exploration);
   attributor_ = std::make_unique<energy::EnergyAttributor>(api.hardware());
-  allocator_ = std::make_unique<Allocator>(api.hardware(), options_.solver);
+  allocator_ = std::make_unique<Allocator>(api.hardware(), options_.solver, options_.tracer);
   unassigned_cores_.assign(api.hardware().core_types.size(), 0);
   next_measurement_time_ = options_.exploration.measurement_interval_s;
+  if (options_.metrics != nullptr) {
+    reallocs_counter_ = &options_.metrics->counter("rm_reallocs_total");
+    measurements_counter_ = &options_.metrics->counter("rm_measurements_total");
+    stage_transitions_counter_ = &options_.metrics->counter("rm_stage_transitions_total");
+  }
 }
 
 void HarpPolicy::on_app_start(sim::AppId id) {
   HARP_CHECK(api_ != nullptr);
+  if (options_.trace_clock != nullptr) options_.trace_clock->set(api_->now());
   for (const sim::RunningAppInfo& info : api_->running_apps()) {
     if (info.id != id) continue;
     auto app = std::make_unique<ManagedApp>();
@@ -88,6 +95,10 @@ void HarpPolicy::on_app_start(sim::AppId id) {
         tables_.emplace(key, OperatingPointTable(key));
     }
     app->last_stage = explorer_->stage(tables_.at(key));
+    if (options_.tracer != nullptr)
+      options_.tracer->instant(telemetry::EventType::kRegistration, app->name,
+                               {{"app_id", static_cast<double>(id)}},
+                               {{"stage", to_string(app->last_stage)}});
     managed_.emplace(id, std::move(app));
     api_->charge_overhead(options_.registration_overhead_s);
     needs_realloc_ = true;
@@ -128,6 +139,7 @@ double HarpPolicy::attributed_energy_j(const std::string& app_name) const {
 
 void HarpPolicy::tick() {
   HARP_CHECK(api_ != nullptr);
+  if (options_.trace_clock != nullptr) options_.trace_clock->set(api_->now());
   if (needs_realloc_) reallocate();
   if (api_->now() + 1e-9 >= next_measurement_time_) {
     next_measurement_time_ += options_.exploration.measurement_interval_s;
@@ -196,10 +208,24 @@ void HarpPolicy::measurement_tick() {
     table.record_measurement(app->active_erv, std::max(utility, 0.0),
                              std::max(power_estimate[id], 0.0));
     ++app->target_measurements;
+    if (measurements_counter_ != nullptr) measurements_counter_->inc();
+    if (options_.tracer != nullptr)
+      options_.tracer->instant(telemetry::EventType::kMeasurement, app->name,
+                               {{"power_w", std::max(power_estimate[id], 0.0)},
+                                {"utility", std::max(utility, 0.0)}},
+                               {{"erv", app->active_erv.to_string(api_->hardware())}});
 
     MaturityStage stage = explorer_->stage(table);
     if (stage == MaturityStage::kStable && app->last_stage != MaturityStage::kStable)
       want_realloc = true;  // §5.3: reassess once an app stabilises
+    if (stage != app->last_stage) {
+      if (stage_transitions_counter_ != nullptr) stage_transitions_counter_->inc();
+      if (options_.tracer != nullptr)
+        options_.tracer->instant(
+            telemetry::EventType::kStageTransition, app->name,
+            {{"measured", static_cast<double>(explorer_->measured_configs(table))}},
+            {{"from", to_string(app->last_stage)}, {"to", to_string(stage)}});
+    }
     app->last_stage = stage;
 
     // Target fully measured → pick the next configuration within the budget.
@@ -348,6 +374,13 @@ void HarpPolicy::reallocate() {
   stable_tick_counter_ = 0;
   if (managed_.empty()) return;
   api_->charge_overhead(options_.realloc_overhead_s);
+  ++alloc_cycles_;
+  if (reallocs_counter_ != nullptr) reallocs_counter_->inc();
+  telemetry::Tracer* tracer = options_.tracer;
+  if (tracer != nullptr)
+    tracer->begin(telemetry::EventType::kAllocCycle, "rm",
+                  {{"apps", static_cast<double>(managed_.size())},
+                   {"cycle", static_cast<double>(alloc_cycles_)}});
 
   const platform::HardwareDescription& hw = api_->hardware();
   std::vector<sim::AppId> ids;
@@ -368,6 +401,8 @@ void HarpPolicy::reallocate() {
       app->exploration_paused = true;
     }
     push_controls();
+    if (tracer != nullptr)
+      tracer->end(telemetry::EventType::kAllocCycle, "rm", {{"feasible", 0.0}});
     return;
   }
   co_allocation_ = false;
@@ -386,6 +421,14 @@ void HarpPolicy::reallocate() {
                << point.erv.to_string(hw) << " u=" << point.nfc.utility
                << " p=" << point.nfc.power_w << " cost=" << groups[g].costs[result.selection[g]]
                << " meas=" << point.measurements << " candidates=" << groups[g].candidates.size();
+    if (tracer != nullptr)
+      tracer->instant(telemetry::EventType::kGrant, app.name,
+                      {{"cost", groups[g].costs[result.selection[g]]},
+                       {"cycle", static_cast<double>(alloc_cycles_)},
+                       {"measured", static_cast<double>(point.measurements)},
+                       {"power_w", point.nfc.power_w},
+                       {"utility", point.nfc.utility}},
+                      {{"erv", point.erv.to_string(hw)}});
   }
 
   // Exploration targets within the fresh budgets; stable apps execute their
@@ -411,6 +454,9 @@ void HarpPolicy::reallocate() {
     app->has_active = true;
   }
   push_controls();
+  if (tracer != nullptr)
+    tracer->end(telemetry::EventType::kAllocCycle, "rm",
+                {{"feasible", 1.0}, {"total_cost", result.total_cost}});
 }
 
 void HarpPolicy::push_controls() {

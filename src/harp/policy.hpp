@@ -28,6 +28,8 @@
 #include "src/harp/exploration.hpp"
 #include "src/harp/operating_point.hpp"
 #include "src/sim/runner.hpp"
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/metrics.hpp"
 
 namespace harp::core {
 
@@ -60,6 +62,16 @@ struct HarpOptions {
   double registration_overhead_s = 4e-3;   ///< per application registration
   double drag_base = 0.006;                ///< libharp hook drag, one app
   double drag_per_extra_app = 0.010;       ///< added per concurrent app
+
+  /// Optional telemetry sinks (each may be null). The tracer receives
+  /// allocation-cycle spans and grant/measurement/stage-transition instants;
+  /// it is also propagated to the explorer and the MMKP allocator.
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// When set, the policy pins this clock to the simulator time (api->now())
+  /// at the top of every hook, so trace timestamps are sim seconds and runs
+  /// are byte-reproducible regardless of host speed.
+  telemetry::ManualClock* trace_clock = nullptr;
 };
 
 /// HARP RM driving the simulated machine. Operating-point tables persist
@@ -116,6 +128,12 @@ class HarpPolicy : public sim::Policy {
   int stable_tick_counter_ = 0;
   bool needs_realloc_ = false;
   bool co_allocation_ = false;
+  std::uint64_t alloc_cycles_ = 0;
+
+  /// Counters resolved once in attach() (null when metrics are off).
+  telemetry::Counter* reallocs_counter_ = nullptr;
+  telemetry::Counter* measurements_counter_ = nullptr;
+  telemetry::Counter* stage_transitions_counter_ = nullptr;
 
   // Capacity left unassigned by the last MMKP solve, per core type.
   std::vector<int> unassigned_cores_;

@@ -30,7 +30,14 @@ struct RmServer::Client {
 };
 
 RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
-    : hw_(std::move(hw)), options_(options), allocator_(hw_, options.solver) {}
+    : hw_(std::move(hw)), options_(options), allocator_(hw_, options.solver, options.tracer) {
+  if (options_.metrics != nullptr) {
+    reallocs_counter_ = &options_.metrics->counter("rm_reallocs_total");
+    registrations_counter_ = &options_.metrics->counter("rm_registrations_total");
+    evictions_counter_ = &options_.metrics->counter("rm_lease_evictions_total");
+    malformed_counter_ = &options_.metrics->counter("rm_malformed_frames_total");
+  }
+}
 
 RmServer::~RmServer() = default;
 
@@ -138,6 +145,10 @@ void RmServer::poll(double now_seconds) {
                   << options_.lease_seconds << " s silent); evicting";
         clients_[i]->channel->close();
         ++lease_evictions_;
+        if (evictions_counter_ != nullptr) evictions_counter_->inc();
+        if (options_.tracer != nullptr)
+          options_.tracer->instant(telemetry::EventType::kLease, clients_[i]->name,
+                                   {{"silent_s", now_seconds - clients_[i]->last_heard}});
         drop_client(i);
         continue;
       }
@@ -166,6 +177,7 @@ void RmServer::process_client_messages(Client& client, double now_seconds) {
         // the client (a garbage frame must not take down the event loop) but
         // bound its strikes. Receiving anything still proves liveness.
         client.last_heard = now_seconds;
+        if (malformed_counter_ != nullptr) malformed_counter_->inc();
         if (++client.malformed > options_.max_malformed_frames) {
           HARP_WARN << "client '" << client.name << "': too many malformed frames; dropping";
           client.channel->close();
@@ -267,6 +279,11 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
   client.table = OperatingPointTable(client.name);
   (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
   needs_realloc_ = true;
+  if (registrations_counter_ != nullptr) registrations_counter_->inc();
+  if (options_.tracer != nullptr)
+    options_.tracer->instant(telemetry::EventType::kRegistration, client.name,
+                             {{"app_id", static_cast<double>(client.app_id)},
+                              {"pid", static_cast<double>(client.pid)}});
   HARP_INFO << "registered '" << client.name << "' (pid " << request.pid << ")";
 }
 
@@ -319,10 +336,17 @@ AllocationGroup RmServer::build_group(const Client& client) const {
 void RmServer::reallocate() {
   needs_realloc_ = false;
   ++realloc_count_;
+  if (reallocs_counter_ != nullptr) reallocs_counter_->inc();
   std::vector<Client*> registered;
   for (const auto& client : clients_)
     if (client->registered) registered.push_back(client.get());
   if (registered.empty()) return;
+
+  telemetry::Tracer* tracer = options_.tracer;
+  if (tracer != nullptr)
+    tracer->begin(telemetry::EventType::kAllocCycle, "rm",
+                  {{"apps", static_cast<double>(registered.size())},
+                   {"cycle", static_cast<double>(realloc_count_)}});
 
   std::vector<AllocationGroup> groups;
   groups.reserve(registered.size());
@@ -342,6 +366,8 @@ void RmServer::reallocate() {
       client->activation_sent = true;
       (void)client->channel->send(ipc::Message(activate));
     }
+    if (tracer != nullptr)
+      tracer->end(telemetry::EventType::kAllocCycle, "rm", {{"feasible", 0.0}});
     return;
   }
 
@@ -364,7 +390,17 @@ void RmServer::reallocate() {
     client->last_activation = activate;
     client->activation_sent = true;
     (void)client->channel->send(ipc::Message(activate));
+    if (tracer != nullptr)
+      tracer->instant(telemetry::EventType::kGrant, client->name,
+                      {{"cost", groups[g].costs[result.selection[g]]},
+                       {"cycle", static_cast<double>(realloc_count_)},
+                       {"power_w", point.nfc.power_w},
+                       {"utility", point.nfc.utility}},
+                      {{"erv", point.erv.to_string(hw_)}});
   }
+  if (tracer != nullptr)
+    tracer->end(telemetry::EventType::kAllocCycle, "rm",
+                {{"feasible", 1.0}, {"total_cost", result.total_cost}});
 }
 
 }  // namespace harp::core

@@ -39,6 +39,10 @@ struct RmServerOptions {
   /// Consecutive malformed ("proto:") frames tolerated per client before the
   /// connection is cut; a valid frame resets the count.
   int max_malformed_frames = 8;
+  /// Optional telemetry sinks (may each be null): allocation-cycle spans,
+  /// grant/registration/lease instants, and "rm_*_total" counters.
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Diagnostic view of one connected client (scenario tests, harp-inspect).
@@ -116,6 +120,12 @@ class RmServer {
   double last_utility_poll_ HARP_GUARDED_BY(mutex_) = 0.0;
   std::uint64_t realloc_count_ HARP_GUARDED_BY(mutex_) = 0;
   std::uint64_t lease_evictions_ HARP_GUARDED_BY(mutex_) = 0;
+  /// Counters resolved once at construction from options.metrics (all null
+  /// when metrics are off, making every increment a single null check).
+  telemetry::Counter* reallocs_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* registrations_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* evictions_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* malformed_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace harp::core

@@ -23,6 +23,32 @@ const char* to_string(FaultKind kind) {
 FaultInjectingChannel::FaultInjectingChannel(std::unique_ptr<Channel> inner, FaultPlan plan)
     : inner_(std::move(inner)), plan_(std::move(plan)), rng_(plan_.seed) {}
 
+void FaultInjectingChannel::set_telemetry(ChannelTelemetry telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_.metrics != nullptr) {
+    telemetry::MetricsRegistry& metrics = *telemetry_.metrics;
+    faults_total_ = &metrics.counter("faults_injected_total");
+    drops_total_ = &metrics.counter("frames_dropped_total");
+    duplicates_total_ = &metrics.counter("frames_duplicated_total");
+    reorders_total_ = &metrics.counter("frames_reordered_total");
+    truncates_total_ = &metrics.counter("frames_truncated_total");
+    garbled_total_ = &metrics.counter("frames_garbled_total");
+    transient_errors_total_ = &metrics.counter("transient_send_errors_total");
+    closes_total_ = &metrics.counter("injected_closes_total");
+  }
+  inner_->set_telemetry(std::move(telemetry));
+}
+
+void FaultInjectingChannel::note_fault(FaultKind kind, std::uint64_t seq,
+                                       telemetry::Counter* per_kind) {
+  if (faults_total_ != nullptr) faults_total_->inc();
+  if (per_kind != nullptr) per_kind->inc();
+  if (telemetry_.tracer != nullptr)
+    telemetry_.tracer->instant(telemetry::EventType::kFaultInjected, telemetry_.scope,
+                               {{"seq", static_cast<double>(seq)}},
+                               {{"kind", to_string(kind)}});
+}
+
 FaultKind FaultInjectingChannel::decide(std::uint64_t seq) {
   for (const FaultRule& rule : plan_.script)
     if (rule.at_send == seq) return rule.kind;
@@ -61,10 +87,12 @@ Status FaultInjectingChannel::send(const Message& message) {
     }
     case FaultKind::kDrop:
       ++stats_.drops;
+      note_fault(FaultKind::kDrop, seq, drops_total_);
       flush_held();
       return Status{};  // silent loss: the sender believes it went out
     case FaultKind::kDuplicate: {
       ++stats_.duplicates;
+      note_fault(FaultKind::kDuplicate, seq, duplicates_total_);
       std::vector<std::uint8_t> frame = encode(message);
       Status sent = deliver(frame);
       if (sent.ok()) (void)deliver(frame);
@@ -73,12 +101,14 @@ Status FaultInjectingChannel::send(const Message& message) {
     }
     case FaultKind::kReorder: {
       ++stats_.reorders;
+      note_fault(FaultKind::kReorder, seq, reorders_total_);
       if (held_.has_value()) flush_held();  // at most one frame in flight
       held_ = encode(message);
       return Status{};
     }
     case FaultKind::kTruncate: {
       ++stats_.truncates;
+      note_fault(FaultKind::kTruncate, seq, truncates_total_);
       std::vector<std::uint8_t> frame = encode(message);
       std::size_t keep = std::max<std::size_t>(1, frame.size() / 2);
       frame.resize(keep);
@@ -88,6 +118,7 @@ Status FaultInjectingChannel::send(const Message& message) {
     }
     case FaultKind::kGarbage: {
       ++stats_.garbled;
+      note_fault(FaultKind::kGarbage, seq, garbled_total_);
       std::vector<std::uint8_t> frame = encode(message);
       if (frame.size() > kFrameHeaderSize) {
         // Keep the header (length + type) valid so framed transports stay in
@@ -105,9 +136,11 @@ Status FaultInjectingChannel::send(const Message& message) {
     }
     case FaultKind::kTransientError:
       ++stats_.transient_errors;
+      note_fault(FaultKind::kTransientError, seq, transient_errors_total_);
       return Status(make_error("io: injected transient send error"));
     case FaultKind::kClose:
       ++stats_.closes;
+      note_fault(FaultKind::kClose, seq, closes_total_);
       held_.reset();
       inner_->close();
       return Status(make_error("io: injected link failure"));

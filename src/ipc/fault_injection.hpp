@@ -84,12 +84,18 @@ class FaultInjectingChannel : public Channel {
   bool closed() const override;
   void close() override;
 
+  /// Forwards the sink to the inner channel (which counts delivered frames)
+  /// and additionally mirrors every injected fault as a kFaultInjected
+  /// instant plus per-kind counters ("frames_dropped_total", ...).
+  void set_telemetry(ChannelTelemetry telemetry) override;
+
   const FaultStats& stats() const { return stats_; }
 
  private:
   FaultKind decide(std::uint64_t seq);
   Status deliver(const std::vector<std::uint8_t>& frame);
   void flush_held();
+  void note_fault(FaultKind kind, std::uint64_t seq, telemetry::Counter* per_kind);
 
   std::unique_ptr<Channel> inner_;
   FaultPlan plan_;
@@ -97,6 +103,16 @@ class FaultInjectingChannel : public Channel {
   FaultStats stats_;
   /// Frame held back by a reorder fault, delivered after the next send.
   std::optional<std::vector<std::uint8_t>> held_;
+
+  ChannelTelemetry telemetry_;
+  telemetry::Counter* faults_total_ = nullptr;
+  telemetry::Counter* drops_total_ = nullptr;
+  telemetry::Counter* duplicates_total_ = nullptr;
+  telemetry::Counter* reorders_total_ = nullptr;
+  telemetry::Counter* truncates_total_ = nullptr;
+  telemetry::Counter* garbled_total_ = nullptr;
+  telemetry::Counter* transient_errors_total_ = nullptr;
+  telemetry::Counter* closes_total_ = nullptr;
 };
 
 }  // namespace harp::ipc

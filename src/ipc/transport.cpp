@@ -15,6 +15,34 @@
 
 namespace harp::ipc {
 
+ChannelTelemetry ChannelTelemetry::for_scope(telemetry::Tracer* tracer,
+                                             telemetry::MetricsRegistry* metrics,
+                                             std::string scope) {
+  ChannelTelemetry out;
+  out.tracer = tracer;
+  out.metrics = metrics;
+  out.scope = std::move(scope);
+  if (metrics != nullptr) {
+    out.frames_sent = &metrics->counter("ipc_frames_sent_total");
+    out.frames_received = &metrics->counter("ipc_frames_received_total");
+  }
+  return out;
+}
+
+void ChannelTelemetry::on_frame_sent(std::size_t bytes) const {
+  if (frames_sent != nullptr) frames_sent->inc();
+  if (tracer != nullptr)
+    tracer->instant(telemetry::EventType::kIpcSend, scope,
+                    {{"bytes", static_cast<double>(bytes)}});
+}
+
+void ChannelTelemetry::on_frame_received(std::size_t bytes) const {
+  if (frames_received != nullptr) frames_received->inc();
+  if (tracer != nullptr)
+    tracer->instant(telemetry::EventType::kIpcRecv, scope,
+                    {{"bytes", static_cast<double>(bytes)}});
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -39,9 +67,12 @@ class InProcChannel : public Channel {
   Status send(const Message& message) override { return send_raw(encode(message)); }
 
   Status send_raw(const std::vector<std::uint8_t>& frame) override {
-    MutexLock lock(tx_->mutex);
-    if (tx_->closed) return Status(make_error("io: channel closed"));
-    tx_->frames.push_back(frame);
+    {
+      MutexLock lock(tx_->mutex);
+      if (tx_->closed) return Status(make_error("io: channel closed"));
+      tx_->frames.push_back(frame);
+    }
+    telemetry_.on_frame_sent(frame.size());
     return Status{};
   }
 
@@ -64,7 +95,12 @@ class InProcChannel : public Channel {
     std::vector<std::uint8_t> payload(frame.begin() + kFrameHeaderSize, frame.end());
     Result<Message> message = decode(static_cast<MessageType>(type), payload);
     if (!message.ok()) return Result<std::optional<Message>>(message.error());
+    telemetry_.on_frame_received(frame.size());
     return std::optional<Message>(std::move(message).take());
+  }
+
+  void set_telemetry(ChannelTelemetry telemetry) override {
+    telemetry_ = std::move(telemetry);
   }
 
   bool closed() const override {
@@ -87,6 +123,7 @@ class InProcChannel : public Channel {
  private:
   std::shared_ptr<InProcQueue> tx_;
   std::shared_ptr<InProcQueue> rx_;
+  ChannelTelemetry telemetry_;
 };
 
 // ---------------------------------------------------------------------------
@@ -132,6 +169,7 @@ class UnixChannel : public Channel {
       close();
       return Status(make_error("io: send failed: " + std::string(std::strerror(errno))));
     }
+    telemetry_.on_frame_sent(frame.size());
     return Status{};
   }
 
@@ -175,7 +213,12 @@ class UnixChannel : public Channel {
       // the malformed payload but keep the channel usable ("proto:" error).
       return Result<std::optional<Message>>(message.error());
     }
+    telemetry_.on_frame_received(kFrameHeaderSize + payload_size);
     return std::optional<Message>(std::move(message).take());
+  }
+
+  void set_telemetry(ChannelTelemetry telemetry) override {
+    telemetry_ = std::move(telemetry);
   }
 
   bool closed() const override { return fd_ < 0; }
@@ -190,6 +233,7 @@ class UnixChannel : public Channel {
  private:
   int fd_;
   std::vector<std::uint8_t> buffer_;
+  ChannelTelemetry telemetry_;
 };
 
 }  // namespace

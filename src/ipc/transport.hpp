@@ -14,8 +14,30 @@
 
 #include "src/common/result.hpp"
 #include "src/ipc/messages.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::ipc {
+
+/// Optional per-channel telemetry sink: frame counters plus kIpcSend /
+/// kIpcRecv instants labelled with `scope` ("rm", the app name, ...).
+/// Copyable value; all-null pointers disable everything at a null check per
+/// frame. Decorators (fault injection) forward it to their inner channel.
+struct ChannelTelemetry {
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Counter* frames_sent = nullptr;      ///< "ipc_frames_sent_total"
+  telemetry::Counter* frames_received = nullptr;  ///< "ipc_frames_received_total"
+  std::string scope;
+
+  /// Resolve the shared frame counters from `metrics` (either pointer may
+  /// be null) and label events with `scope`.
+  static ChannelTelemetry for_scope(telemetry::Tracer* tracer,
+                                    telemetry::MetricsRegistry* metrics, std::string scope);
+
+  void on_frame_sent(std::size_t bytes) const;
+  void on_frame_received(std::size_t bytes) const;
+};
 
 /// A bidirectional, non-blocking message channel.
 ///
@@ -47,6 +69,10 @@ class Channel {
 
   virtual bool closed() const = 0;
   virtual void close() = 0;
+
+  /// Install (or replace) the channel's telemetry sink. Default: ignored —
+  /// transports without instrumentation stay zero-cost.
+  virtual void set_telemetry(ChannelTelemetry telemetry) { (void)telemetry; }
 };
 
 /// Create a connected in-process channel pair (RM end, app end).

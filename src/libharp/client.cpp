@@ -37,7 +37,14 @@ HarpClient::HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Cal
       config_(std::move(config)),
       callbacks_(std::move(callbacks)),
       factory_(std::move(factory)),
-      jitter_rng_(config_.jitter_seed) {}
+      jitter_rng_(config_.jitter_seed) {
+  if (config_.metrics != nullptr) {
+    reconnects_counter_ = &config_.metrics->counter("client_reconnects_total");
+    link_down_counter_ = &config_.metrics->counter("client_link_down_total");
+    dropped_sends_counter_ = &config_.metrics->counter("client_dropped_sends_total");
+    heartbeats_counter_ = &config_.metrics->counter("client_heartbeats_total");
+  }
+}
 
 HarpClient::~HarpClient() {
   if (!deregistered_) (void)deregister();
@@ -170,8 +177,10 @@ Status HarpClient::poll(double now_seconds) {
 
   // Liveness heartbeat: keep the RM-side lease fresh during idle stretches.
   if (state_ == LinkState::kConnected && config_.heartbeat_interval_s > 0.0 &&
-      now_seconds - last_tx_ >= config_.heartbeat_interval_s)
+      now_seconds - last_tx_ >= config_.heartbeat_interval_s) {
+    if (heartbeats_counter_ != nullptr) heartbeats_counter_->inc();
     (void)transmit(ipc::Message(ipc::Heartbeat{}), /*droppable=*/true, now_seconds);
+  }
   return Status{};
 }
 
@@ -260,12 +269,15 @@ void HarpClient::enqueue(ipc::Message message, bool droppable) {
     if (oldest_droppable != pending_.end()) {
       pending_.erase(oldest_droppable);
       ++dropped_sends_;
+      if (dropped_sends_counter_ != nullptr) dropped_sends_counter_->inc();
     } else if (droppable) {
       ++dropped_sends_;  // queue full of must-deliver messages; shed the new one
+      if (dropped_sends_counter_ != nullptr) dropped_sends_counter_->inc();
       return;
     } else {
       pending_.pop_front();  // bound memory even in pathological cases
       ++dropped_sends_;
+      if (dropped_sends_counter_ != nullptr) dropped_sends_counter_->inc();
     }
   }
   pending_.push_back(Pending{std::move(message), droppable});
@@ -290,6 +302,10 @@ void HarpClient::flush_pending(double now_seconds) {
 
 Status HarpClient::link_down(const Error& error, double now_seconds) {
   channel_->close();
+  if (link_down_counter_ != nullptr) link_down_counter_->inc();
+  if (config_.tracer != nullptr)
+    config_.tracer->instant(telemetry::EventType::kLinkDown, config_.app_name, {},
+                            {{"error", error.message}});
   if (deregistered_) {
     state_ = LinkState::kClosed;
     return Status{};
@@ -319,6 +335,10 @@ void HarpClient::try_reconnect(double now_seconds) {
   if (fresh.ok()) {
     channel_ = std::move(fresh).take();
     ++reconnects_;
+    if (reconnects_counter_ != nullptr) reconnects_counter_->inc();
+    if (config_.tracer != nullptr)
+      config_.tracer->instant(telemetry::EventType::kReconnect, config_.app_name,
+                              {{"attempt", static_cast<double>(attempt_)}});
     malformed_from_rm_ = 0;
     Status begun = begin_registration();
     if (begun.ok() || state_ == LinkState::kRegistering) return;

@@ -35,6 +35,8 @@
 #include "src/common/result.hpp"
 #include "src/common/rng.hpp"
 #include "src/ipc/transport.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::client {
 
@@ -72,6 +74,12 @@ struct Config {
   double register_retry_s = 0.5;
   /// Seed for backoff jitter (deterministic reconnect timing in tests).
   std::uint64_t jitter_seed = 1;
+
+  /// Optional telemetry sinks (each may be null): kReconnect / kLinkDown
+  /// instants scoped by app_name plus "client_*_total" counters. These live
+  /// on the client, not the channel — they survive reconnects.
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct Callbacks {
@@ -210,6 +218,12 @@ class HarpClient {
   double last_tx_ = 0.0;
   double last_now_ = 0.0;  ///< most recent poll() clock; timestamps out-of-poll sends
   std::optional<std::chrono::steady_clock::time_point> clock_base_;
+
+  /// Counters resolved once at construction (null when metrics are off).
+  telemetry::Counter* reconnects_counter_ = nullptr;
+  telemetry::Counter* link_down_counter_ = nullptr;
+  telemetry::Counter* dropped_sends_counter_ = nullptr;
+  telemetry::Counter* heartbeats_counter_ = nullptr;
 };
 
 }  // namespace harp::client

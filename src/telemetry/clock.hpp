@@ -1,0 +1,49 @@
+// Injected time source for the telemetry subsystem.
+//
+// Traces must be byte-reproducible (the determinism guarantee of
+// DESIGN.md "Observability"), so the Tracer never reads a wall clock.
+// Instead the component that owns the timeline — the scenario harness's
+// virtual clock, HarpPolicy's sim::now(), or an RmServer driver's monotonic
+// now_seconds — injects a Clock and keeps it current. Two runs that feed
+// the same timeline therefore stamp identical event times.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+namespace harp::telemetry {
+
+/// Abstract time authority; now_seconds() must be monotone non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now_seconds() const = 0;
+};
+
+/// A clock advanced explicitly by its owner (virtual time). Single-writer:
+/// the owner sets it from one thread; concurrent readers see a torn double
+/// only if the owner violates that contract.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double now_seconds() const override { return now_; }
+  void set(double now_seconds) { now_ = now_seconds; }
+  void advance(double dt_seconds) { now_ += dt_seconds; }
+
+ private:
+  double now_;
+};
+
+/// Adapts an external time source, e.g. a lambda reading sim::RunnerApi::now.
+class FunctionClock : public Clock {
+ public:
+  explicit FunctionClock(std::function<double()> fn) : fn_(std::move(fn)) {}
+
+  double now_seconds() const override { return fn_(); }
+
+ private:
+  std::function<double()> fn_;
+};
+
+}  // namespace harp::telemetry

@@ -1,0 +1,35 @@
+// Trace exporters (DESIGN.md "Observability"):
+//  - JSONL: one event per line, keys sorted, numbers in the JSON writer's
+//    canonical form — the byte-reproducible interchange format harp-trace
+//    consumes and the determinism test compares.
+//  - Chrome trace_event: a single JSON document loadable in
+//    chrome://tracing / Perfetto (timestamps converted to microseconds).
+// Plus a parser for the JSONL form and file helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/telemetry/trace.hpp"
+
+namespace harp::telemetry {
+
+/// One JSON object per line, '\n'-terminated. Deterministic: identical
+/// events serialise to identical bytes.
+std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+/// Parse to_jsonl output (blank lines ignored). Errors carry "parse:" and
+/// the 1-based line number.
+Result<std::vector<TraceEvent>> from_jsonl(std::string_view text);
+
+/// Chrome trace_event JSON document ("traceEvents" array form).
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Write events as JSONL to `path` (overwrites).
+Status write_trace_file(const std::string& path, const std::vector<TraceEvent>& events);
+
+/// Load a JSONL trace file.
+Result<std::vector<TraceEvent>> load_trace_file(const std::string& path);
+
+}  // namespace harp::telemetry

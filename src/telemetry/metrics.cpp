@@ -1,0 +1,115 @@
+#include "src/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.hpp"
+
+namespace harp::telemetry {
+
+std::string format_number(double value) {
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  return buffer;
+}
+
+void Gauge::add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)), buckets_(upper_bounds_.size() + 1) {
+  HARP_CHECK_MSG(!upper_bounds_.empty(), "histogram needs at least one bucket bound");
+  HARP_CHECK_MSG(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end(),
+                                [](double a, double b) { return a <= b; }),
+                 "histogram bounds must be strictly ascending");
+}
+
+void Histogram::observe(double value) {
+  // First bound >= value; inclusive upper edges so observe(bound) lands in
+  // that bound's bucket (asserted by the bucket-edge tests).
+  std::size_t bucket = upper_bounds_.size();
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  MutexLock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(upper_bounds))).first;
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::text_snapshot() const {
+  MutexLock lock(mutex_);
+  std::string out;
+  char line[128];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %" PRIu64 "\n", name.c_str(),
+                  counter->value());
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_)
+    out += "gauge " + name + " " + format_number(gauge->value()) + "\n";
+  for (const auto& [name, histogram] : histograms_) {
+    out += "histogram " + name + " count " + format_number(static_cast<double>(histogram->count())) +
+           " sum " + format_number(histogram->sum());
+    std::vector<std::uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      std::string edge = i < bounds.size() ? format_number(bounds[i]) : "+inf";
+      out += " le=" + edge + ":" + format_number(static_cast<double>(counts[i]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace harp::telemetry

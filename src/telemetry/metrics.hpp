@@ -1,0 +1,106 @@
+// MetricsRegistry: counters, gauges, and fixed-bucket histograms for the
+// HARP runtime (DESIGN.md "Observability").
+//
+// Individual instruments are lock-free (std::atomic) so hot paths — the IPC
+// frame path, the RM allocation cycle — pay one relaxed atomic op per event.
+// The registry itself is a name → instrument map guarded by harp::Mutex;
+// instruments are heap-allocated and never removed, so the references handed
+// out stay valid for the registry's lifetime and callers are encouraged to
+// resolve them once and cache the pointer.
+//
+// Instrumented components hold a nullable MetricsRegistry* (disabled by
+// default); the disabled path is a null check per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.hpp"
+#include "src/common/thread_annotations.hpp"
+
+namespace harp::telemetry {
+
+/// Render a double the way the JSON writer does: integral values without a
+/// fraction, everything else with round-trip precision. Keeps the text
+/// snapshot and the JSONL exporters byte-stable for identical inputs.
+std::string format_number(double value);
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with inclusive upper bounds (value ≤ bound) plus
+/// an implicit overflow bucket. Bounds are fixed at construction; observe()
+/// is lock-free.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; size upper_bounds().size() + 1, last is overflow.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> upper_bounds_;  // immutable after construction
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Find-or-create registry of named instruments. Returned references stay
+/// valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First call fixes the bucket bounds; later calls with the same name
+  /// return the existing histogram regardless of `upper_bounds`.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// Current value of a counter, 0 when it was never created (assertions).
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// Deterministic plain-text dump: one line per instrument, sorted by kind
+  /// then name (see DESIGN.md "Observability" for the format).
+  std::string text_snapshot() const;
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ HARP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HARP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ HARP_GUARDED_BY(mutex_);
+};
+
+}  // namespace harp::telemetry

@@ -22,6 +22,9 @@
 #include "src/harp/rm_server.hpp"
 #include "src/ipc/fault_injection.hpp"
 #include "src/libharp/client.hpp"
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::scenario {
 
@@ -35,11 +38,18 @@ class World {
  public:
   explicit World(platform::HardwareDescription hw, core::RmServerOptions options = {})
       : hw_(std::move(hw)), options_(options) {
+    options_.tracer = &tracer_;
+    options_.metrics = &metrics_;
     rm_ = std::make_unique<core::RmServer>(hw_, options_);
   }
 
   core::RmServer& rm() { return *rm_; }
   double now() const { return now_; }
+  /// Every RM, client, and channel in the world reports into these; trace
+  /// timestamps follow the virtual clock, so a scripted scenario exports a
+  /// byte-identical trace on every run.
+  telemetry::Tracer& tracer() { return tracer_; }
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
 
   /// Spawn a client whose link to the RM runs through a FaultInjectingChannel
   /// on the app side (app→RM faults) and optionally one on the RM side
@@ -48,7 +58,7 @@ class World {
   App* spawn(client::Config config, ipc::FaultPlan app_side_plan,
              ipc::FaultPlan rm_side_plan = ipc::FaultPlan::clean(),
              client::Callbacks callbacks = {}) {
-    auto factory = [this, app_side_plan, rm_side_plan,
+    auto factory = [this, app_side_plan, rm_side_plan, name = config.app_name,
                     dials = std::make_shared<std::uint64_t>(0)]()
         -> Result<std::unique_ptr<ipc::Channel>> {
       auto [rm_end, app_end] = ipc::make_in_process_pair();
@@ -58,14 +68,20 @@ class World {
       rm_plan.seed += *dials;
       app_plan.seed += *dials;
       ++*dials;
-      rm_->adopt_channel(
-          std::make_unique<ipc::FaultInjectingChannel>(std::move(rm_end), rm_plan));
-      return std::unique_ptr<ipc::Channel>(
-          std::make_unique<ipc::FaultInjectingChannel>(std::move(app_end), app_plan));
+      auto rm_channel =
+          std::make_unique<ipc::FaultInjectingChannel>(std::move(rm_end), rm_plan);
+      rm_channel->set_telemetry(ipc::ChannelTelemetry::for_scope(&tracer_, &metrics_, "rm"));
+      rm_->adopt_channel(std::move(rm_channel));
+      auto app_channel =
+          std::make_unique<ipc::FaultInjectingChannel>(std::move(app_end), app_plan);
+      app_channel->set_telemetry(ipc::ChannelTelemetry::for_scope(&tracer_, &metrics_, name));
+      return std::unique_ptr<ipc::Channel>(std::move(app_channel));
     };
     Result<std::unique_ptr<ipc::Channel>> first = factory();
     EXPECT_TRUE(first.ok()) << first.error().message;
     if (!first.ok()) return nullptr;
+    config.tracer = &tracer_;
+    config.metrics = &metrics_;
     auto made = client::HarpClient::deferred(std::move(first).take(), std::move(config),
                                              std::move(callbacks), factory);
     EXPECT_TRUE(made.ok()) << made.error().message;
@@ -78,6 +94,7 @@ class World {
   /// every live client. Invariants are checked after the cycle.
   void step(double dt) {
     now_ += dt;
+    clock_.set(now_);
     rm_->poll(now_);
     for (const auto& app : apps_)
       if (app->alive) (void)app->client->poll(now_);
@@ -95,6 +112,7 @@ class World {
   /// proves single-cycle properties like lease reclamation.
   void step_rm_only(double dt) {
     now_ += dt;
+    clock_.set(now_);
     rm_->poll(now_);
     check_invariants();
   }
@@ -156,6 +174,11 @@ class World {
   platform::HardwareDescription hw_;
   core::RmServerOptions options_;
   double now_ = 0.0;
+  // Telemetry must outlive the RM, the clients, and their channels (all hold
+  // raw pointers into it), so it is declared before them.
+  telemetry::ManualClock clock_;
+  telemetry::Tracer tracer_{&clock_};
+  telemetry::MetricsRegistry metrics_;
   std::unique_ptr<core::RmServer> rm_;
   std::vector<std::unique_ptr<App>> apps_;
 };

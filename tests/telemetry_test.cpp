@@ -1,0 +1,184 @@
+// Unit tests for src/telemetry: registry semantics, histogram bucket edges,
+// tracer ring wraparound, and the exporters (golden strings + roundtrip).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/export.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
+
+namespace harp::telemetry {
+namespace {
+
+TEST(Metrics, CounterFindOrCreateReturnsStableInstrument) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("frames_total");
+  c.inc();
+  c.inc(3);
+  EXPECT_EQ(&registry.counter("frames_total"), &c);
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_EQ(registry.counter_value("frames_total"), 4u);
+  EXPECT_EQ(registry.counter_value("never_created"), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("power_w");
+  g.set(2.5);
+  g.add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("solve_ms", {1.0, 2.0, 4.0});
+  // A value exactly on a bound lands in that bound's bucket (value <= bound).
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(4.0001);  // overflow
+  h.observe(-3.0);    // below the first bound still counts in bucket 0
+  std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);  // -3.0, 1.0
+  EXPECT_EQ(buckets[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(buckets[2], 1u);  // 4.0
+  EXPECT_EQ(buckets[3], 1u);  // 4.0001
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 4.0 + 4.0001 - 3.0);
+  // Later lookups keep the original bounds regardless of the argument.
+  EXPECT_EQ(&registry.histogram("solve_ms", {99.0}), &h);
+  EXPECT_EQ(h.upper_bounds().size(), 3u);
+}
+
+TEST(Metrics, TextSnapshotIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b_counter").inc(2);
+  registry.counter("a_counter").inc();
+  registry.gauge("load").set(0.5);
+  registry.histogram("lat", {1.0, 10.0}).observe(3.0);
+  std::string expected =
+      "counter a_counter 1\n"
+      "counter b_counter 2\n"
+      "gauge load 0.5\n"
+      "histogram lat count 1 sum 3 le=1:0 le=10:1 le=+inf:0\n";
+  EXPECT_EQ(registry.text_snapshot(), expected);
+  // Identical state renders identical bytes.
+  EXPECT_EQ(registry.text_snapshot(), expected);
+}
+
+TEST(Tracer, RecordsTimestampsFromInjectedClock) {
+  ManualClock clock(10.0);
+  Tracer tracer(&clock);
+  tracer.instant(EventType::kRegistration, "alpha");
+  clock.advance(0.5);
+  tracer.begin(EventType::kAllocCycle, "rm", {{"cycle", 1.0}});
+  clock.advance(0.25);
+  tracer.end(EventType::kAllocCycle, "rm");
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].t, 10.0);
+  EXPECT_DOUBLE_EQ(events[1].t, 10.5);
+  EXPECT_DOUBLE_EQ(events[2].t, 10.75);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[1].phase, Phase::kBegin);
+  EXPECT_EQ(events[2].phase, Phase::kEnd);
+}
+
+TEST(Tracer, RingWrapsAroundKeepingNewestEvents) {
+  ManualClock clock;
+  TracerOptions options;
+  options.capacity = 4;
+  Tracer tracer(&clock, options);
+  for (int i = 0; i < 6; ++i)
+    tracer.instant(EventType::kIpcSend, "rm", {{"bytes", static_cast<double>(i)}});
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (seq 0, 1) were overwritten; order stays seq-ascending.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+    EXPECT_DOUBLE_EQ(events[i].num[0].second, static_cast<double>(i + 2));
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+std::vector<TraceEvent> golden_events() {
+  ManualClock clock(1.5);
+  Tracer tracer(&clock);
+  tracer.begin(EventType::kAllocCycle, "rm", {{"apps", 2.0}, {"cycle", 1.0}});
+  tracer.instant(EventType::kGrant, "alpha", {{"utility", 92.25}}, {{"erv", "4P+0E"}});
+  clock.advance(0.5);
+  tracer.end(EventType::kAllocCycle, "rm", {{"feasible", 1.0}});
+  return tracer.events();
+}
+
+TEST(Export, JsonlGolden) {
+  std::string expected =
+      R"({"num":{"apps":2,"cycle":1},"ph":"B","scope":"rm","seq":0,"t":1.5,"type":"alloc_cycle"})"
+      "\n"
+      R"({"num":{"utility":92.25},"ph":"i","scope":"alpha","seq":1,"str":{"erv":"4P+0E"},"t":1.5,"type":"grant"})"
+      "\n"
+      R"({"num":{"feasible":1},"ph":"E","scope":"rm","seq":2,"t":2,"type":"alloc_cycle"})"
+      "\n";
+  EXPECT_EQ(to_jsonl(golden_events()), expected);
+}
+
+TEST(Export, JsonlRoundtrip) {
+  std::vector<TraceEvent> events = golden_events();
+  Result<std::vector<TraceEvent>> parsed = from_jsonl(to_jsonl(events));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), events);
+}
+
+TEST(Export, JsonlParseErrorsCarryLineNumbers) {
+  Result<std::vector<TraceEvent>> bad = from_jsonl("{\"seq\":0}\nnot json\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message.rfind("parse: line 1", 0), 0u) << bad.error().message;
+}
+
+TEST(Export, ChromeTraceContainsEventsInMicroseconds) {
+  std::string chrome = to_chrome_trace(golden_events());
+  // The document is pretty-printed (indent 2): "key": value.
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"B\""), std::string::npos);
+  // 1.5 s -> 1500000 us.
+  EXPECT_NE(chrome.find("\"ts\": 1500000"), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\": \"grant\""), std::string::npos);
+  // Identical input, identical bytes.
+  EXPECT_EQ(chrome, to_chrome_trace(golden_events()));
+}
+
+TEST(Export, TraceFileRoundtrip) {
+  std::vector<TraceEvent> events = golden_events();
+  std::string path = ::testing::TempDir() + "harp_telemetry_test_trace.jsonl";
+  ASSERT_TRUE(write_trace_file(path, events).ok());
+  Result<std::vector<TraceEvent>> loaded = load_trace_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value(), events);
+  std::remove(path.c_str());
+}
+
+TEST(Export, EventTypeStringsRoundtrip) {
+  for (EventType type : kAllEventTypes) {
+    EventType parsed;
+    ASSERT_TRUE(event_type_from_string(to_string(type), &parsed)) << to_string(type);
+    EXPECT_EQ(parsed, type);
+  }
+  EventType ignored;
+  EXPECT_FALSE(event_type_from_string("no_such_event", &ignored));
+}
+
+}  // namespace
+}  // namespace harp::telemetry

@@ -6,20 +6,24 @@
 #
 #   ./tools/check.sh            # gate against build-check/
 #   BUILD_DIR=build ./tools/check.sh
+#   HARP_WERROR=OFF ./tools/check.sh   # allow warnings (default: -Werror)
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${BUILD_DIR:-"$root/build-check"}
 jobs=$(nproc 2>/dev/null || echo 4)
+werror=${HARP_WERROR:-ON}
 
-echo "== configure + build (warnings on) =="
-cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+echo "== configure + build (warnings as errors: $werror) =="
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHARP_WERROR="$werror" >/dev/null
 cmake --build "$build" -j "$jobs"
 
 if command -v clang++ >/dev/null 2>&1; then
   echo "== clang thread-safety build =="
   cmake -B "$build-clang" -S "$root" \
-    -DCMAKE_CXX_COMPILER=clang++ -DHARP_THREAD_SAFETY=ON >/dev/null
+    -DCMAKE_CXX_COMPILER=clang++ -DHARP_THREAD_SAFETY=ON \
+    -DHARP_WERROR="$werror" >/dev/null
   cmake --build "$build-clang" -j "$jobs"
 else
   echo "== clang not found; skipping -Wthread-safety build =="

@@ -31,16 +31,18 @@ const std::map<std::string, std::set<std::string>>& layering() {
       {"common", {}},
       {"json", {"common"}},
       {"linalg", {"common"}},
-      {"platform", {"common", "json"}},
-      {"model", {"common", "json", "platform"}},
-      {"ipc", {"common", "json", "platform"}},
-      {"mlmodels", {"common", "linalg"}},
-      {"energy", {"common", "json", "platform"}},
-      {"sim", {"common", "json", "platform", "model"}},
-      {"sched", {"common", "json", "platform", "model", "sim"}},
+      {"telemetry", {"common", "json", "linalg"}},
+      {"platform", {"common", "json", "telemetry"}},
+      {"model", {"common", "json", "platform", "telemetry"}},
+      {"ipc", {"common", "json", "platform", "telemetry"}},
+      {"mlmodels", {"common", "linalg", "telemetry"}},
+      {"energy", {"common", "json", "platform", "telemetry"}},
+      {"sim", {"common", "json", "platform", "model", "telemetry"}},
+      {"sched", {"common", "json", "platform", "model", "sim", "telemetry"}},
       {"harp",
-       {"common", "json", "linalg", "platform", "model", "ipc", "mlmodels", "energy", "sim"}},
-      {"libharp", {"common", "json", "platform", "ipc"}},
+       {"common", "json", "linalg", "platform", "model", "ipc", "mlmodels", "energy", "sim",
+        "telemetry"}},
+      {"libharp", {"common", "json", "platform", "ipc", "telemetry"}},
   };
   return kAllowed;
 }
