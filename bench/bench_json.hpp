@@ -1,0 +1,47 @@
+// Shared envelope for machine-readable bench output. Perf-tracking benches
+// emit BENCH_<name>.json files next to their stdout tables so CI can upload
+// them as artifacts and later runs can diff them. Schema (documented in
+// EXPERIMENTS.md "Benchmark JSON schema"):
+//
+//   {
+//     "bench": "<name>",          // matches the BENCH_<name>.json filename
+//     "schema_version": 1,
+//     "results": [ { ...one flat object per measured configuration... } ]
+//   }
+//
+// Row keys are bench-specific but flat (no nesting below one object) so
+// generic tooling can tabulate them without per-bench knowledge.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "src/common/result.hpp"
+#include "src/json/json.hpp"
+
+namespace harp::bench {
+
+inline json::Value bench_envelope(const std::string& name, json::Array results) {
+  json::Object root;
+  root["bench"] = json::Value(name);
+  root["schema_version"] = json::Value(1);
+  root["results"] = json::Value(std::move(results));
+  return json::Value(std::move(root));
+}
+
+/// Write BENCH_<name>.json (at `path`) and report the outcome on stderr.
+/// Returns true on success so main() can fold it into the exit code.
+inline bool write_bench_file(const std::string& path, const std::string& name,
+                             json::Array results) {
+  Status saved = json::save_file(path, bench_envelope(name, std::move(results)));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 saved.error().message.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace harp::bench

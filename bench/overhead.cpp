@@ -15,10 +15,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.hpp"
 #include "bench/report.hpp"
 #include "src/harp/policy.hpp"
 #include "src/harp/rm_server.hpp"
@@ -102,25 +104,55 @@ double rm_cycle_micros(bool telemetry_on, int apps, int cycles, int reps) {
   return best / cycles * 1e6;
 }
 
-void run_telemetry_overhead() {
-  std::printf("\n== Telemetry overhead on the RM cycle (in-process, %d cycles) ==\n", 2000);
+/// One RM-cycle cost table, returned as BENCH_rm_cycle.json rows. `quick`
+/// shrinks cycle counts for the ctest-bench entry; numbers stay comparable
+/// within a run (same cycles for both columns), just noisier.
+json::Array run_telemetry_overhead(bool quick) {
+  const int cycles = quick ? 300 : 2000;
+  const int reps = quick ? 1 : 3;
+  json::Array rows;
+  std::printf("\n== Telemetry overhead on the RM cycle (in-process, %d cycles) ==\n", cycles);
   std::printf("%-8s %16s %16s %9s\n", "apps", "disabled[us]", "enabled[us]", "overhead");
   for (int apps : {1, 4}) {
     (void)rm_cycle_seconds(false, apps, 200);  // warm up caches and allocator
-    double off = rm_cycle_micros(false, apps, 2000, 3);
-    double on = rm_cycle_micros(true, apps, 2000, 3);
+    double off = rm_cycle_micros(false, apps, cycles, reps);
+    double on = rm_cycle_micros(true, apps, cycles, reps);
     std::printf("%-8d %16.2f %16.2f %8.2f%%\n", apps, off, on, 100.0 * (on / off - 1.0));
     std::fflush(stdout);
+    json::Object row;
+    row["apps"] = json::Value(apps);
+    row["cycles"] = json::Value(cycles);
+    row["reps"] = json::Value(reps);
+    row["telemetry_off_micros_per_cycle"] = json::Value(off);
+    row["telemetry_on_micros_per_cycle"] = json::Value(on);
+    row["telemetry_overhead_fraction"] = json::Value(on / off - 1.0);
+    rows.push_back(json::Value(std::move(row)));
   }
   std::printf("(disabled = null tracer/metrics pointers; every instrumentation site\n"
               " reduces to a pointer null-check, so the disabled column is the\n"
               " no-telemetry baseline within measurement noise)\n");
+  return rows;
 }
 
 }  // namespace
 
-int main() {
-  run_telemetry_overhead();
+int main(int argc, char** argv) {
+  bool cycle_only = false;
+  bool quick = false;
+  std::string out_path = "BENCH_rm_cycle.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cycle-only") == 0) cycle_only = true;
+    else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--cycle-only] [--quick] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  json::Array cycle_rows = run_telemetry_overhead(quick);
+  if (!bench::write_bench_file(out_path, "rm_cycle", std::move(cycle_rows))) return 1;
+  if (cycle_only) return 0;
 
   platform::HardwareDescription hw = platform::raptor_lake();
   model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();

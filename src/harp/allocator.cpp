@@ -1,7 +1,11 @@
+// harp-lint: hot-path — solve() runs every RM decision cycle; r6 flags
+// std::vector/std::string construction inside loops in this file. All solver
+// scratch lives in SolveWorkspace so steady-state solves are allocation-free.
 #include "src/harp/allocator.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "src/common/check.hpp"
@@ -23,6 +27,13 @@ std::vector<int> total_usage(const std::vector<AllocationGroup>& groups,
   return usage;
 }
 
+/// One FNV-1a-style mixing step over a 64-bit word (word-wise rather than
+/// byte-wise: one multiply per int keeps fingerprinting cheap relative to
+/// the solve it may replace).
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t word) {
+  return (h ^ word) * 1099511628211ull;
+}
+
 }  // namespace
 
 bool selection_feasible(const std::vector<AllocationGroup>& groups,
@@ -41,90 +52,214 @@ double selection_cost(const std::vector<AllocationGroup>& groups,
   return cost;
 }
 
+void AllocationGroup::prepare(int num_types) {
+  HARP_CHECK(num_types > 0);
+  usage_num_types = num_types;
+  usage_rows.resize(candidates.size() * static_cast<std::size_t>(num_types));
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    HARP_CHECK(candidates[c].erv.num_types() == num_types);
+    candidates[c].erv.write_core_usage(usage_rows.data() +
+                                       c * static_cast<std::size_t>(num_types));
+  }
+}
+
 Allocator::Allocator(platform::HardwareDescription hw, SolverKind kind,
                      telemetry::Tracer* tracer)
-    : hw_(std::move(hw)), kind_(kind), tracer_(tracer) {}
+    : hw_(std::move(hw)), kind_(kind), tracer_(tracer) {
+  capacity_.reserve(hw_.core_types.size());
+  for (const platform::CoreType& t : hw_.core_types) capacity_.push_back(t.core_count);
+}
 
 AllocationResult Allocator::solve(const std::vector<AllocationGroup>& groups) const {
+  std::vector<const AllocationGroup*> ptrs;
+  ptrs.reserve(groups.size());
+  for (const AllocationGroup& g : groups) ptrs.push_back(&g);
+  // A fresh workspace has no cached result, so this always runs a full solve
+  // — the cold overload's behaviour is independent of any caller history.
+  SolveWorkspace ws;
+  AllocationResult result;
+  solve(ptrs, ws, result);
+  return result;
+}
+
+void Allocator::bind(const std::vector<const AllocationGroup*>& groups,
+                     SolveWorkspace& ws) const {
+  const int num_types = static_cast<int>(capacity_.size());
+  ws.groups_ = &groups;
+  ws.num_types_ = num_types;
+  ws.rows_.resize(groups.size());
+  std::size_t fallback_ints = 0;
+  for (const AllocationGroup* g : groups) {
+    HARP_CHECK_MSG(!g->candidates.empty(), "group '" << g->app_name << "' has no candidates");
+    HARP_CHECK(g->costs.size() == g->candidates.size());
+    if (!g->prepared(num_types))
+      fallback_ints += g->candidates.size() * static_cast<std::size_t>(num_types);
+  }
+  // Two passes: size the backing store first so the row pointers taken in
+  // the second pass cannot be invalidated by growth.
+  ws.row_storage_.resize(fallback_ints);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const AllocationGroup& group = *groups[i];
+    if (group.prepared(num_types)) {
+      ws.rows_[i] = group.usage_rows.data();
+      continue;
+    }
+    int* dst = ws.row_storage_.data() + offset;
+    for (std::size_t c = 0; c < group.candidates.size(); ++c) {
+      const platform::ExtendedResourceVector& erv = group.candidates[c].erv;
+      HARP_CHECK(erv.num_types() == num_types);
+      erv.write_core_usage(dst + c * static_cast<std::size_t>(num_types));
+    }
+    ws.rows_[i] = dst;
+    offset += group.candidates.size() * static_cast<std::size_t>(num_types);
+  }
+}
+
+std::uint64_t Allocator::bound_fingerprint(const SolveWorkspace& ws) const {
+  const std::vector<const AllocationGroup*>& groups = *ws.groups_;
+  const std::size_t num_types = capacity_.size();
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv_mix(h, static_cast<std::uint64_t>(groups.size()));
+  for (int cap : capacity_) h = fnv_mix(h, static_cast<std::uint64_t>(cap));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const AllocationGroup& group = *groups[g];
+    h = fnv_mix(h, static_cast<std::uint64_t>(group.candidates.size()));
+    const int* rows = ws.rows_[g];
+    const std::size_t row_ints = group.candidates.size() * num_types;
+    for (std::size_t i = 0; i < row_ints; ++i)
+      h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(rows[i])));
+    for (double cost : group.costs) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &cost, sizeof(bits));
+      h = fnv_mix(h, bits);
+    }
+  }
+  return h;
+}
+
+void Allocator::solve(const std::vector<const AllocationGroup*>& groups, SolveWorkspace& ws,
+                      AllocationResult& out) const {
   HARP_CHECK(!groups.empty());
   if (tracer_ != nullptr)
     tracer_->begin(telemetry::EventType::kMmkpSolve, "rm",
                    {{"groups", static_cast<double>(groups.size())}});
-  for (const AllocationGroup& g : groups) {
-    HARP_CHECK_MSG(!g.candidates.empty(), "group '" << g.app_name << "' has no candidates");
-    HARP_CHECK(g.costs.size() == g.candidates.size());
+  bind(groups, ws);
+  const std::uint64_t fingerprint = bound_fingerprint(ws);
+  if (ws.has_cached_ && fingerprint == ws.fingerprint_) {
+    // Byte-identical instance (same rows, costs, capacity): the solvers are
+    // deterministic pure functions of the bound instance, so the cached
+    // result is exactly what a full solve would produce.
+    out = ws.cached_;
+    ws.replayed_ = true;
+    ++ws.replays_;
+    if (tracer_ != nullptr) {
+      if (out.feasible)
+        tracer_->end(telemetry::EventType::kMmkpSolve, "rm",
+                     {{"feasible", 1.0}, {"total_cost", out.total_cost}, {"replayed", 1.0}});
+      else
+        tracer_->end(telemetry::EventType::kMmkpSolve, "rm",
+                     {{"feasible", 0.0}, {"replayed", 1.0}});
+    }
+    return;
   }
-  std::vector<int> capacity;
-  for (const platform::CoreType& t : hw_.core_types) capacity.push_back(t.core_count);
+  ws.replayed_ = false;
+  ++ws.full_solves_;
 
-  std::vector<std::size_t> selection;
   switch (kind_) {
-    case SolverKind::kLagrangian: selection = solve_lagrangian(groups, capacity); break;
-    case SolverKind::kGreedy: selection = solve_greedy(groups, capacity); break;
-    case SolverKind::kExhaustive: selection = solve_exhaustive(groups, capacity); break;
+    case SolverKind::kLagrangian: solve_lagrangian(ws); break;
+    case SolverKind::kGreedy: solve_greedy(ws); break;
+    case SolverKind::kExhaustive: solve_exhaustive(ws); break;
   }
 
-  AllocationResult result;
-  if (selection.empty()) {
+  const std::size_t num_types = capacity_.size();
+  if (ws.best_feasible_.empty()) {
+    out.selection.clear();
+    out.total_cost = 0.0;
+    out.feasible = false;
+    out.allocations.clear();
+    ws.cached_ = out;
+    ws.fingerprint_ = fingerprint;
+    ws.has_cached_ = true;
     if (tracer_ != nullptr)
       tracer_->end(telemetry::EventType::kMmkpSolve, "rm", {{"feasible", 0.0}});
-    return result;  // co-allocation required
+    return;  // co-allocation required
   }
 
-  result.selection = selection;
-  result.total_cost = selection_cost(groups, selection);
-  result.feasible = selection_feasible(groups, selection, capacity);
-  HARP_CHECK(result.feasible);
-
-  std::vector<platform::ExtendedResourceVector> demands;
-  demands.reserve(groups.size());
+  out.selection = ws.best_feasible_;
+  double total_cost = 0.0;
   for (std::size_t g = 0; g < groups.size(); ++g)
-    demands.push_back(groups[g].candidates[selection[g]].erv);
-  auto assigned = platform::assign_cores(hw_, demands);
+    total_cost += groups[g]->costs[out.selection[g]];
+  out.total_cost = total_cost;
+
+  std::vector<int>& usage = ws.usage_;
+  usage.assign(num_types, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const int* row = ws.rows_[g] + out.selection[g] * num_types;
+    for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
+  }
+  out.feasible = true;
+  for (std::size_t t = 0; t < num_types; ++t)
+    if (usage[t] > capacity_[t]) out.feasible = false;
+  HARP_CHECK(out.feasible);
+
+  ws.demand_ptrs_.resize(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    ws.demand_ptrs_[g] = &groups[g]->candidates[out.selection[g]].erv;
+  Status assigned =
+      platform::assign_cores_into(hw_, ws.demand_ptrs_, ws.next_free_scratch_, out.allocations);
   HARP_CHECK_MSG(assigned.ok(), "feasible selection failed concrete assignment");
-  result.allocations = std::move(assigned).take();
+
+  ws.cached_ = out;
+  ws.fingerprint_ = fingerprint;
+  ws.has_cached_ = true;
   if (tracer_ != nullptr)
     tracer_->end(telemetry::EventType::kMmkpSolve, "rm",
-                 {{"feasible", 1.0}, {"total_cost", result.total_cost}});
-  return result;
+                 {{"feasible", 1.0}, {"total_cost", out.total_cost}});
 }
 
-std::optional<std::vector<std::size_t>> Allocator::repair(
-    const std::vector<AllocationGroup>& groups, std::vector<std::size_t> selection,
-    const std::vector<int>& capacity) const {
-  // Total violation Σ_t max(0, usage_t − capacity_t) of a selection.
-  auto violation_of = [&](const std::vector<std::size_t>& sel) {
-    std::vector<int> usage = total_usage(groups, sel, capacity.size());
-    int v = 0;
-    for (std::size_t t = 0; t < capacity.size(); ++t) v += std::max(usage[t] - capacity[t], 0);
-    return v;
-  };
+bool Allocator::repair(SolveWorkspace& ws, std::vector<std::size_t>& selection) const {
+  const std::vector<const AllocationGroup*>& groups = *ws.groups_;
+  const std::size_t num_groups = groups.size();
+  const std::size_t num_types = capacity_.size();
 
-  int violation = violation_of(selection);
+  // Usage is maintained incrementally across swaps: after each accepted swap
+  // only the old/new candidate rows are applied, never a full recount.
+  std::vector<int>& usage = ws.repair_usage_;
+  usage.assign(num_types, 0);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const int* row = ws.rows_[g] + selection[g] * num_types;
+    for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
+  }
+  // Total violation Σ_t max(0, usage_t − capacity_t) of the selection.
+  int violation = 0;
+  for (std::size_t t = 0; t < num_types; ++t)
+    violation += std::max(usage[t] - capacity_[t], 0);
+
   // Plateau moves (violation-neutral swaps) are allowed a bounded number of
   // times so multi-swap escape paths can be found without risking cycles.
-  int plateau_budget = 25 * static_cast<int>(groups.size());
+  int plateau_budget = 25 * static_cast<int>(num_groups);
   while (violation > 0) {
     // Prefer the cheapest swap that strictly reduces total violation; fall
     // back to the cheapest violation-neutral swap while budget remains.
     double best_ratio = std::numeric_limits<double>::infinity();
-    std::size_t best_group = groups.size();
+    std::size_t best_group = num_groups;
     std::size_t best_candidate = 0;
     int best_violation = violation;
     double best_neutral_delta = std::numeric_limits<double>::infinity();
-    std::size_t neutral_group = groups.size();
+    std::size_t neutral_group = num_groups;
     std::size_t neutral_candidate = 0;
-    std::vector<int> usage = total_usage(groups, selection, capacity.size());
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const AllocationGroup& group = groups[g];
-      const platform::ExtendedResourceVector& current = group.candidates[selection[g]].erv;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const AllocationGroup& group = *groups[g];
+      const int* rows = ws.rows_[g];
+      const int* current = rows + selection[g] * num_types;
       for (std::size_t c = 0; c < group.candidates.size(); ++c) {
         if (c == selection[g]) continue;
+        const int* candidate = rows + c * num_types;
         int new_violation = 0;
-        for (std::size_t t = 0; t < capacity.size(); ++t) {
-          int u = usage[t] - current.cores_used(static_cast<int>(t)) +
-                  group.candidates[c].erv.cores_used(static_cast<int>(t));
-          new_violation += std::max(u - capacity[t], 0);
+        for (std::size_t t = 0; t < num_types; ++t) {
+          int u = usage[t] - current[t] + candidate[t];
+          new_violation += std::max(u - capacity_[t], 0);
         }
         double delta = group.costs[c] - group.costs[selection[g]];
         int reduced = violation - new_violation;
@@ -143,61 +278,76 @@ std::optional<std::vector<std::size_t>> Allocator::repair(
         }
       }
     }
-    if (best_group != groups.size()) {
+    if (best_group != num_groups) {
+      const int* old_row = ws.rows_[best_group] + selection[best_group] * num_types;
+      const int* new_row = ws.rows_[best_group] + best_candidate * num_types;
+      for (std::size_t t = 0; t < num_types; ++t) usage[t] += new_row[t] - old_row[t];
       selection[best_group] = best_candidate;
       violation = best_violation;
       continue;
     }
-    if (neutral_group != groups.size() && plateau_budget-- > 0) {
+    if (neutral_group != num_groups && plateau_budget-- > 0) {
+      const int* old_row = ws.rows_[neutral_group] + selection[neutral_group] * num_types;
+      const int* new_row = ws.rows_[neutral_group] + neutral_candidate * num_types;
+      for (std::size_t t = 0; t < num_types; ++t) usage[t] += new_row[t] - old_row[t];
       selection[neutral_group] = neutral_candidate;
       continue;
     }
-    return std::nullopt;  // cannot repair further
+    return false;  // cannot repair further
   }
-  return selection;
+  return true;
 }
 
-std::vector<std::size_t> Allocator::solve_lagrangian(const std::vector<AllocationGroup>& groups,
-                                                     const std::vector<int>& capacity) const {
-  std::size_t num_types = capacity.size();
-  std::vector<double> lambda(num_types, 0.0);
+void Allocator::solve_lagrangian(SolveWorkspace& ws) const {
+  const std::vector<const AllocationGroup*>& groups = *ws.groups_;
+  const std::size_t num_groups = groups.size();
+  const std::size_t num_types = capacity_.size();
+
+  std::vector<double>& lambda = ws.lambda_;
+  lambda.assign(num_types, 0.0);
 
   // Scale the subgradient step by the *median* cost so the multipliers are
   // commensurate with typical ζ values regardless of the utility units.
   // (The maximum would be hijacked by near-zero-utility outlier points whose
   // ζ explodes, collapsing every group to its minimum-resource candidate.)
-  std::vector<double> all_costs;
-  for (const AllocationGroup& g : groups)
-    for (double c : g.costs) all_costs.push_back(std::abs(c));
+  std::vector<double>& all_costs = ws.cost_scratch_;
+  all_costs.clear();
+  for (const AllocationGroup* g : groups)
+    for (double c : g->costs) all_costs.push_back(std::abs(c));
   std::nth_element(all_costs.begin(), all_costs.begin() + all_costs.size() / 2,
                    all_costs.end());
   double cost_scale = std::max(all_costs[all_costs.size() / 2], 1e-9);
 
-  std::vector<std::size_t> best_feasible;
+  std::vector<std::size_t>& best_feasible = ws.best_feasible_;
+  best_feasible.clear();
   double best_feasible_cost = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> last_selection(groups.size(), 0);
+  std::vector<std::size_t>& last_selection = ws.selection_;
+  last_selection.assign(num_groups, 0);
 
   // The λ = 0 selection (per-group global cost minimum) — the ideal point —
   // is kept as a repair seed so a degenerate multiplier trajectory cannot
   // lock the solver into minimum-resource selections.
-  std::vector<std::size_t> ideal(groups.size(), 0);
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    for (std::size_t c = 1; c < groups[g].costs.size(); ++c)
-      if (groups[g].costs[c] < groups[g].costs[ideal[g]]) ideal[g] = c;
+  std::vector<std::size_t>& ideal = ws.ideal_;
+  ideal.assign(num_groups, 0);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (std::size_t c = 1; c < groups[g]->costs.size(); ++c)
+      if (groups[g]->costs[c] < groups[g]->costs[ideal[g]]) ideal[g] = c;
   }
+
+  std::vector<int>& usage = ws.usage_;
 
   const int iterations = 120;
   for (int it = 1; it <= iterations; ++it) {
     // Per-group argmin of ζ + λ·r under the current multipliers.
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const AllocationGroup& group = groups[g];
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const AllocationGroup& group = *groups[g];
+      const int* rows = ws.rows_[g];
       double best = std::numeric_limits<double>::infinity();
       std::size_t pick = 0;
       for (std::size_t c = 0; c < group.candidates.size(); ++c) {
         double relaxed = group.costs[c];
-        const platform::ExtendedResourceVector& erv = group.candidates[c].erv;
-        for (std::size_t t = 0; t < num_types; ++t)
-          relaxed += lambda[t] * erv.cores_used(static_cast<int>(t));
+        const int* row = rows + c * num_types;
+        for (std::size_t t = 0; t < num_types; ++t) relaxed += lambda[t] * row[t];
         if (relaxed < best) {
           best = relaxed;
           pick = c;
@@ -206,12 +356,18 @@ std::vector<std::size_t> Allocator::solve_lagrangian(const std::vector<Allocatio
       last_selection[g] = pick;
     }
 
-    std::vector<int> usage = total_usage(groups, last_selection, num_types);
+    usage.assign(num_types, 0);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const int* row = ws.rows_[g] + last_selection[g] * num_types;
+      for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
+    }
     bool feasible = true;
     for (std::size_t t = 0; t < num_types; ++t)
-      if (usage[t] > capacity[t]) feasible = false;
+      if (usage[t] > capacity_[t]) feasible = false;
     if (feasible) {
-      double cost = selection_cost(groups, last_selection);
+      double cost = 0.0;
+      for (std::size_t g = 0; g < num_groups; ++g)
+        cost += groups[g]->costs[last_selection[g]];
       if (cost < best_feasible_cost) {
         best_feasible_cost = cost;
         best_feasible = last_selection;
@@ -220,75 +376,109 @@ std::vector<std::size_t> Allocator::solve_lagrangian(const std::vector<Allocatio
 
     // Subgradient step on the capacity violation.
     double step = 0.05 * cost_scale / std::sqrt(static_cast<double>(it));
+    bool moved = false;
     for (std::size_t t = 0; t < num_types; ++t) {
       double violation =
-          static_cast<double>(usage[t] - capacity[t]) / std::max(capacity[t], 1);
-      lambda[t] = std::max(0.0, lambda[t] + step * violation);
+          static_cast<double>(usage[t] - capacity_[t]) / std::max(capacity_[t], 1);
+      double next = std::max(0.0, lambda[t] + step * violation);
+      if (next != lambda[t]) moved = true;
+      lambda[t] = next;
     }
+    // λ fixed point: if no component changed, this iteration's selection,
+    // usage, and violation repeat in every later iteration (steps only
+    // shrink, and fl(λ + d) == λ implies fl(λ + d') == λ for any d' between
+    // 0 and d by monotonicity of IEEE rounding; the max(0,·) clamp cases are
+    // likewise stable). Recorded bests use strict <, so the repeats cannot
+    // change the outcome — breaking here is exact, not approximate.
+    if (!moved) break;
   }
 
   // Final selection: repair the last relaxed selection, the ideal point,
   // and the minimum-footprint selection (the most likely to be feasible),
   // keeping the best feasible selection seen anywhere.
-  std::vector<std::size_t> min_footprint(groups.size(), 0);
-  for (std::size_t g = 0; g < groups.size(); ++g)
-    for (std::size_t c = 1; c < groups[g].candidates.size(); ++c)
-      if (groups[g].candidates[c].erv.total_cores() <
-          groups[g].candidates[min_footprint[g]].erv.total_cores())
+  std::vector<std::size_t>& min_footprint = ws.min_footprint_;
+  min_footprint.assign(num_groups, 0);
+  for (std::size_t g = 0; g < num_groups; ++g)
+    for (std::size_t c = 1; c < groups[g]->candidates.size(); ++c)
+      if (groups[g]->candidates[c].erv.total_cores() <
+          groups[g]->candidates[min_footprint[g]].erv.total_cores())
         min_footprint[g] = c;
-  for (const std::vector<std::size_t>& seed : {last_selection, ideal, min_footprint}) {
-    std::optional<std::vector<std::size_t>> repaired = repair(groups, seed, capacity);
-    if (!repaired.has_value()) continue;
-    double cost = selection_cost(groups, *repaired);
+  std::vector<std::size_t>& trial = ws.repair_scratch_;
+  for (int seed = 0; seed < 3; ++seed) {
+    trial = seed == 0 ? last_selection : seed == 1 ? ideal : min_footprint;
+    if (!repair(ws, trial)) continue;
+    double cost = 0.0;
+    for (std::size_t g = 0; g < num_groups; ++g) cost += groups[g]->costs[trial[g]];
     if (cost < best_feasible_cost) {
       best_feasible_cost = cost;
-      best_feasible = std::move(*repaired);
+      best_feasible = trial;
     }
   }
-  return best_feasible;  // empty -> co-allocation
+  // best_feasible empty -> co-allocation
 }
 
-std::vector<std::size_t> Allocator::solve_greedy(const std::vector<AllocationGroup>& groups,
-                                                 const std::vector<int>& capacity) const {
-  std::size_t num_types = capacity.size();
+void Allocator::solve_greedy(SolveWorkspace& ws) const {
+  const std::vector<const AllocationGroup*>& groups = *ws.groups_;
+  const std::size_t num_groups = groups.size();
+  const std::size_t num_types = capacity_.size();
+
   // Start from each group's minimum-footprint candidate (fewest total cores,
   // cheapest among ties), then repeatedly apply the single upgrade with the
   // best cost reduction per added core while capacity allows.
-  std::vector<std::size_t> selection(groups.size());
-  for (std::size_t g = 0; g < groups.size(); ++g) {
+  std::vector<std::size_t>& selection = ws.best_feasible_;
+  selection.assign(num_groups, 0);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const AllocationGroup& group = *groups[g];
     std::size_t pick = 0;
-    for (std::size_t c = 1; c < groups[g].candidates.size(); ++c) {
-      int cur = groups[g].candidates[pick].erv.total_cores();
-      int cand = groups[g].candidates[c].erv.total_cores();
-      if (cand < cur || (cand == cur && groups[g].costs[c] < groups[g].costs[pick]))
+    for (std::size_t c = 1; c < group.candidates.size(); ++c) {
+      int cur = group.candidates[pick].erv.total_cores();
+      int cand = group.candidates[c].erv.total_cores();
+      if (cand < cur || (cand == cur && group.costs[c] < group.costs[pick]))
         pick = c;
     }
     selection[g] = pick;
   }
-  if (!selection_feasible(groups, selection, capacity)) {
-    auto repaired = repair(groups, selection, capacity);
-    if (!repaired.has_value()) return {};
-    selection = std::move(*repaired);
+
+  std::vector<int>& usage = ws.usage_;
+  usage.assign(num_types, 0);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const int* row = ws.rows_[g] + selection[g] * num_types;
+    for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
+  }
+  bool feasible = true;
+  for (std::size_t t = 0; t < num_types; ++t)
+    if (usage[t] > capacity_[t]) feasible = false;
+  if (!feasible) {
+    if (!repair(ws, selection)) {
+      selection.clear();
+      return;
+    }
+    usage.assign(num_types, 0);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const int* row = ws.rows_[g] + selection[g] * num_types;
+      for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
+    }
   }
 
   while (true) {
-    std::vector<int> usage = total_usage(groups, selection, num_types);
     double best_gain = 0.0;
-    std::size_t best_group = groups.size();
+    std::size_t best_group = num_groups;
     std::size_t best_candidate = 0;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const AllocationGroup& group = groups[g];
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const AllocationGroup& group = *groups[g];
+      const int* rows = ws.rows_[g];
+      const int* current = rows + selection[g] * num_types;
       for (std::size_t c = 0; c < group.candidates.size(); ++c) {
         double delta = group.costs[selection[g]] - group.costs[c];
         if (delta <= 0.0) continue;
         // Feasibility of the swap.
         bool fits = true;
         int added_cores = 0;
+        const int* candidate = rows + c * num_types;
         for (std::size_t t = 0; t < num_types && fits; ++t) {
-          int diff = group.candidates[c].erv.cores_used(static_cast<int>(t)) -
-                     group.candidates[selection[g]].erv.cores_used(static_cast<int>(t));
+          int diff = candidate[t] - current[t];
           added_cores += std::max(diff, 0);
-          if (usage[t] + diff > capacity[t]) fits = false;
+          if (usage[t] + diff > capacity_[t]) fits = false;
         }
         if (!fits) continue;
         double gain = delta / static_cast<double>(std::max(added_cores, 1));
@@ -299,45 +489,57 @@ std::vector<std::size_t> Allocator::solve_greedy(const std::vector<AllocationGro
         }
       }
     }
-    if (best_group == groups.size()) break;
+    if (best_group == num_groups) break;
+    // Apply the swap with an incremental usage update.
+    const int* old_row = ws.rows_[best_group] + selection[best_group] * num_types;
+    const int* new_row = ws.rows_[best_group] + best_candidate * num_types;
+    for (std::size_t t = 0; t < num_types; ++t) usage[t] += new_row[t] - old_row[t];
     selection[best_group] = best_candidate;
   }
-  return selection;
 }
 
-std::vector<std::size_t> Allocator::solve_exhaustive(const std::vector<AllocationGroup>& groups,
-                                                     const std::vector<int>& capacity) const {
-  std::vector<std::size_t> best;
+void Allocator::solve_exhaustive(SolveWorkspace& ws) const {
+  const std::vector<const AllocationGroup*>& groups = *ws.groups_;
+  const std::size_t num_groups = groups.size();
+  const std::size_t num_types = capacity_.size();
+
+  std::vector<std::size_t>& best = ws.best_feasible_;
+  best.clear();
   double best_cost = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> current(groups.size(), 0);
-  std::vector<int> usage(capacity.size(), 0);
+  std::vector<std::size_t>& current = ws.selection_;
+  current.assign(num_groups, 0);
+  std::vector<int>& usage = ws.usage_;
+  usage.assign(num_types, 0);
 
   // Depth-first enumeration with capacity pruning. Exponential — reference
   // solver for tests and the allocator ablation on small instances only.
   auto recurse = [&](auto&& self, std::size_t g, double cost) -> void {
     if (cost >= best_cost) return;
-    if (g == groups.size()) {
+    if (g == num_groups) {
       best_cost = cost;
       best = current;
       return;
     }
-    const AllocationGroup& group = groups[g];
+    const AllocationGroup& group = *groups[g];
+    const int* rows = ws.rows_[g];
     for (std::size_t c = 0; c < group.candidates.size(); ++c) {
-      const platform::ExtendedResourceVector& erv = group.candidates[c].erv;
+      const int* row = rows + c * num_types;
       bool fits = true;
-      for (std::size_t t = 0; t < capacity.size(); ++t)
-        if (usage[t] + erv.cores_used(static_cast<int>(t)) > capacity[t]) fits = false;
+      for (std::size_t t = 0; t < num_types; ++t) {
+        if (usage[t] + row[t] > capacity_[t]) {
+          fits = false;
+          break;  // first overflowing type decides — no need to scan the rest
+        }
+      }
       if (!fits) continue;
-      for (std::size_t t = 0; t < capacity.size(); ++t)
-        usage[t] += erv.cores_used(static_cast<int>(t));
+      for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
       current[g] = c;
       self(self, g + 1, cost + group.costs[c]);
-      for (std::size_t t = 0; t < capacity.size(); ++t)
-        usage[t] -= erv.cores_used(static_cast<int>(t));
+      for (std::size_t t = 0; t < num_types; ++t) usage[t] -= row[t];
     }
   };
   recurse(recurse, 0, 0.0);
-  return best;  // empty if nothing feasible
+  // best empty if nothing feasible
 }
 
 }  // namespace harp::core

@@ -10,8 +10,18 @@
 // assignment guaranteeing spatial isolation. A greedy heuristic and an exact
 // branch-and-bound reference are provided for the allocator-quality
 // ablation (bench/allocator_ablation) and for tests.
+//
+// The solver runs in the RM's periodic decision cycle, so it has a hot-path
+// entry point: solve(groups, workspace, out) reuses a SolveWorkspace across
+// cycles — flat candidate×core-type usage rows, scratch buffers, and a
+// fingerprint of the previous instance that lets a byte-identical cycle
+// replay the cached result without solving at all. The warm path is
+// result-neutral: it returns bit-identical selections to the cold
+// one-shot solve(groups) overload (see DESIGN.md "Hot path &
+// incrementality").
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +39,22 @@ struct AllocationGroup {
   /// utility normaliser. At least one candidate required.
   std::vector<OperatingPoint> candidates;
   std::vector<double> costs;  ///< ζ per candidate, parallel to `candidates`
+
+  /// Flat per-candidate core-usage rows, candidate-major:
+  /// usage_rows[c * usage_num_types + t] = cores of type t used by candidate
+  /// c. Filled by prepare(); the solver falls back to building rows in its
+  /// workspace for unprepared groups, so preparing is an optimisation for
+  /// callers that cache groups across cycles, never a requirement.
+  std::vector<int> usage_rows;
+  int usage_num_types = 0;
+
+  /// (Re)build usage_rows for a platform with `num_types` core types. Every
+  /// candidate ERV must be shaped for that platform.
+  void prepare(int num_types);
+  bool prepared(int num_types) const {
+    return num_types > 0 && usage_num_types == num_types &&
+           usage_rows.size() == candidates.size() * static_cast<std::size_t>(num_types);
+  }
 };
 
 /// Result of one solve.
@@ -46,6 +72,66 @@ struct AllocationResult {
 
 enum class SolverKind { kLagrangian, kGreedy, kExhaustive };
 
+/// Reusable per-caller solver state. Holding one of these across RM cycles
+/// buys three things: (1) every scratch vector the solvers need is allocated
+/// once and reused, making steady-state solves heap-allocation-free; (2) a
+/// fingerprint of the last solved instance lets a byte-identical cycle
+/// replay the cached AllocationResult without running a solver; (3) the last
+/// λ multipliers survive for diagnostics. A workspace belongs to one
+/// (Allocator, call site) pair — sharing it between allocators with
+/// different hardware or solver kinds would replay results across
+/// incompatible instances; invalidate() when retargeting.
+class SolveWorkspace {
+ public:
+  SolveWorkspace() = default;
+
+  /// True iff the most recent solve() replayed the cached result instead of
+  /// running a solver (instance fingerprint matched the previous cycle).
+  bool replayed() const { return replayed_; }
+  std::uint64_t full_solves() const { return full_solves_; }
+  std::uint64_t replays() const { return replays_; }
+
+  /// λ multipliers left by the last Lagrangian solve — diagnostics only; the
+  /// solver always restarts λ from zero so results stay independent of
+  /// workspace history.
+  const std::vector<double>& multipliers() const { return lambda_; }
+
+  /// Drop the cached result so the next solve() runs in full. Needed only
+  /// when re-using one workspace against a different Allocator.
+  void invalidate() { has_cached_ = false; }
+
+ private:
+  friend class Allocator;
+
+  // Bound instance (valid during one solve call).
+  const std::vector<const AllocationGroup*>* groups_ = nullptr;
+  std::vector<const int*> rows_;  ///< per group: candidate-major usage rows
+  std::vector<int> row_storage_;  ///< backing rows for unprepared groups
+  int num_types_ = 0;
+
+  // Solver scratch, reused across cycles.
+  std::vector<int> usage_;
+  std::vector<int> repair_usage_;
+  std::vector<double> lambda_;
+  std::vector<double> cost_scratch_;
+  std::vector<std::size_t> selection_;
+  std::vector<std::size_t> best_feasible_;
+  std::vector<std::size_t> ideal_;
+  std::vector<std::size_t> min_footprint_;
+  std::vector<std::size_t> repair_scratch_;
+  std::vector<const platform::ExtendedResourceVector*> demand_ptrs_;
+  std::vector<int> next_free_scratch_;
+
+  // Replay cache: last instance fingerprint and its full result.
+  std::uint64_t fingerprint_ = 0;
+  bool has_cached_ = false;
+  AllocationResult cached_;
+
+  bool replayed_ = false;
+  std::uint64_t full_solves_ = 0;
+  std::uint64_t replays_ = 0;
+};
+
 /// MMKP solver facade.
 class Allocator {
  public:
@@ -55,25 +141,42 @@ class Allocator {
 
   /// Solve the selection problem and compute concrete core assignments.
   /// Groups must be non-empty and every group must have >= 1 candidate.
+  /// Cold one-shot entry point: equivalent to the workspace overload with a
+  /// fresh workspace.
   AllocationResult solve(const std::vector<AllocationGroup>& groups) const;
+
+  /// Hot-path entry point: identical results to the cold overload, but
+  /// reuses `ws` buffers (steady-state calls perform no heap allocation) and
+  /// replays the cached result when the instance fingerprint is unchanged.
+  /// Groups are taken by pointer because callers cache them inside
+  /// per-client records.
+  void solve(const std::vector<const AllocationGroup*>& groups, SolveWorkspace& ws,
+             AllocationResult& out) const;
 
   const platform::HardwareDescription& hardware() const { return hw_; }
 
  private:
-  std::vector<std::size_t> solve_lagrangian(const std::vector<AllocationGroup>& groups,
-                                            const std::vector<int>& capacity) const;
-  std::vector<std::size_t> solve_greedy(const std::vector<AllocationGroup>& groups,
-                                        const std::vector<int>& capacity) const;
-  std::vector<std::size_t> solve_exhaustive(const std::vector<AllocationGroup>& groups,
-                                            const std::vector<int>& capacity) const;
-  /// Make an infeasible selection feasible by cost-aware downgrades; returns
-  /// nullopt when even minimum demand exceeds capacity.
-  std::optional<std::vector<std::size_t>> repair(const std::vector<AllocationGroup>& groups,
-                                                 std::vector<std::size_t> selection,
-                                                 const std::vector<int>& capacity) const;
+  /// Validate groups, bind usage rows (prepared groups point straight at
+  /// their own rows; others are materialised into ws.row_storage_).
+  void bind(const std::vector<const AllocationGroup*>& groups, SolveWorkspace& ws) const;
+  /// FNV-1a-style fingerprint of the bound instance (group sizes, usage
+  /// rows, cost bit patterns, capacity). Instance-pure: app names do not
+  /// participate.
+  std::uint64_t bound_fingerprint(const SolveWorkspace& ws) const;
+
+  // Each solver leaves its final selection in ws.best_feasible_ (empty →
+  // co-allocation required).
+  void solve_lagrangian(SolveWorkspace& ws) const;
+  void solve_greedy(SolveWorkspace& ws) const;
+  void solve_exhaustive(SolveWorkspace& ws) const;
+  /// Make an infeasible selection feasible by cost-aware downgrades,
+  /// in place; returns false when even minimum demand exceeds capacity.
+  bool repair(SolveWorkspace& ws, std::vector<std::size_t>& selection) const;
 
   platform::HardwareDescription hw_;
   SolverKind kind_;
+  /// Per-type core capacity, precomputed from hw_ (the R vector of Eq. 1b).
+  std::vector<int> capacity_;
   /// Optional: wraps every solve() in a kMmkpSolve span (groups/cost/feasible).
   telemetry::Tracer* tracer_;
 };

@@ -21,6 +21,7 @@ void OperatingPointTable::record_measurement(const platform::ExtendedResourceVec
   entry.point.nfc.utility = entry.utility_ema.value();
   entry.point.nfc.power_w = entry.power_ema.value();
   ++entry.point.measurements;
+  ++version_;
 }
 
 void OperatingPointTable::set_point(const platform::ExtendedResourceVector& erv,
@@ -33,6 +34,7 @@ void OperatingPointTable::set_point(const platform::ExtendedResourceVector& erv,
   entry.power_ema.reset();
   entry.utility_ema.add(nfc.utility);
   entry.power_ema.add(nfc.power_w);
+  ++version_;
 }
 
 bool OperatingPointTable::contains(const platform::ExtendedResourceVector& erv) const {

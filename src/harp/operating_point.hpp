@@ -9,6 +9,7 @@
 // EDP-derived energy-utility cost ζ = (p / v*) · (1 / v*)   (Eq. 2).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -57,6 +58,13 @@ class OperatingPointTable {
   /// resets its measurement count to 0 unless it was measured).
   void set_point(const platform::ExtendedResourceVector& erv, NonFunctional nfc);
 
+  /// Monotonic mutation counter: bumped by record_measurement() and
+  /// set_point(). The RM's dirty-tracked group cache compares it against the
+  /// version a cached AllocationGroup was built from; an unchanged version
+  /// guarantees an unchanged table (the converse need not hold — a rebuild on
+  /// an equal-content bump is merely wasted work, never stale data).
+  std::uint64_t version() const { return version_; }
+
   bool contains(const platform::ExtendedResourceVector& erv) const;
   const OperatingPoint* find(const platform::ExtendedResourceVector& erv) const;
   std::size_t size() const { return points_.size(); }
@@ -88,6 +96,7 @@ class OperatingPointTable {
 
   std::string app_name_;
   std::map<platform::ExtendedResourceVector, Entry> points_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace harp::core

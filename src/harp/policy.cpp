@@ -27,6 +27,14 @@ struct HarpPolicy::ManagedApp {
   MaturityStage last_stage = MaturityStage::kInitial;
   int last_phase = 0;  ///< last reported execution stage (phase awareness)
 
+  /// Dirty-tracked choice group: rebuilt (surrogate fit + Pareto filter +
+  /// usage rows) only when the backing table mutated or the table key
+  /// switched (phase awareness) since the cached build.
+  AllocationGroup group;
+  std::uint64_t group_version = 0;
+  std::string group_key;
+  bool has_group = false;
+
   std::vector<double> cpu_marker;  ///< attribution window start
 };
 
@@ -67,6 +75,9 @@ void HarpPolicy::attach(sim::RunnerApi& api) {
     reallocs_counter_ = &options_.metrics->counter("rm_reallocs_total");
     measurements_counter_ = &options_.metrics->counter("rm_measurements_total");
     stage_transitions_counter_ = &options_.metrics->counter("rm_stage_transitions_total");
+    group_rebuilds_counter_ = &options_.metrics->counter("rm_group_rebuilds_total");
+    group_cache_hits_counter_ = &options_.metrics->counter("rm_group_cache_hits_total");
+    solve_replays_counter_ = &options_.metrics->counter("rm_solve_replays_total");
   }
 }
 
@@ -383,14 +394,29 @@ void HarpPolicy::reallocate() {
                    {"cycle", static_cast<double>(alloc_cycles_)}});
 
   const platform::HardwareDescription& hw = api_->hardware();
+  const int num_types = static_cast<int>(hw.core_types.size());
   std::vector<sim::AppId> ids;
-  std::vector<AllocationGroup> groups;
-  for (const auto& [id, app] : managed_) {
+  group_ptrs_.clear();
+  for (auto& [id, app] : managed_) {
     ids.push_back(id);
-    groups.push_back(build_group(*app));
+    std::string key = table_key(*app);
+    const OperatingPointTable& table = table_of(*app);
+    if (app->has_group && app->group_key == key && app->group_version == table.version()) {
+      if (group_cache_hits_counter_ != nullptr) group_cache_hits_counter_->inc();
+    } else {
+      app->group = build_group(*app);
+      app->group.prepare(num_types);
+      app->group_version = table.version();
+      app->group_key = std::move(key);
+      app->has_group = true;
+      if (group_rebuilds_counter_ != nullptr) group_rebuilds_counter_->inc();
+    }
+    group_ptrs_.push_back(&app->group);
   }
 
-  AllocationResult result = allocator_->solve(groups);
+  allocator_->solve(group_ptrs_, solve_ws_, solve_result_);
+  if (solve_ws_.replayed() && solve_replays_counter_ != nullptr) solve_replays_counter_->inc();
+  AllocationResult& result = solve_result_;
   if (!result.feasible) {
     // §4.2.2 Limitations: demand exceeds capacity even at minimum points —
     // relax constraint (1b) and let applications co-allocate under the OS
@@ -411,19 +437,20 @@ void HarpPolicy::reallocate() {
   unassigned_cores_.assign(hw.core_types.size(), 0);
   for (std::size_t t = 0; t < hw.core_types.size(); ++t)
     unassigned_cores_[t] = hw.core_types[t].core_count;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
+  for (std::size_t g = 0; g < group_ptrs_.size(); ++g) {
     ManagedApp& app = *managed_.at(ids[g]);
-    const OperatingPoint& point = groups[g].candidates[result.selection[g]];
+    const AllocationGroup& group = *group_ptrs_[g];
+    const OperatingPoint& point = group.candidates[result.selection[g]];
     app.mmkp_erv = point.erv;
     for (std::size_t t = 0; t < hw.core_types.size(); ++t)
       unassigned_cores_[t] -= app.mmkp_erv.cores_used(static_cast<int>(t));
     HARP_DEBUG << "t=" << api_->now() << " grant " << app.name << " "
                << point.erv.to_string(hw) << " u=" << point.nfc.utility
-               << " p=" << point.nfc.power_w << " cost=" << groups[g].costs[result.selection[g]]
-               << " meas=" << point.measurements << " candidates=" << groups[g].candidates.size();
+               << " p=" << point.nfc.power_w << " cost=" << group.costs[result.selection[g]]
+               << " meas=" << point.measurements << " candidates=" << group.candidates.size();
     if (tracer != nullptr)
       tracer->instant(telemetry::EventType::kGrant, app.name,
-                      {{"cost", groups[g].costs[result.selection[g]]},
+                      {{"cost", group.costs[result.selection[g]]},
                        {"cycle", static_cast<double>(alloc_cycles_)},
                        {"measured", static_cast<double>(point.measurements)},
                        {"power_w", point.nfc.power_w},

@@ -134,6 +134,15 @@ class HarpPolicy : public sim::Policy {
   telemetry::Counter* reallocs_counter_ = nullptr;
   telemetry::Counter* measurements_counter_ = nullptr;
   telemetry::Counter* stage_transitions_counter_ = nullptr;
+  telemetry::Counter* group_rebuilds_counter_ = nullptr;
+  telemetry::Counter* group_cache_hits_counter_ = nullptr;
+  telemetry::Counter* solve_replays_counter_ = nullptr;
+
+  /// Hot-path state reused across allocation cycles (solver replay cache,
+  /// scratch buffers, cached-group pointer vector).
+  SolveWorkspace solve_ws_;
+  AllocationResult solve_result_;
+  std::vector<const AllocationGroup*> group_ptrs_;
 
   // Capacity left unassigned by the last MMKP solve, per core type.
   std::vector<int> unassigned_cores_;

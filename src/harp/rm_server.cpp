@@ -1,6 +1,7 @@
 #include "src/harp/rm_server.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/check.hpp"
 #include "src/common/logging.hpp"
@@ -27,6 +28,13 @@ struct RmServer::Client {
   /// Last activation pushed, replayed on idempotent re-registration.
   ipc::ActivateMsg last_activation;
   bool activation_sent = false;
+  /// Dirty-tracked choice group: rebuilt (Pareto filter + usage rows) only
+  /// when the operating-point table changed since it was built. The table
+  /// version is a conservative dirty signal — any table mutation invalidates;
+  /// the solver's instance fingerprint catches equal-content rebuilds.
+  AllocationGroup group;
+  std::uint64_t group_version = 0;
+  bool has_group = false;
 };
 
 RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
@@ -36,6 +44,12 @@ RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
     registrations_counter_ = &options_.metrics->counter("rm_registrations_total");
     evictions_counter_ = &options_.metrics->counter("rm_lease_evictions_total");
     malformed_counter_ = &options_.metrics->counter("rm_malformed_frames_total");
+    group_rebuilds_counter_ = &options_.metrics->counter("rm_group_rebuilds_total");
+    group_cache_hits_counter_ = &options_.metrics->counter("rm_group_cache_hits_total");
+    solve_replays_counter_ = &options_.metrics->counter("rm_solve_replays_total");
+    realloc_skips_counter_ = &options_.metrics->counter("rm_realloc_skips_total");
+    solve_histogram_ = &options_.metrics->histogram(
+        "rm_solve_seconds", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1});
   }
 }
 
@@ -277,6 +291,9 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
   client.adaptivity = request.adaptivity;
   client.provides_utility = request.provides_utility;
   client.table = OperatingPointTable(client.name);
+  // The replacement table restarts at version 0; drop any cached group so
+  // the version comparison cannot pair the fresh table with a stale build.
+  client.has_group = false;
   (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
   needs_realloc_ = true;
   if (registrations_counter_ != nullptr) registrations_counter_->inc();
@@ -337,7 +354,8 @@ void RmServer::reallocate() {
   needs_realloc_ = false;
   ++realloc_count_;
   if (reallocs_counter_ != nullptr) reallocs_counter_->inc();
-  std::vector<Client*> registered;
+  std::vector<Client*>& registered = registered_scratch_;
+  registered.clear();
   for (const auto& client : clients_)
     if (client->registered) registered.push_back(client.get());
   if (registered.empty()) return;
@@ -348,11 +366,52 @@ void RmServer::reallocate() {
                   {{"apps", static_cast<double>(registered.size())},
                    {"cycle", static_cast<double>(realloc_count_)}});
 
-  std::vector<AllocationGroup> groups;
-  groups.reserve(registered.size());
-  for (Client* client : registered) groups.push_back(build_group(*client));
+  // Refresh only the groups whose operating-point table changed since the
+  // cached build (per-client dirty bit = stored table version).
+  const int num_types = static_cast<int>(hw_.core_types.size());
+  for (Client* client : registered) {
+    if (client->has_group && client->group_version == client->table.version()) {
+      if (group_cache_hits_counter_ != nullptr) group_cache_hits_counter_->inc();
+      continue;
+    }
+    client->group = build_group(*client);
+    client->group.prepare(num_types);
+    client->group_version = client->table.version();
+    client->has_group = true;
+    if (group_rebuilds_counter_ != nullptr) group_rebuilds_counter_->inc();
+  }
+  group_ptrs_.resize(registered.size());
+  for (std::size_t g = 0; g < registered.size(); ++g) group_ptrs_[g] = &registered[g]->group;
 
-  AllocationResult result = allocator_.solve(groups);
+  if (solve_histogram_ != nullptr) {
+    auto t0 = std::chrono::steady_clock::now();
+    allocator_.solve(group_ptrs_, solve_ws_, solve_result_);
+    solve_histogram_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  } else {
+    allocator_.solve(group_ptrs_, solve_ws_, solve_result_);
+  }
+  if (solve_ws_.replayed() && solve_replays_counter_ != nullptr) solve_replays_counter_->inc();
+  AllocationResult& result = solve_result_;
+
+  // Skip-cycle: the solver replayed a byte-identical instance, so every
+  // surviving client would receive exactly the activation it already holds —
+  // but only if the granted set is the same clients. A new or re-registered
+  // app_id has never received this cycle's grant and must be sent one.
+  bool same_clients = last_grant_ids_.size() == registered.size();
+  for (std::size_t g = 0; same_clients && g < registered.size(); ++g)
+    if (last_grant_ids_[g] != registered[g]->app_id) same_clients = false;
+  if (solve_ws_.replayed() && same_clients) {
+    if (realloc_skips_counter_ != nullptr) realloc_skips_counter_->inc();
+    if (tracer != nullptr)
+      tracer->end(telemetry::EventType::kAllocCycle, "rm",
+                  {{"feasible", result.feasible ? 1.0 : 0.0}, {"skipped", 1.0}});
+    return;
+  }
+  last_grant_ids_.resize(registered.size());
+  for (std::size_t g = 0; g < registered.size(); ++g)
+    last_grant_ids_[g] = registered[g]->app_id;
+
   if (!result.feasible) {
     // Co-allocation fallback (§4.2.2): every app gets the whole machine and
     // the OS scheduler time-shares.
@@ -373,7 +432,7 @@ void RmServer::reallocate() {
 
   for (std::size_t g = 0; g < registered.size(); ++g) {
     Client* client = registered[g];
-    const OperatingPoint& point = groups[g].candidates[result.selection[g]];
+    const OperatingPoint& point = registered[g]->group.candidates[result.selection[g]];
     const platform::CoreAllocation& alloc = result.allocations[g];
 
     ipc::ActivateMsg activate;
@@ -392,7 +451,7 @@ void RmServer::reallocate() {
     (void)client->channel->send(ipc::Message(activate));
     if (tracer != nullptr)
       tracer->instant(telemetry::EventType::kGrant, client->name,
-                      {{"cost", groups[g].costs[result.selection[g]]},
+                      {{"cost", registered[g]->group.costs[result.selection[g]]},
                        {"cycle", static_cast<double>(realloc_count_)},
                        {"power_w", point.nfc.power_w},
                        {"utility", point.nfc.utility}},

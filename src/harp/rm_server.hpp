@@ -120,12 +120,29 @@ class RmServer {
   double last_utility_poll_ HARP_GUARDED_BY(mutex_) = 0.0;
   std::uint64_t realloc_count_ HARP_GUARDED_BY(mutex_) = 0;
   std::uint64_t lease_evictions_ HARP_GUARDED_BY(mutex_) = 0;
+  /// Hot-path state reused across reallocation cycles: solver workspace
+  /// (replay cache + scratch), last result, and the pointer/scratch vectors
+  /// that would otherwise be rebuilt per cycle.
+  SolveWorkspace solve_ws_ HARP_GUARDED_BY(mutex_);
+  AllocationResult solve_result_ HARP_GUARDED_BY(mutex_);
+  std::vector<const AllocationGroup*> group_ptrs_ HARP_GUARDED_BY(mutex_);
+  std::vector<Client*> registered_scratch_ HARP_GUARDED_BY(mutex_);
+  /// app_ids granted in the last cycle that actually sent activations; a
+  /// solver replay may skip resending only when this exact set is registered
+  /// again (a new/re-registered client must receive its activation even if
+  /// the solved instance is byte-identical).
+  std::vector<std::int32_t> last_grant_ids_ HARP_GUARDED_BY(mutex_);
   /// Counters resolved once at construction from options.metrics (all null
   /// when metrics are off, making every increment a single null check).
   telemetry::Counter* reallocs_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* registrations_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* evictions_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* malformed_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* group_rebuilds_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* group_cache_hits_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* solve_replays_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* realloc_skips_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Histogram* solve_histogram_ HARP_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace harp::core

@@ -1,3 +1,6 @@
+// harp-lint: hot-path — the allocator's inner loops read these vectors per
+// candidate per solve; r6 flags std::vector/std::string construction inside
+// loops in this file.
 #include "src/platform/resource_vector.hpp"
 
 #include <cmath>
@@ -19,6 +22,7 @@ ExtendedResourceVector ExtendedResourceVector::full(const HardwareDescription& h
   ExtendedResourceVector erv = zero(hw);
   for (std::size_t t = 0; t < hw.core_types.size(); ++t)
     erv.counts_[t].back() = hw.core_types[t].core_count;
+  erv.recompute_total_cores();
   return erv;
 }
 
@@ -36,6 +40,7 @@ ExtendedResourceVector ExtendedResourceVector::from_threads(const HardwareDescri
     if (full_cores > 0) erv.counts_[t][static_cast<std::size_t>(type.smt_width - 1)] = full_cores;
     if (remainder > 0) erv.counts_[t][static_cast<std::size_t>(remainder - 1)] += 1;
   }
+  erv.recompute_total_cores();
   return erv;
 }
 
@@ -47,6 +52,7 @@ ExtendedResourceVector ExtendedResourceVector::from_counts(std::vector<std::vect
   }
   ExtendedResourceVector erv;
   erv.counts_ = std::move(counts);
+  erv.recompute_total_cores();
   return erv;
 }
 
@@ -65,7 +71,9 @@ void ExtendedResourceVector::set_count(int type, int threads_per_core, int cores
   HARP_CHECK(type >= 0 && type < num_types());
   HARP_CHECK(threads_per_core >= 1 && threads_per_core <= smt_levels(type));
   HARP_CHECK(cores >= 0);
-  counts_[static_cast<std::size_t>(type)][static_cast<std::size_t>(threads_per_core - 1)] = cores;
+  int& slot = counts_[static_cast<std::size_t>(type)][static_cast<std::size_t>(threads_per_core - 1)];
+  total_cores_ += cores - slot;
+  slot = cores;
 }
 
 int ExtendedResourceVector::cores_used(int type) const {
@@ -89,16 +97,23 @@ int ExtendedResourceVector::total_threads() const {
   return sum;
 }
 
-int ExtendedResourceVector::total_cores() const {
-  int sum = 0;
-  for (int t = 0; t < num_types(); ++t) sum += cores_used(t);
-  return sum;
+void ExtendedResourceVector::recompute_total_cores() {
+  total_cores_ = 0;
+  for (int t = 0; t < num_types(); ++t) total_cores_ += cores_used(t);
 }
 
 std::vector<int> ExtendedResourceVector::core_usage() const {
   std::vector<int> usage(static_cast<std::size_t>(num_types()));
-  for (int t = 0; t < num_types(); ++t) usage[static_cast<std::size_t>(t)] = cores_used(t);
+  write_core_usage(usage.data());
   return usage;
+}
+
+void ExtendedResourceVector::write_core_usage(int* out) const {
+  for (std::size_t t = 0; t < counts_.size(); ++t) {
+    int sum = 0;
+    for (int c : counts_[t]) sum += c;
+    out[t] = sum;
+  }
 }
 
 std::vector<double> ExtendedResourceVector::feature_vector() const {
@@ -166,10 +181,11 @@ Result<ExtendedResourceVector> ExtendedResourceVector::from_json(const json::Val
   if (!value.is_array())
     return Result<ExtendedResourceVector>(make_error("parse: resource vector must be an array"));
   ExtendedResourceVector erv;
+  std::vector<int> buckets;
   for (const json::Value& type_value : value.as_array()) {
     if (!type_value.is_array())
       return Result<ExtendedResourceVector>(make_error("parse: resource vector rows must be arrays"));
-    std::vector<int> buckets;
+    buckets.clear();
     for (const json::Value& c : type_value.as_array()) {
       if (!c.is_number() || c.as_int() < 0)
         return Result<ExtendedResourceVector>(make_error("parse: resource counts must be >= 0"));
@@ -181,6 +197,7 @@ Result<ExtendedResourceVector> ExtendedResourceVector::from_json(const json::Val
   }
   if (erv.counts_.empty())
     return Result<ExtendedResourceVector>(make_error("parse: resource vector is empty"));
+  erv.recompute_total_cores();
   return erv;
 }
 
@@ -205,11 +222,11 @@ void enumerate_type(int core_count, int smt_levels, std::vector<int>& current,
 
 std::vector<ExtendedResourceVector> enumerate_coarse_points(const HardwareDescription& hw) {
   std::vector<std::vector<std::vector<int>>> per_type_options;
+  per_type_options.reserve(hw.core_types.size());
+  std::vector<int> current;
   for (const CoreType& t : hw.core_types) {
-    std::vector<std::vector<int>> options;
-    std::vector<int> current;
-    enumerate_type(t.core_count, t.smt_width, current, options);
-    per_type_options.push_back(std::move(options));
+    current.clear();
+    enumerate_type(t.core_count, t.smt_width, current, per_type_options.emplace_back());
   }
 
   std::vector<ExtendedResourceVector> out;
@@ -278,30 +295,46 @@ std::string CoreAllocation::to_string() const {
 
 Result<std::vector<CoreAllocation>> assign_cores(
     const HardwareDescription& hw, const std::vector<ExtendedResourceVector>& demands) {
+  std::vector<const ExtendedResourceVector*> ptrs;
+  ptrs.reserve(demands.size());
+  for (const ExtendedResourceVector& erv : demands) ptrs.push_back(&erv);
+  std::vector<int> next_free;
   std::vector<CoreAllocation> out;
-  out.reserve(demands.size());
-  // next_free[t] = first unassigned physical core id of type t.
-  std::vector<int> next_free(hw.core_types.size(), 0);
+  Status status = assign_cores_into(hw, ptrs, next_free, out);
+  if (!status.ok()) return Result<std::vector<CoreAllocation>>(status.error());
+  return out;
+}
 
-  for (const ExtendedResourceVector& erv : demands) {
-    if (static_cast<std::size_t>(erv.num_types()) != hw.core_types.size())
-      return Result<std::vector<CoreAllocation>>(make_error("assign: resource vector shape mismatch"));
-    CoreAllocation alloc = CoreAllocation::empty(hw);
-    for (std::size_t t = 0; t < hw.core_types.size(); ++t) {
+Status assign_cores_into(const HardwareDescription& hw,
+                         const std::vector<const ExtendedResourceVector*>& demands,
+                         std::vector<int>& next_free_scratch,
+                         std::vector<CoreAllocation>& out) {
+  const std::size_t num_types = hw.core_types.size();
+  out.resize(demands.size());
+  // next_free_scratch[t] = first unassigned physical core id of type t.
+  next_free_scratch.assign(num_types, 0);
+
+  for (std::size_t g = 0; g < demands.size(); ++g) {
+    const ExtendedResourceVector& erv = *demands[g];
+    if (static_cast<std::size_t>(erv.num_types()) != num_types)
+      return Status(make_error("assign: resource vector shape mismatch"));
+    CoreAllocation& alloc = out[g];
+    alloc.cores.resize(num_types);
+    for (auto& type_cores : alloc.cores) type_cores.clear();
+    for (std::size_t t = 0; t < num_types; ++t) {
       // Hand out denser (more-threads-per-core) buckets first so SMT pairs
       // land on dedicated cores.
       for (int k = erv.smt_levels(static_cast<int>(t)); k >= 1; --k) {
         for (int i = 0; i < erv.count(static_cast<int>(t), k); ++i) {
-          if (next_free[t] >= hw.core_types[t].core_count)
-            return Result<std::vector<CoreAllocation>>(
+          if (next_free_scratch[t] >= hw.core_types[t].core_count)
+            return Status(
                 make_error("assign: demand exceeds capacity for type " + hw.core_types[t].name));
-          alloc.cores[t].emplace_back(next_free[t]++, k);
+          alloc.cores[t].emplace_back(next_free_scratch[t]++, k);
         }
       }
     }
-    out.push_back(std::move(alloc));
   }
-  return out;
+  return Status();
 }
 
 }  // namespace harp::platform

@@ -50,11 +50,18 @@ class ExtendedResourceVector {
   /// Busy hardware threads of `type`.
   int threads(int type) const;
   int total_threads() const;
-  int total_cores() const;
+  /// Total physical cores in use. O(1): maintained as a cache across all
+  /// mutations — this is the inner comparison of the allocator's
+  /// minimum-footprint scans, called per candidate per solve.
+  int total_cores() const { return total_cores_; }
   bool is_zero() const { return total_threads() == 0; }
 
   /// Per-type cores-used vector — the weight vector of constraint (1b).
   std::vector<int> core_usage() const;
+
+  /// Allocation-free variant of core_usage(): writes num_types() ints to
+  /// `out`. The allocator hot path uses this to build flat usage rows.
+  void write_core_usage(int* out) const;
 
   /// Flattened counts (type-major, SMT level ascending) — the regression
   /// feature vector of §5.2.
@@ -79,7 +86,12 @@ class ExtendedResourceVector {
   static Result<ExtendedResourceVector> from_json(const json::Value& value);
 
  private:
+  void recompute_total_cores();
+
   std::vector<std::vector<int>> counts_;
+  /// Cached Σ_t cores_used(t); comparisons deliberately ignore it (it is a
+  /// pure function of counts_).
+  int total_cores_ = 0;
 };
 
 /// Enumerate every non-zero coarse-grained configuration of the platform:
@@ -107,5 +119,15 @@ struct CoreAllocation {
 /// input ERV; fails (error Result) if the ERVs jointly exceed capacity.
 Result<std::vector<CoreAllocation>> assign_cores(
     const HardwareDescription& hw, const std::vector<ExtendedResourceVector>& demands);
+
+/// In-place variant used by the allocator hot path: identical assignment to
+/// assign_cores(), but reuses `out`'s nested buffers and the caller's
+/// `next_free_scratch`, so a steady-state call (same demand shapes as the
+/// previous cycle) performs no heap allocation. `out` is unspecified on
+/// error.
+Status assign_cores_into(const HardwareDescription& hw,
+                         const std::vector<const ExtendedResourceVector*>& demands,
+                         std::vector<int>& next_free_scratch,
+                         std::vector<CoreAllocation>& out);
 
 }  // namespace harp::platform

@@ -115,6 +115,21 @@ TEST(LintFixtures, R5LockAnnotations) {
   expect_exact({fixture("r5_bad.cpp"), fixture("r5_good.cpp")}, {"r5"});
 }
 
+TEST(LintFixtures, R6HotPathAllocations) {
+  expect_exact({fixture("r6_bad.cpp"), fixture("r6_good.cpp")}, {"r6"});
+}
+
+TEST(LintFixtures, R6IsOptIn) {
+  // The same per-iteration constructions without the annotation: silent.
+  EXPECT_TRUE(run({fixture("r6_unannotated.cpp")}, Options{{"r6"}}).empty());
+}
+
+TEST(LintFixtures, HotPathAnnotationIsNotMalformed) {
+  // The r6 opt-in marker shares the lint-directive prefix with suppressions
+  // but must not be reported as a malformed allow() directive.
+  EXPECT_TRUE(run({fixture("r6_good.cpp")}).empty());
+}
+
 TEST(LintFixtures, SuppressionsSilenceFindings) {
   // All rules on: the only thing keeping these fixtures quiet is the
   // well-formed allow() directives.

@@ -1,0 +1,45 @@
+// Bad fixture for r6 (hot-path allocations): this file opts in via the
+// annotation below, so every vector/string construction inside a loop head
+// or braced loop body is a finding.
+// harp-lint: hot-path
+#include <string>
+#include <vector>
+
+int sum_lengths(const std::vector<std::string>& names) {
+  int total = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::vector<int> lengths;  // expect: r6
+    lengths.push_back(static_cast<int>(names[i].size()));
+    total += lengths.back();
+  }
+  return total;
+}
+
+void per_iteration_copies(const std::vector<std::string>& names) {
+  for (std::string name : names) {  // expect: r6
+    (void)name;
+  }
+}
+
+void temporaries_in_while(int n) {
+  while (n-- > 0) {
+    auto scratch = std::vector<double>(8, 0.0);  // expect: r6
+    (void)scratch;
+  }
+}
+
+void nested_scope_still_counts(const std::vector<int>& xs) {
+  for (int x : xs) {
+    if (x > 0) {
+      std::string label = "positive";  // expect: r6
+      (void)label;
+    }
+  }
+}
+
+void do_loop_body(int n) {
+  do {
+    std::string buffer(16, ' ');  // expect: r6
+    (void)buffer;
+  } while (--n > 0);
+}

@@ -1,0 +1,38 @@
+// Good fixture for r6 (hot-path allocations): annotated, but every loop is
+// allocation-free — buffers are hoisted and reused, loop variables bind by
+// reference, and vector/string only appear as references, pointers, or
+// template arguments inside the loops.
+// harp-lint: hot-path
+#include <string>
+#include <vector>
+
+int sum_lengths(const std::vector<std::string>& names) {
+  std::vector<int> lengths;  // hoisted: constructed once, reused per call
+  int total = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    lengths.clear();
+    lengths.push_back(static_cast<int>(names[i].size()));
+    total += lengths.back();
+  }
+  return total;
+}
+
+void reference_bindings(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    (void)name;
+  }
+}
+
+void pointer_rows(const std::vector<std::vector<int>>& rows) {
+  for (const std::vector<int>* row = rows.data(); row != rows.data() + rows.size(); ++row) {
+    (void)row;
+  }
+}
+
+std::string built_outside(int n) {
+  std::string result;
+  while (n-- > 0) {
+    result += 'x';
+  }
+  return result;
+}

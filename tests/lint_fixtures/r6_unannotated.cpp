@@ -1,0 +1,21 @@
+// Silent fixture for r6: the same per-iteration constructions as r6_bad.cpp
+// but WITHOUT the hot-path annotation — the rule is strictly opt-in, so this
+// file produces no findings.
+#include <string>
+#include <vector>
+
+int sum_lengths(const std::vector<std::string>& names) {
+  int total = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::vector<int> lengths;
+    lengths.push_back(static_cast<int>(names[i].size()));
+    total += lengths.back();
+  }
+  return total;
+}
+
+void per_iteration_copies(const std::vector<std::string>& names) {
+  for (std::string name : names) {
+    (void)name;
+  }
+}

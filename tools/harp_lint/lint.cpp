@@ -615,6 +615,109 @@ void check_lock_annotations(const Scanned& f, std::vector<Finding>& findings) {
 }
 
 // ---------------------------------------------------------------------------
+// r6 — hot-path allocations
+// ---------------------------------------------------------------------------
+
+/// Opt-in rule: a file carrying a comment that BEGINS with the hot-path
+/// marker (`// harp-lint: hot-path ...`) promises its loops are
+/// allocation-free. The check flags std::vector / std::string *construction*
+/// inside loop heads and braced loop bodies — declarations and temporaries,
+/// not references, pointers, or template arguments. Heuristics:
+/// single-statement (unbraced) loop bodies are not tracked, and a vector
+/// declared in a for-init clause (constructed once, not per iteration) is
+/// still flagged; hoist it above the loop or take a reference. The
+/// begins-with requirement keeps prose that merely *mentions* the marker
+/// (like this comment) from opting its file in.
+void check_hot_path_allocations(const Scanned& f, std::vector<Finding>& findings) {
+  static const std::string kMarker = "harp-lint: hot-path";
+  bool annotated = false;
+  for (const Comment& comment : f.lexed.comments) {
+    std::size_t start = comment.text.find_first_not_of(" \t");
+    if (start != std::string::npos && comment.text.compare(start, kMarker.size(), kMarker) == 0)
+      annotated = true;
+  }
+  if (!annotated) return;
+
+  const std::vector<Token>& t = f.lexed.tokens;
+
+  // Pass 1: mark loop-head token ranges and the braces that open loop bodies.
+  std::vector<char> in_loop_head(t.size(), 0);
+  std::vector<char> opens_loop_body(t.size(), 0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    bool head_loop = t[i].text == "for" || t[i].text == "while";
+    bool do_loop = t[i].text == "do";
+    if (!head_loop && !do_loop) continue;
+    std::size_t j = i + 1;
+    if (head_loop) {
+      if (j >= t.size() || !is(t[j], "(")) continue;  // `while` member etc.
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (is(t[j], "(")) ++depth;
+        if (is(t[j], ")") && --depth == 0) break;
+        if (depth > 0) in_loop_head[j] = 1;
+      }
+      ++j;  // past ')'
+    }
+    if (j < t.size() && is(t[j], "{")) opens_loop_body[j] = 1;
+  }
+
+  // Pass 2: walk braces, flagging constructions while inside a loop body or
+  // a loop head. A stack of brace kinds keeps nested non-loop scopes (ifs,
+  // lambdas) inside a loop counted as loop context once the loop is entered.
+  std::vector<char> brace_kinds;
+  int loop_depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is(t[i], "{")) {
+      char kind = opens_loop_body[i] != 0 || loop_depth > 0 ? 1 : 0;
+      brace_kinds.push_back(kind);
+      loop_depth += kind;
+      continue;
+    }
+    if (is(t[i], "}")) {
+      if (!brace_kinds.empty()) {
+        loop_depth -= brace_kinds.back();
+        brace_kinds.pop_back();
+      }
+      continue;
+    }
+    if (loop_depth == 0 && in_loop_head[i] == 0) continue;
+    if (!is_ident(t[i])) continue;
+
+    if (t[i].text == "vector" && i + 1 < t.size() && is(t[i + 1], "<")) {
+      // Find the matching '>' of the template argument list.
+      int depth = 0;
+      std::size_t close = i + 1;
+      bool balanced = false;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (is(t[j], "<")) ++depth;
+        if (is(t[j], ">") && --depth == 0) {
+          close = j;
+          balanced = true;
+          break;
+        }
+      }
+      if (!balanced || close + 1 >= t.size()) continue;
+      const Token& after = t[close + 1];
+      // Construction: a declared name, a ( or { temporary. References,
+      // pointers, nested template arguments (>, ,) and scope uses are fine.
+      if (is_ident(after) || is(after, "(") || is(after, "{"))
+        findings.push_back(Finding{f.src->rel_path, t[i].line, "r6",
+                                  "std::vector constructed inside a loop in a hot-path file; "
+                                  "hoist the buffer and clear()/assign() it instead"});
+      continue;
+    }
+    if (t[i].text == "string" && i + 1 < t.size()) {
+      const Token& after = t[i + 1];
+      if (is_ident(after) || is(after, "(") || is(after, "{"))
+        findings.push_back(Finding{f.src->rel_path, t[i].line, "r6",
+                                  "std::string constructed inside a loop in a hot-path file; "
+                                  "hoist it, use string_view, or build outside the loop"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -631,6 +734,9 @@ std::vector<Allow> parse_allows(const Scanned& f, std::vector<Finding>& findings
     if (marker == std::string::npos) continue;
     std::size_t open = comment.text.find("allow(", marker);
     if (open == std::string::npos) {
+      // `harp-lint: hot-path` is a file annotation consumed by r6, not a
+      // suppression; everything else after the marker must be an allow().
+      if (comment.text.find("hot-path", marker) != std::string::npos) continue;
       findings.push_back(Finding{f.src->rel_path, comment.line, "allow",
                                 "malformed harp-lint directive; expected "
                                 "'harp-lint: allow(<rule-id> <reason>)'"});
@@ -686,6 +792,8 @@ std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& op
   if (enabled("r4")) check_dispatch(scans, options, findings);
   if (enabled("r5"))
     for (const Scanned& f : scans) check_lock_annotations(f, findings);
+  if (enabled("r6"))
+    for (const Scanned& f : scans) check_hot_path_allocations(f, findings);
 
   // Apply suppressions: an allow on the finding's line or the line above.
   // Malformed directives surface as findings of rule "allow" themselves.

@@ -14,10 +14,15 @@
 //                          never mentioned in an RM/client dispatch file.
 //   r5  lock-annotations   a data member of a mutex-holding class without
 //                          HARP_GUARDED_BY / HARP_PT_GUARDED_BY.
+//   r6  hot-path-alloc     std::vector/std::string construction inside a
+//                          loop, in files annotated `// harp-lint: hot-path`
+//                          (opt-in; the allocator and resource-vector inner
+//                          loops promise to be allocation-free).
 //   allow                  malformed suppression (missing mandatory reason).
 //
 // Suppressions: `// harp-lint: allow(<rule-id> <reason>)` on the finding's
 // line or the line directly above it. The reason is mandatory.
+// `// harp-lint: hot-path` anywhere in a file opts that file into r6.
 #pragma once
 
 #include <string>
