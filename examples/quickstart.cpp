@@ -81,7 +81,7 @@ int main() {
     std::fprintf(stderr, "no activation received\n");
     return 1;
   }
-  const client::Activation& activation = *harp_client->current_activation();
+  client::Activation activation = *harp_client->current_activation();
   std::printf("activation: %s -> %d worker threads on %zu cores\n",
               activation.erv.to_string(hw).c_str(), activation.parallelism,
               activation.cores.size());

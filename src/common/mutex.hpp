@@ -3,11 +3,19 @@
 // wrapper restores the attributes while staying a plain std::mutex at
 // runtime. All mutex-holding classes in HARP use harp::Mutex + HARP_GUARDED_BY
 // so both clang's analysis and harp-lint's R5 rule apply.
+// Under HARP_RACE_CHECK every acquisition/release additionally maintains the
+// calling thread's held-lock set for the Eraser-style dynamic lockset
+// detector (src/common/race_registry.hpp); the hooks are thread-local
+// bookkeeping only and add no blocking.
 #pragma once
 
 #include <mutex>
 
 #include "src/common/thread_annotations.hpp"
+
+#if defined(HARP_RACE_CHECK)
+#include "src/common/race_registry.hpp"
+#endif
 
 namespace harp {
 
@@ -18,9 +26,25 @@ class HARP_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() HARP_ACQUIRE() { mutex_.lock(); }
-  void unlock() HARP_RELEASE() { mutex_.unlock(); }
-  bool try_lock() HARP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() HARP_ACQUIRE() {
+    mutex_.lock();
+#if defined(HARP_RACE_CHECK)
+    RaceRegistry::instance().on_lock_acquired(this);
+#endif
+  }
+  void unlock() HARP_RELEASE() {
+#if defined(HARP_RACE_CHECK)
+    RaceRegistry::instance().on_lock_released(this);
+#endif
+    mutex_.unlock();
+  }
+  bool try_lock() HARP_TRY_ACQUIRE(true) {
+    bool acquired = mutex_.try_lock();
+#if defined(HARP_RACE_CHECK)
+    if (acquired) RaceRegistry::instance().on_lock_acquired(this);
+#endif
+    return acquired;
+  }
 
  private:
   std::mutex mutex_;

@@ -1,0 +1,161 @@
+// Eraser-style lockset intersection (see race_registry.hpp for the design).
+#include "src/common/race_registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace harp {
+namespace {
+
+/// The calling thread's currently-held harp::Mutex set, in acquisition
+/// order. Thread-local, so the lock/unlock hooks never take the registry
+/// mutex (and can never deadlock or recurse).
+std::vector<const void*>& held_locks() {
+  thread_local std::vector<const void*> held;
+  return held;
+}
+
+std::string describe_lockset(const std::vector<const void*>& locks) {
+  if (locks.empty()) return "{}";
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < locks.size(); ++i) out << (i ? ", " : "") << locks[i];
+  out << "}";
+  return out.str();
+}
+
+/// Per-tracked-object Eraser state.
+struct SharedState {
+  enum class Phase { kExclusive, kShared };
+  Phase phase = Phase::kExclusive;
+  std::thread::id owner;             ///< exclusive-phase thread
+  std::set<const void*> candidate;   ///< C(v): locks held on every access
+  std::string last_access;           ///< "thread <id> held {...}" for reports
+};
+
+struct Registry {
+  // Raw std::mutex by design: harp::Mutex would recurse into its own
+  // instrumentation hooks (header comment). std::mutex is not a clang
+  // capability, so HARP_GUARDED_BY cannot be attached to the fields below;
+  // every access goes through a std::lock_guard in this file.
+  std::mutex guard;
+  // harp-lint: allow(r5 guard is a raw std::mutex, not an annotatable capability)
+  std::map<const void*, SharedState> tracked;
+  bool abort_on_race = true;  // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::size_t races = 0;      // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::string last_report;    // harp-lint: allow(r5 guarded by raw guard mutex above)
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static destruction
+  return *r;
+}
+
+std::string describe_access(const char* label) {
+  std::ostringstream out;
+  out << "thread " << std::this_thread::get_id() << " accessed '" << label << "' holding "
+      << describe_lockset(held_locks());
+  return out.str();
+}
+
+}  // namespace
+
+RaceRegistry& RaceRegistry::instance() {
+  static RaceRegistry inst;
+  return inst;
+}
+
+void RaceRegistry::on_lock_acquired(const void* mutex) { held_locks().push_back(mutex); }
+
+void RaceRegistry::on_lock_released(const void* mutex) {
+  std::vector<const void*>& held = held_locks();
+  auto it = std::find(held.rbegin(), held.rend(), mutex);
+  if (it != held.rend()) held.erase(std::next(it).base());
+}
+
+void RaceRegistry::on_shared_access(const void* object, const char* label) {
+  const std::vector<const void*>& held = held_locks();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  auto [it, inserted] = reg.tracked.emplace(object, SharedState{});
+  SharedState& state = it->second;
+  if (inserted) state.owner = std::this_thread::get_id();
+
+  if (state.phase == SharedState::Phase::kExclusive) {
+    if (state.owner == std::this_thread::get_id()) {
+      // Single-threaded init: constructors and setup may write unlocked.
+      state.last_access = describe_access(label);
+      return;
+    }
+    // First access from a second thread: the object is now shared. C(v)
+    // starts from THIS access's held set (not the exclusive phase's
+    // history), the standard Eraser refinement for init-then-share.
+    state.phase = SharedState::Phase::kShared;
+    state.candidate = std::set<const void*>(held.begin(), held.end());
+  } else {
+    std::set<const void*> intersect;
+    for (const void* m : held)
+      if (state.candidate.count(m) != 0) intersect.insert(m);
+    state.candidate = std::move(intersect);
+  }
+
+  if (state.candidate.empty()) {
+    std::ostringstream out;
+    out << "HARP_RACE_CHECK: lockset violation on '" << label << "' (" << object << "): "
+        << describe_access(label) << "; previous: "
+        << (state.last_access.empty() ? "<none>" : state.last_access)
+        << "; no common lock protects every access";
+    reg.last_report = out.str();
+    ++reg.races;
+    // Re-arm so one discipline bug does not cascade into a report per access.
+    state.candidate = std::set<const void*>(held.begin(), held.end());
+    state.last_access = describe_access(label);
+    if (reg.abort_on_race) {
+      std::fprintf(stderr, "%s\n", reg.last_report.c_str());
+      std::abort();
+    }
+    return;
+  }
+  state.last_access = describe_access(label);
+}
+
+void RaceRegistry::forget(const void* object) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  reg.tracked.erase(object);
+}
+
+void RaceRegistry::set_abort_on_race(bool abort_on_race) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  reg.abort_on_race = abort_on_race;
+}
+
+std::size_t RaceRegistry::race_count() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  return reg.races;
+}
+
+std::string RaceRegistry::last_report() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  return reg.last_report;
+}
+
+void RaceRegistry::reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  reg.tracked.clear();
+  reg.races = 0;
+  reg.last_report.clear();
+}
+
+}  // namespace harp

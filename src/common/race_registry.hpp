@@ -1,0 +1,72 @@
+// Eraser-style dynamic lockset race detector (compiled in under the
+// HARP_RACE_CHECK CMake option; zero overhead otherwise).
+//
+// The classic Eraser algorithm (Savage et al., SOSP '97) checks the locking
+// DISCIPLINE instead of happens-before: every harp::Mutex acquisition and
+// release maintains a per-thread held-lock set, and every tracked shared
+// object keeps a candidate lockset C(v) — the set of locks held on *every*
+// access so far. Objects start in an exclusive phase (single-threaded
+// construction and setup need no locks); the first access from a second
+// thread re-seeds C(v) from that thread's held set, and each later access
+// intersects. An empty intersection means no single lock protected every
+// access — a data race in discipline terms, reported deterministically even
+// when the accesses never actually overlapped. This is exactly why the
+// two-thread scenario tests can drive the detector with join-sequenced
+// threads that TSAN (a happens-before checker) rightly stays silent on.
+//
+// Instrumentation: sprinkle HARP_TRACK_SHARED(&field_) at the top of code
+// paths that touch the shared structure. Under HARP_RACE_CHECK it records an
+// access with the current thread's lockset; otherwise it compiles to nothing.
+//
+// The registry's own state is guarded by a raw std::mutex, NOT harp::Mutex:
+// the instrumented Mutex::lock() hook calls back into the registry, and a
+// harp::Mutex here would recurse into its own instrumentation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace harp {
+
+class RaceRegistry {
+ public:
+  /// Process-wide singleton (never destroyed; tracked objects may outlive
+  /// static destruction order).
+  static RaceRegistry& instance();
+
+  /// Mutex hooks: maintain the calling thread's held-lock set. Lock-free of
+  /// registry state (the held set is thread_local), so they cannot deadlock.
+  void on_lock_acquired(const void* mutex);
+  void on_lock_released(const void* mutex);
+
+  /// Record an access to a tracked shared object by the current thread and
+  /// run the lockset intersection. On an empty intersection: report to
+  /// stderr and abort (default), or count it when abort-on-race is off
+  /// (scenario tests assert on race_count()).
+  void on_shared_access(const void* object, const char* label);
+
+  /// Drop a tracked object's state (call from destructors of short-lived
+  /// instrumented objects so address reuse cannot alias histories).
+  void forget(const void* object);
+
+  /// Test hooks.
+  void set_abort_on_race(bool abort_on_race);
+  std::size_t race_count() const;
+  std::string last_report() const;
+  void reset();  ///< clears tracked objects, races and reports (not held sets)
+
+ private:
+  RaceRegistry() = default;
+};
+
+}  // namespace harp
+
+#if defined(HARP_RACE_CHECK)
+#define HARP_TRACK_SHARED(obj) ::harp::RaceRegistry::instance().on_shared_access((obj), #obj)
+// Call from the owning destructor: address reuse (stack objects in tests)
+// must not inherit a dead object's candidate lockset.
+#define HARP_UNTRACK_SHARED(obj) ::harp::RaceRegistry::instance().forget((obj))
+#else
+#define HARP_TRACK_SHARED(obj) ((void)0)
+#define HARP_UNTRACK_SHARED(obj) ((void)0)
+#endif

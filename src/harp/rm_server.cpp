@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/race_registry.hpp"
 #include "src/mlmodels/pareto.hpp"
 
 namespace harp::core {
@@ -53,7 +54,7 @@ RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
   }
 }
 
-RmServer::~RmServer() = default;
+RmServer::~RmServer() { HARP_UNTRACK_SHARED(&clients_); }
 
 Status RmServer::listen(const std::string& socket_path) {
   Result<std::unique_ptr<ipc::UnixServer>> server = ipc::UnixServer::listen(socket_path);
@@ -106,6 +107,7 @@ std::optional<OperatingPoint> RmServer::current_point(const std::string& app_nam
 
 std::vector<ClientSnapshot> RmServer::snapshot() const {
   MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&clients_);
   std::vector<ClientSnapshot> out;
   out.reserve(clients_.size());
   for (const auto& client : clients_) {
@@ -123,6 +125,7 @@ std::vector<ClientSnapshot> RmServer::snapshot() const {
 
 void RmServer::poll(double now_seconds) {
   MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&clients_);
   // Accept pending connections.
   if (server_ != nullptr) {
     while (true) {

@@ -11,6 +11,7 @@
 #include <deque>
 
 #include "src/common/mutex.hpp"
+#include "src/common/race_registry.hpp"
 #include "src/ipc/wire.hpp"
 
 namespace harp::ipc {
@@ -52,6 +53,7 @@ namespace {
 /// Shared state of one direction: a queue of encoded frames. Both channel
 /// ends touch it concurrently, so all state is guarded by `mutex`.
 struct InProcQueue {
+  ~InProcQueue() { HARP_UNTRACK_SHARED(&frames); }
   Mutex mutex;
   std::deque<std::vector<std::uint8_t>> frames HARP_GUARDED_BY(mutex);
   bool closed HARP_GUARDED_BY(mutex) = false;
@@ -69,6 +71,7 @@ class InProcChannel : public Channel {
   Status send_raw(const std::vector<std::uint8_t>& frame) override {
     {
       MutexLock lock(tx_->mutex);
+      HARP_TRACK_SHARED(&tx_->frames);
       if (tx_->closed) return Status(make_error("io: channel closed"));
       tx_->frames.push_back(frame);
     }
@@ -80,6 +83,7 @@ class InProcChannel : public Channel {
     std::vector<std::uint8_t> frame;
     {
       MutexLock lock(rx_->mutex);
+      HARP_TRACK_SHARED(&rx_->frames);
       if (rx_->frames.empty()) {
         if (rx_->closed) return Result<std::optional<Message>>(make_error("io: peer closed"));
         return std::optional<Message>{};

@@ -31,23 +31,34 @@ const char* to_string(LinkState state) {
   return "?";
 }
 
-HarpClient::HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks,
-                       ChannelFactory factory)
-    : channel_(std::move(channel)),
-      config_(std::move(config)),
-      callbacks_(std::move(callbacks)),
-      factory_(std::move(factory)),
-      jitter_rng_(config_.jitter_seed) {
-  if (config_.metrics != nullptr) {
-    reconnects_counter_ = &config_.metrics->counter("client_reconnects_total");
-    link_down_counter_ = &config_.metrics->counter("client_link_down_total");
-    dropped_sends_counter_ = &config_.metrics->counter("client_dropped_sends_total");
-    heartbeats_counter_ = &config_.metrics->counter("client_heartbeats_total");
-  }
+namespace {
+
+telemetry::Counter* resolve_counter(telemetry::MetricsRegistry* metrics, const char* name) {
+  return metrics != nullptr ? &metrics->counter(name) : nullptr;
 }
 
+}  // namespace
+
+HarpClient::HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks,
+                       ChannelFactory factory)
+    : config_(std::move(config)),
+      callbacks_(std::move(callbacks)),
+      channel_(std::move(channel)),
+      factory_(std::move(factory)),
+      jitter_rng_(config_.jitter_seed),
+      reconnects_counter_(resolve_counter(config_.metrics, "client_reconnects_total")),
+      link_down_counter_(resolve_counter(config_.metrics, "client_link_down_total")),
+      dropped_sends_counter_(resolve_counter(config_.metrics, "client_dropped_sends_total")),
+      heartbeats_counter_(resolve_counter(config_.metrics, "client_heartbeats_total")) {}
+
 HarpClient::~HarpClient() {
-  if (!deregistered_) (void)deregister();
+  bool need_deregister = false;
+  {
+    MutexLock lock(mutex_);
+    need_deregister = !deregistered_;
+  }
+  if (need_deregister) (void)deregister();
+  HARP_UNTRACK_SHARED(&pending_);
 }
 
 Result<std::unique_ptr<HarpClient>> HarpClient::make(std::unique_ptr<ipc::Channel> channel,
@@ -60,8 +71,14 @@ Result<std::unique_ptr<HarpClient>> HarpClient::make(std::unique_ptr<ipc::Channe
         make_error("proto: provides_utility requires a utility_provider callback"));
   auto client = std::unique_ptr<HarpClient>(new HarpClient(
       std::move(channel), std::move(config), std::move(callbacks), std::move(factory)));
-  Status begun = client->begin_registration();
-  if (!begun.ok() && !client->factory_)
+  Status begun;
+  bool has_factory = false;
+  {
+    MutexLock lock(client->mutex_);
+    begun = client->begin_registration();
+    has_factory = static_cast<bool>(client->factory_);
+  }
+  if (!begun.ok() && !has_factory)
     return Result<std::unique_ptr<HarpClient>>(begun.error());
   if (blocking) {
     Status registered = client->block_until_registered();
@@ -121,7 +138,7 @@ Status HarpClient::block_until_registered() {
   for (int iteration = 0; iteration < 2000; ++iteration) {
     Status polled = poll();
     if (!polled.ok()) return polled;
-    if (state_ == LinkState::kConnected) return Status{};
+    if (registered()) return Status{};
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return Status(make_error("io: registration timed out"));
@@ -129,6 +146,7 @@ Status HarpClient::block_until_registered() {
 
 double HarpClient::wall_clock_seconds() {
   auto now = std::chrono::steady_clock::now();
+  MutexLock lock(mutex_);
   if (!clock_base_.has_value()) clock_base_ = now;
   return std::chrono::duration<double>(now - *clock_base_).count();
 }
@@ -136,6 +154,28 @@ double HarpClient::wall_clock_seconds() {
 Status HarpClient::poll() { return poll(wall_clock_seconds()); }
 
 Status HarpClient::poll(double now_seconds) {
+  DeferredWork deferred;
+  Status status;
+  {
+    MutexLock lock(mutex_);
+    HARP_TRACK_SHARED(&pending_);
+    status = poll_locked(now_seconds, deferred);
+  }
+  // Callbacks run with the mutex released: they may re-enter the client
+  // (submit points, read state) without deadlocking, and a slow provider
+  // cannot stall concurrent pollers.
+  for (const Activation& activation : deferred.activations)
+    if (callbacks_.on_activate) callbacks_.on_activate(activation);
+  for (int i = 0; i < deferred.utility_requests; ++i) {
+    ipc::UtilityReport report;
+    report.utility = callbacks_.utility_provider ? callbacks_.utility_provider() : 0.0;
+    MutexLock lock(mutex_);
+    (void)transmit(ipc::Message(report), /*droppable=*/true, now_seconds);
+  }
+  return status;
+}
+
+Status HarpClient::poll_locked(double now_seconds, DeferredWork& deferred) {
   last_now_ = now_seconds;
   if (state_ == LinkState::kClosed)
     return Status(make_error("io: client closed"));
@@ -162,7 +202,7 @@ Status HarpClient::poll(double now_seconds) {
     }
     if (!message.value().has_value()) break;
     malformed_from_rm_ = 0;
-    Status handled = handle(*message.value(), now_seconds);
+    Status handled = handle(*message.value(), now_seconds, deferred);
     if (!handled.ok()) return handled;
   }
 
@@ -184,7 +224,8 @@ Status HarpClient::poll(double now_seconds) {
   return Status{};
 }
 
-Status HarpClient::handle(const ipc::Message& message, double now_seconds) {
+Status HarpClient::handle(const ipc::Message& message, double now_seconds,
+                          DeferredWork& deferred) {
   if (const auto* ack = std::get_if<ipc::RegisterAck>(&message)) {
     if (state_ == LinkState::kConnected) return Status{};  // duplicate ack; idempotent
     if (ack->app_id < 0) {
@@ -203,13 +244,15 @@ Status HarpClient::handle(const ipc::Message& message, double now_seconds) {
     activation.parallelism = activate->parallelism;
     activation.rebalance = activate->rebalance;
     activation_ = std::move(activation);
-    if (callbacks_.on_activate) callbacks_.on_activate(*activation_);
+    // Deliver after the lock is released (poll() drains deferred work).
+    deferred.activations.push_back(*activation_);
     return Status{};
   }
   if (std::holds_alternative<ipc::UtilityRequest>(message)) {
-    ipc::UtilityReport report;
-    report.utility = callbacks_.utility_provider ? callbacks_.utility_provider() : 0.0;
-    return transmit(ipc::Message(report), /*droppable=*/true, now_seconds);
+    // The provider is user code: run it unlocked, then transmit the report
+    // under a fresh lock (poll() drains deferred work).
+    ++deferred.utility_requests;
+    return Status{};
   }
   // Other message kinds are RM-bound; a misdelivered one is a peer bug but
   // not worth killing the link over.
@@ -233,6 +276,7 @@ void HarpClient::on_registered(double now_seconds) {
 
 Status HarpClient::submit_operating_points(
     const std::vector<ipc::OperatingPointsMsg::Point>& points) {
+  MutexLock lock(mutex_);
   submitted_points_.insert(submitted_points_.end(), points.begin(), points.end());
   if (state_ == LinkState::kClosed)
     return Status(make_error("io: client closed"));
@@ -354,6 +398,7 @@ void HarpClient::try_reconnect(double now_seconds) {
 
 int HarpClient::recommended_parallelism(int user_requested) const {
   HARP_CHECK(user_requested >= 1);
+  MutexLock lock(mutex_);
   if (!activation_.has_value() || activation_->parallelism <= 0) return user_requested;
   // §4.1.3: the GOMP_parallel hook sets num_threads to the maximum of the
   // user-given number and the RM-provided parallelisation degree.
@@ -361,6 +406,8 @@ int HarpClient::recommended_parallelism(int user_requested) const {
 }
 
 Status HarpClient::deregister() {
+  MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&pending_);
   deregistered_ = true;
   if (channel_ != nullptr && !channel_->closed() &&
       (state_ == LinkState::kConnected || state_ == LinkState::kRegistering)) {
@@ -375,6 +422,8 @@ Status HarpClient::deregister() {
 }
 
 void HarpClient::drop_link() {
+  MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&pending_);
   if (channel_ != nullptr) channel_->close();
   pending_.clear();
   deregistered_ = true;  // crash semantics: no Deregister notice ever goes out

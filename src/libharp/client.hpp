@@ -22,6 +22,14 @@
 // re-registration that replays the submitted operating-point table, and a
 // bounded outbound queue so utility reports survive a transient disconnect.
 // See DESIGN.md "Failure model & recovery".
+//
+// Thread safety: every public method may be called from any thread. One
+// internal mutex guards the link state machine, the pending-send queue and
+// the activation snapshot; user callbacks (on_activate, utility_provider)
+// are always invoked with that mutex RELEASED, so a callback may call back
+// into the client without deadlocking. The real library needs this because
+// GOMP_parallel hooks poll from worker threads while the main thread
+// submits operating points.
 #pragma once
 
 #include <chrono>
@@ -32,8 +40,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.hpp"
+#include "src/common/race_registry.hpp"
 #include "src/common/result.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/thread_annotations.hpp"
 #include "src/ipc/transport.hpp"
 #include "src/telemetry/metrics.hpp"
 #include "src/telemetry/trace.hpp"
@@ -142,8 +153,13 @@ class HarpClient {
   /// deterministically in tests).
   Status poll(double now_seconds);
 
-  /// The most recent activation, if any.
-  const std::optional<Activation>& current_activation() const { return activation_; }
+  /// Snapshot of the most recent activation, if any. Returned by value: the
+  /// stored activation can be replaced by a concurrent poll() at any time,
+  /// so a reference would be a use-after-move hazard.
+  std::optional<Activation> current_activation() const {
+    MutexLock lock(mutex_);
+    return activation_;
+  }
 
   /// Team size a scalable runtime should use: the RM assignment when one is
   /// active, otherwise the user's request (the GOMP_parallel hook).
@@ -160,20 +176,48 @@ class HarpClient {
   void drop_link();
 
   /// Install (or replace) the reconnect factory.
-  void set_channel_factory(ChannelFactory factory) { factory_ = std::move(factory); }
+  void set_channel_factory(ChannelFactory factory) {
+    MutexLock lock(mutex_);
+    factory_ = std::move(factory);
+  }
 
-  std::int32_t app_id() const { return app_id_; }
+  std::int32_t app_id() const {
+    MutexLock lock(mutex_);
+    return app_id_;
+  }
   const std::string& app_name() const { return config_.app_name; }
-  LinkState link_state() const { return state_; }
-  bool registered() const { return state_ == LinkState::kConnected; }
-  std::size_t pending_sends() const { return pending_.size(); }
-  std::uint64_t dropped_sends() const { return dropped_sends_; }
-  int reconnect_count() const { return reconnects_; }
+  LinkState link_state() const {
+    MutexLock lock(mutex_);
+    return state_;
+  }
+  bool registered() const { return link_state() == LinkState::kConnected; }
+  std::size_t pending_sends() const {
+    MutexLock lock(mutex_);
+    HARP_TRACK_SHARED(&pending_);
+    return pending_.size();
+  }
+  std::uint64_t dropped_sends() const {
+    MutexLock lock(mutex_);
+    return dropped_sends_;
+  }
+  int reconnect_count() const {
+    MutexLock lock(mutex_);
+    return reconnects_;
+  }
 
  private:
   struct Pending {
     ipc::Message message;
     bool droppable = false;
+  };
+
+  /// Side effects collected under the lock and executed after it is
+  /// released: activations to deliver to on_activate, and how many utility
+  /// requests arrived (the provider runs unlocked, then the report is
+  /// transmitted under a fresh lock).
+  struct DeferredWork {
+    std::vector<Activation> activations;
+    int utility_requests = 0;
   };
 
   HarpClient(std::unique_ptr<ipc::Channel> channel, Config config, Callbacks callbacks,
@@ -182,48 +226,58 @@ class HarpClient {
                                                   Config config, Callbacks callbacks,
                                                   ChannelFactory factory, bool blocking);
   ipc::Message register_request() const;
-  Status begin_registration();
+  Status begin_registration() HARP_REQUIRES(mutex_);
   Status block_until_registered();
-  Status handle(const ipc::Message& message, double now_seconds);
-  void on_registered(double now_seconds);
+  Status poll_locked(double now_seconds, DeferredWork& deferred) HARP_REQUIRES(mutex_);
+  Status handle(const ipc::Message& message, double now_seconds, DeferredWork& deferred)
+      HARP_REQUIRES(mutex_);
+  void on_registered(double now_seconds) HARP_REQUIRES(mutex_);
   /// Send now if the link is up, otherwise buffer (bounded). Returns an
   /// error only when the message can never be delivered (no factory).
-  Status transmit(const ipc::Message& message, bool droppable, double now_seconds);
-  void enqueue(ipc::Message message, bool droppable);
-  void flush_pending(double now_seconds);
+  Status transmit(const ipc::Message& message, bool droppable, double now_seconds)
+      HARP_REQUIRES(mutex_);
+  void enqueue(ipc::Message message, bool droppable) HARP_REQUIRES(mutex_);
+  void flush_pending(double now_seconds) HARP_REQUIRES(mutex_);
   /// React to a fatal channel error: schedule a reconnect or go kClosed.
-  Status link_down(const Error& error, double now_seconds);
-  void try_reconnect(double now_seconds);
-  double backoff_delay(int attempt);
+  Status link_down(const Error& error, double now_seconds) HARP_REQUIRES(mutex_);
+  void try_reconnect(double now_seconds) HARP_REQUIRES(mutex_);
+  double backoff_delay(int attempt) HARP_REQUIRES(mutex_);
   double wall_clock_seconds();
 
-  std::unique_ptr<ipc::Channel> channel_;
-  Config config_;
-  Callbacks callbacks_;
-  ChannelFactory factory_;
-  LinkState state_ = LinkState::kRegistering;
-  std::int32_t app_id_ = -1;
-  std::optional<Activation> activation_;
-  bool deregistered_ = false;
+  /// Immutable after construction; read freely from any thread.
+  const Config config_;
+  /// Invoked only with mutex_ released; the function objects are set once
+  /// at construction and never reassigned.
+  const Callbacks callbacks_;
 
-  std::deque<Pending> pending_;
-  std::uint64_t dropped_sends_ = 0;
-  std::vector<ipc::OperatingPointsMsg::Point> submitted_points_;
-  Rng jitter_rng_;
-  int attempt_ = 0;
-  double next_retry_at_ = 0.0;
-  double register_sent_at_ = 0.0;
-  int reconnects_ = 0;
-  int malformed_from_rm_ = 0;
-  double last_tx_ = 0.0;
-  double last_now_ = 0.0;  ///< most recent poll() clock; timestamps out-of-poll sends
-  std::optional<std::chrono::steady_clock::time_point> clock_base_;
+  mutable Mutex mutex_;
+  std::unique_ptr<ipc::Channel> channel_ HARP_GUARDED_BY(mutex_);
+  ChannelFactory factory_ HARP_GUARDED_BY(mutex_);
+  LinkState state_ HARP_GUARDED_BY(mutex_) = LinkState::kRegistering;
+  std::int32_t app_id_ HARP_GUARDED_BY(mutex_) = -1;
+  std::optional<Activation> activation_ HARP_GUARDED_BY(mutex_);
+  bool deregistered_ HARP_GUARDED_BY(mutex_) = false;
 
-  /// Counters resolved once at construction (null when metrics are off).
-  telemetry::Counter* reconnects_counter_ = nullptr;
-  telemetry::Counter* link_down_counter_ = nullptr;
-  telemetry::Counter* dropped_sends_counter_ = nullptr;
-  telemetry::Counter* heartbeats_counter_ = nullptr;
+  std::deque<Pending> pending_ HARP_GUARDED_BY(mutex_);
+  std::uint64_t dropped_sends_ HARP_GUARDED_BY(mutex_) = 0;
+  std::vector<ipc::OperatingPointsMsg::Point> submitted_points_ HARP_GUARDED_BY(mutex_);
+  Rng jitter_rng_ HARP_GUARDED_BY(mutex_);
+  int attempt_ HARP_GUARDED_BY(mutex_) = 0;
+  double next_retry_at_ HARP_GUARDED_BY(mutex_) = 0.0;
+  double register_sent_at_ HARP_GUARDED_BY(mutex_) = 0.0;
+  int reconnects_ HARP_GUARDED_BY(mutex_) = 0;
+  int malformed_from_rm_ HARP_GUARDED_BY(mutex_) = 0;
+  double last_tx_ HARP_GUARDED_BY(mutex_) = 0.0;
+  /// Most recent poll() clock; timestamps out-of-poll sends.
+  double last_now_ HARP_GUARDED_BY(mutex_) = 0.0;
+  std::optional<std::chrono::steady_clock::time_point> clock_base_ HARP_GUARDED_BY(mutex_);
+
+  /// Counters resolved once at construction (null when metrics are off);
+  /// Counter increments are internally atomic.
+  telemetry::Counter* const reconnects_counter_;
+  telemetry::Counter* const link_down_counter_;
+  telemetry::Counter* const dropped_sends_counter_;
+  telemetry::Counter* const heartbeats_counter_;
 };
 
 }  // namespace harp::client

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "src/common/check.hpp"
+#include "src/common/race_registry.hpp"
 
 namespace harp::telemetry {
 
@@ -58,8 +59,11 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+MetricsRegistry::~MetricsRegistry() { HARP_UNTRACK_SHARED(&counters_); }
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&counters_);
   auto it = counters_.find(name);
   if (it == counters_.end()) it = counters_.emplace(name, std::make_unique<Counter>()).first;
   return *it->second;
@@ -83,6 +87,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&counters_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }

@@ -80,6 +80,7 @@ class Histogram {
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.hpp"
+#include "src/common/race_registry.hpp"
 
 namespace harp::telemetry {
 
@@ -80,9 +81,12 @@ void Tracer::instant(EventType type, std::string scope, NumArgs num, StrArgs str
   record(type, Phase::kInstant, std::move(scope), std::move(num), std::move(str));
 }
 
+Tracer::~Tracer() { HARP_UNTRACK_SHARED(&ring_); }
+
 void Tracer::record(EventType type, Phase phase, std::string&& scope, NumArgs&& num,
                     StrArgs&& str) {
   MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&ring_);
   TraceEvent event;
   event.seq = next_seq_++;
   event.t = clock_->now_seconds();
@@ -99,6 +103,7 @@ void Tracer::record(EventType type, Phase phase, std::string&& scope, NumArgs&& 
 
 std::vector<TraceEvent> Tracer::events() const {
   MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&ring_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {

@@ -91,6 +91,7 @@ class Tracer {
   /// `clock` must outlive the tracer and be kept current by the timeline
   /// owner (see clock.hpp).
   explicit Tracer(const Clock* clock, TracerOptions options = {});
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 

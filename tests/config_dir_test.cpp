@@ -17,7 +17,10 @@ namespace fs = std::filesystem;
 class ConfigDirTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = ::testing::TempDir() + "/harp_config_test";
+    // Per-test directory: ctest runs each case as its own process, possibly
+    // concurrently, so a shared directory races with sibling tests.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = ::testing::TempDir() + "/harp_config_test_" + info->name();
     fs::remove_all(root_);
   }
   void TearDown() override { fs::remove_all(root_); }

@@ -100,7 +100,7 @@ TEST(LibharpClient, ReceivesActivationAfterSubmittingPoints) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ASSERT_TRUE(client->current_activation().has_value());
-  const client::Activation& activation = *client->current_activation();
+  client::Activation activation = *client->current_activation();
   EXPECT_GT(activation.parallelism, 0);
   EXPECT_FALSE(activation.cores.empty());
   EXPECT_TRUE(activation.erv.fits(hw));
@@ -192,8 +192,8 @@ TEST(LibharpClient, TwoClientsGetDisjointGrants) {
   ASSERT_TRUE(b->current_activation().has_value());
 
   std::set<std::pair<int, int>> cores;
-  for (const auto* activation : {&*a->current_activation(), &*b->current_activation()})
-    for (const ipc::ActivateMsg::CoreGrant& grant : activation->cores)
+  for (const client::Activation& activation : {*a->current_activation(), *b->current_activation()})
+    for (const ipc::ActivateMsg::CoreGrant& grant : activation.cores)
       EXPECT_TRUE(cores.insert({grant.type, grant.core}).second)
           << "core granted to both applications";
 }

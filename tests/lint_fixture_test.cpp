@@ -115,6 +115,25 @@ TEST(LintFixtures, R5LockAnnotations) {
   expect_exact({fixture("r5_bad.cpp"), fixture("r5_good.cpp")}, {"r5"});
 }
 
+TEST(LintFixtures, R7FlowSensitiveLocksets) {
+  expect_exact({fixture("r7_bad.cpp"), fixture("r7_good.cpp")}, {"r7"});
+}
+
+TEST(LintFixtures, R8AnnotateOrSuppress) {
+  expect_exact({fixture("r8_bad.cpp"), fixture("r8_good.cpp")}, {"r8"});
+}
+
+TEST(LintFixtures, StaleSuppressionsAreAudited) {
+  Options options;
+  options.audit_suppressions = true;
+  expect_exact({fixture("audit_allows.cpp")}, {"r2"}, options);
+}
+
+TEST(LintFixtures, AuditIsOffByDefault) {
+  // Without --audit-suppressions the stale allow is inert, not a finding.
+  EXPECT_TRUE(run({fixture("audit_allows.cpp")}, Options{{"r2"}}).empty());
+}
+
 TEST(LintFixtures, R6HotPathAllocations) {
   expect_exact({fixture("r6_bad.cpp"), fixture("r6_good.cpp")}, {"r6"});
 }

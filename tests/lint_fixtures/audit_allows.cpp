@@ -1,0 +1,12 @@
+// Fixture for --audit-suppressions: an allow() that silences a real finding
+// is fine; one whose rule produces no finding on that line is stale and
+// must itself be reported (rule id "allow").
+#include <cstdlib>
+
+int suppressed_random() {
+  return rand();  // harp-lint: allow(r2 fixture exercises a used allow)
+}
+
+int nothing_to_suppress() {
+  return 3;  // harp-lint: allow(r2 stale by design) expect: allow
+}

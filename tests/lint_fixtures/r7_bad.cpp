@@ -1,0 +1,48 @@
+// Bad fixture for r7 (flow-sensitive lockset): accesses to HARP_GUARDED_BY
+// fields on paths where the guard is not held, including the
+// path-sensitive case where the lock is taken in only one branch of an if
+// and the access happens after the join.
+#include "src/common/mutex.hpp"
+
+class Worker {
+ public:
+  int unlocked_read() { return shared_; }  // expect: r7
+
+  void unlocked_write() {
+    shared_ = 1;  // expect: r7
+  }
+
+  void lock_in_one_branch(bool fast) {
+    if (fast) {
+      harp::MutexLock lock(mutex_);
+      shared_ = 1;  // held here: fine
+    }
+    shared_ = 2;  // expect: r7
+  }
+
+  void lock_in_then_not_else(bool fast) {
+    if (fast) {
+      harp::MutexLock lock(mutex_);
+      shared_ = 1;
+    } else {
+      shared_ = 2;  // expect: r7
+    }
+  }
+
+  void released_too_early() {
+    mutex_.lock();
+    shared_ = 1;
+    mutex_.unlock();
+    shared_ = 2;  // expect: r7
+  }
+
+  void helper() HARP_REQUIRES(mutex_) { shared_ += 1; }
+
+  void calls_helper_unlocked() {
+    helper();  // expect: r7
+  }
+
+ private:
+  harp::Mutex mutex_;
+  int shared_ HARP_GUARDED_BY(mutex_) = 0;
+};

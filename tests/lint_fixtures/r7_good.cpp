@@ -1,0 +1,68 @@
+// Good fixture for r7 (flow-sensitive lockset): every access to the
+// guarded field is dominated by an acquisition of its guard, through RAII
+// scopes, manual lock()/unlock() pairs, HARP_REQUIRES contracts, loops and
+// early returns. The analysis must stay silent on all of it.
+#include "src/common/mutex.hpp"
+
+class Worker {
+ public:
+  int locked_read() const {
+    harp::MutexLock lock(mutex_);
+    return shared_;
+  }
+
+  void locked_in_both_branches(bool fast) {
+    harp::MutexLock lock(mutex_);
+    if (fast) {
+      shared_ = 1;
+    } else {
+      shared_ = 2;
+    }
+  }
+
+  void branch_local_locks(bool fast) {
+    if (fast) {
+      harp::MutexLock lock(mutex_);
+      shared_ = 1;
+    } else {
+      harp::MutexLock lock(mutex_);
+      shared_ = 2;
+    }
+  }
+
+  int early_return_under_lock(bool done) {
+    harp::MutexLock lock(mutex_);
+    if (done) return shared_;
+    shared_ += 1;
+    return shared_;
+  }
+
+  void manual_pair() {
+    mutex_.lock();
+    shared_ = 3;
+    mutex_.unlock();
+  }
+
+  void loop_body_locked() {
+    for (int i = 0; i < 4; ++i) {
+      harp::MutexLock lock(mutex_);
+      shared_ += i;
+    }
+  }
+
+  void helper() HARP_REQUIRES(mutex_) { shared_ += 1; }
+
+  void calls_helper_locked() {
+    harp::MutexLock lock(mutex_);
+    helper();
+  }
+
+  void chains_requires() HARP_REQUIRES(mutex_) {
+    helper();  // contract satisfied by this function's own contract
+    shared_ = 4;
+  }
+
+ private:
+  mutable harp::Mutex mutex_;
+  int shared_ HARP_GUARDED_BY(mutex_) = 0;
+};

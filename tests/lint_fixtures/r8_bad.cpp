@@ -1,0 +1,14 @@
+// Bad fixture for r8 (annotate-or-suppress): fields of a harp::Mutex-owning
+// class without HARP_GUARDED_BY, and a guard naming no declared mutex.
+#include "src/common/mutex.hpp"
+
+class Tracker {
+ public:
+  void tick();
+
+ private:
+  harp::Mutex mutex_;
+  int count_ = 0;             // expect: r8
+  double rate_ = 0.0;         // expect: r8
+  int stale_ HARP_GUARDED_BY(gone_);  // expect: r8
+};

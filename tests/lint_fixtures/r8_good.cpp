@@ -1,0 +1,28 @@
+// Good fixture for r8: every field of the harp::Mutex-owning class is
+// annotated, exempt (atomic / top-level const), or explicitly suppressed;
+// a class with only a std::mutex is out of r8's typed scope (r5 covers it
+// heuristically).
+#include <atomic>
+#include <mutex>
+
+#include "src/common/mutex.hpp"
+
+class Tracker {
+ public:
+  void tick();
+
+ private:
+  harp::Mutex mutex_;
+  int count_ HARP_GUARDED_BY(mutex_) = 0;
+  std::atomic<int> hits_{0};
+  const int capacity_ = 8;
+  int* const slots_ = nullptr;
+  // harp-lint: allow(r8 written once before threads start; fixture exercises suppression)
+  int legacy_ = 0;
+};
+
+class RawStdMutexOnly {
+ private:
+  std::mutex lock_;
+  int value_ = 0;  // not r8's scope: no harp::Mutex member
+};

@@ -1,0 +1,189 @@
+// Deterministic scenario tests for the dynamic lockset checker
+// (src/common/race_registry.hpp, compiled in via -DHARP_RACE_CHECK=ON).
+//
+// Threads are sequenced with joins, never timing: the checker flags lock
+// *discipline* violations (Eraser's lockset intersection), so a seeded
+// inconsistently-locked access pattern fires even though the accesses are
+// strictly ordered and no data race is observable at runtime. That is the
+// point — the discipline bug is caught before the interleaving that makes
+// it a real race ever happens.
+//
+// The companion assertions run the annotated tree (client, telemetry,
+// in-process transport) through multi-thread access and require silence:
+// regressions that drop a lock from a tracked structure's access path fail
+// here. Removing HarpClient's internal mutex_ (the fix these tests pin)
+// makes ClientPollTracksPendingQueueUnderOneLock report a violation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/common/mutex.hpp"
+#include "src/common/race_registry.hpp"
+#include "src/ipc/transport.hpp"
+#include "src/libharp/client.hpp"
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
+
+namespace harp {
+namespace {
+
+class RaceCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RaceRegistry::instance().set_abort_on_race(false);
+    RaceRegistry::instance().reset();
+  }
+  void TearDown() override {
+    RaceRegistry::instance().reset();
+    RaceRegistry::instance().set_abort_on_race(true);
+  }
+  std::size_t races() { return RaceRegistry::instance().race_count(); }
+};
+
+TEST_F(RaceCheckTest, SeededDisciplineViolationFires) {
+  Mutex lock_a;
+  Mutex lock_b;
+  int value = 0;
+
+  // Main thread initialises under lock_a (exclusive phase). The worker's
+  // first access under lock_b makes the object shared and seeds the
+  // candidate lockset {lock_b}; its second access under lock_a intersects
+  // that down to {} -> race. Main + one worker, not two sequential workers:
+  // a joined thread's id can be reused, which would look like the same
+  // thread and extend the exclusive phase.
+  {
+    MutexLock lock(lock_a);
+    HARP_TRACK_SHARED(&value);
+    value = 1;
+  }
+  std::thread worker([&] {
+    {
+      MutexLock lock(lock_b);
+      HARP_TRACK_SHARED(&value);
+      value = 2;
+    }
+    {
+      MutexLock lock(lock_a);
+      HARP_TRACK_SHARED(&value);
+      value = 3;
+    }
+  });
+  worker.join();
+  EXPECT_EQ(races(), 1u);
+  // The report names the access and both lock histories.
+  EXPECT_NE(RaceRegistry::instance().last_report().find("&value"), std::string::npos);
+  HARP_UNTRACK_SHARED(&value);
+}
+
+TEST_F(RaceCheckTest, ConsistentLockIsSilent) {
+  Mutex lock_a;
+  int value = 0;
+  auto access = [&] {
+    MutexLock lock(lock_a);
+    HARP_TRACK_SHARED(&value);
+    ++value;
+  };
+  access();
+  std::thread worker(access);
+  worker.join();
+  access();
+  EXPECT_EQ(races(), 0u);
+  HARP_UNTRACK_SHARED(&value);
+}
+
+TEST_F(RaceCheckTest, SingleThreadInitializationIsExempt) {
+  // Eraser's exclusive phase: unlocked single-threaded setup is fine.
+  int value = 0;
+  for (int i = 0; i < 4; ++i) {
+    HARP_TRACK_SHARED(&value);
+    value = i;
+  }
+  EXPECT_EQ(races(), 0u);
+  HARP_UNTRACK_SHARED(&value);
+}
+
+TEST_F(RaceCheckTest, UntrackForgetsAddressForReuse) {
+  Mutex lock_a;
+  Mutex lock_b;
+  int value = 0;
+  {
+    MutexLock lock(lock_a);
+    HARP_TRACK_SHARED(&value);
+    value = 1;
+  }
+  HARP_UNTRACK_SHARED(&value);
+  // A "new object" at the same address starts a fresh exclusive phase:
+  // the worker's differently-locked access owns it now, and main's
+  // follow-up only refines the fresh candidate set — no race.
+  std::thread worker([&] {
+    MutexLock lock(lock_b);
+    HARP_TRACK_SHARED(&value);
+    value = 2;
+  });
+  worker.join();
+  {
+    MutexLock lock(lock_b);
+    HARP_TRACK_SHARED(&value);
+    value = 3;
+  }
+  EXPECT_EQ(races(), 0u);
+  HARP_UNTRACK_SHARED(&value);
+}
+
+TEST_F(RaceCheckTest, TelemetrySinksAreSilentAcrossThreads) {
+  telemetry::ManualClock clock;
+  telemetry::Tracer tracer(&clock);
+  telemetry::MetricsRegistry metrics;
+  auto use = [&] {
+    tracer.instant(telemetry::EventType::kMeasurement, "race_check");
+    metrics.counter("race_check_total").inc();
+    (void)metrics.counter_value("race_check_total");
+    (void)tracer.events();
+  };
+  use();
+  std::thread worker(use);
+  worker.join();
+  use();
+  EXPECT_EQ(races(), 0u);
+}
+
+TEST_F(RaceCheckTest, InProcessChannelQueuesAreSilentAcrossThreads) {
+  auto [left, right] = ipc::make_in_process_pair();
+  ipc::Channel* tx = left.get();
+  ipc::Channel* rx = right.get();
+  (void)tx->send(ipc::Message(ipc::Heartbeat{}));
+  std::thread receiver([&] { (void)rx->poll(); });
+  receiver.join();
+  (void)tx->send(ipc::Message(ipc::Heartbeat{}));
+  (void)rx->poll();
+  EXPECT_EQ(races(), 0u);
+}
+
+TEST_F(RaceCheckTest, ClientPollTracksPendingQueueUnderOneLock) {
+  // The regression this pins: HarpClient's link state machine and pending
+  // queue are shared between the application threads that poll and the
+  // threads that read state. All of it must stay behind client's mutex_ —
+  // build with that mutex removed and this test reports a violation.
+  auto [rm_end, app_end] = ipc::make_in_process_pair();
+  client::Config config;
+  config.app_name = "race_check";
+  auto made = client::HarpClient::deferred(std::move(app_end), config);
+  ASSERT_TRUE(made.ok());
+  std::unique_ptr<client::HarpClient> harp_client = std::move(made).take();
+
+  auto pump = [&] {
+    (void)harp_client->poll(0.0);
+    (void)harp_client->pending_sends();
+    (void)harp_client->link_state();
+  };
+  pump();
+  std::thread worker(pump);
+  worker.join();
+  pump();
+  EXPECT_EQ(races(), 0u) << RaceRegistry::instance().last_report();
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,90 @@
+// Per-function control-flow graphs for harp-lint's flow-sensitive passes.
+//
+// A lightweight statement parser over the lexer's token stream: function
+// bodies are discovered (with their enclosing class, so field accesses can
+// be resolved), then parsed into basic blocks connected by edges for
+// if/else, while, for (including range-for), do-while, switch/case,
+// early return, break and continue. RAII scopes are tracked during parsing:
+// a `MutexLock lock(m)`-style declaration registers `m` with its lexical
+// scope, and synthetic release statements are emitted wherever that scope
+// exits — at its closing brace and on every early exit that jumps out of it
+// — so the lockset dataflow pass (lockset.hpp) never re-derives scoping.
+//
+// Deliberately not a C++ parser: declarations vs expressions are
+// distinguished heuristically, lambda bodies are analysed inline as part of
+// the enclosing function (their deferred execution is a documented
+// limitation), and templates/preprocessor conditionals are taken at token
+// face value. The CFG is validated structurally by tests/lint_cfg_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/harp_lint/lexer.hpp"
+
+namespace harp::lint {
+
+/// One statement inside a basic block: either a token range [begin, end) of
+/// the source stream, or a synthetic lock release emitted at scope exit.
+struct CfgStmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Non-empty when this statement is a `MutexLock l(m)`-style RAII guard
+  /// declaration: the normalised lock expression it acquires.
+  std::string acquire;
+  /// Non-empty for synthetic releases: the normalised lock expression whose
+  /// RAII guard goes out of scope here. begin/end then point at the scope's
+  /// closing token (for diagnostics) and carry no access semantics.
+  std::string release;
+};
+
+struct BasicBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<int> succ;  ///< successor block ids, in creation order
+};
+
+/// entry is always block 0; exit is a distinguished empty block that return
+/// statements and the fall-off-the-end path both feed.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int exit = 0;
+};
+
+/// One function definition discovered in a token stream.
+struct FunctionDef {
+  std::string class_name;  ///< enclosing or qualifying class; empty = free fn
+  std::string name;
+  int line = 1;
+  bool is_ctor_or_dtor = false;
+  bool no_thread_safety_analysis = false;  ///< HARP_NO_THREAD_SAFETY_ANALYSIS
+  std::vector<std::string> requires_locks;  ///< HARP_REQUIRES(...) args, normalised
+  std::size_t body_begin = 0;  ///< first token inside the braces
+  std::size_t body_end = 0;    ///< token index of the closing brace
+};
+
+/// Normalise a lock expression token run: joins tokens, strips `this->` and
+/// whitespace, so `this->mutex_`, `mutex_` and ` mutex_ ` all compare equal.
+std::string normalize_lock_expr(const std::vector<Token>& tokens, std::size_t begin,
+                                std::size_t end);
+
+/// A class/struct body's opening "{" token index and the declared name —
+/// the shared pre-pass for enclosing-class tracking (extract_functions and
+/// lockset.cpp's HARP_REQUIRES contract index both key methods by class).
+struct ClassOpen {
+  std::size_t brace = 0;
+  std::string name;
+};
+std::vector<ClassOpen> find_class_opens(const std::vector<Token>& tokens);
+
+/// Find every function definition (free functions, in-class and out-of-line
+/// methods) in a token stream.
+std::vector<FunctionDef> extract_functions(const std::vector<Token>& tokens);
+
+/// Build the CFG for one function body (token range from a FunctionDef).
+Cfg build_cfg(const std::vector<Token>& tokens, std::size_t body_begin, std::size_t body_end);
+
+/// "b0[s2] -> b1 b3; ..." — compact structural rendering for tests/debug.
+std::string describe(const Cfg& cfg);
+
+}  // namespace harp::lint

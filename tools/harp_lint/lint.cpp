@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "tools/harp_lint/lexer.hpp"
+#include "tools/harp_lint/lockset.hpp"
 
 namespace harp::lint {
 
@@ -600,6 +601,18 @@ void check_lock_annotations(const Scanned& f, std::vector<Finding>& findings) {
       if (run_contains(t, member.begin, member.end, "HARP_GUARDED_BY") ||
           run_contains(t, member.begin, member.end, "HARP_PT_GUARDED_BY"))
         continue;
+      // Top-level `const` members (`const T x_`, `T* const x_`) are
+      // immutable after construction and need no lock — the same exemption
+      // r8 applies (lockset.cpp). `const` inside template arguments or on a
+      // pointee does not make the member itself immutable.
+      std::size_t name_tok = member.begin;
+      for (std::size_t m = member.begin; m < member.end; ++m) {
+        if (is(t[m], "=") || is(t[m], "{")) break;
+        if (is_ident(t[m])) name_tok = m;
+      }
+      if (is(t[member.begin], "const") ||
+          (name_tok > member.begin && is(t[name_tok - 1], "const")))
+        continue;
       // Member name for the message: last identifier before any initializer.
       std::string member_name;
       for (std::size_t m = member.begin; m < member.end; ++m) {
@@ -730,8 +743,14 @@ struct Allow {
 std::vector<Allow> parse_allows(const Scanned& f, std::vector<Finding>& findings) {
   std::vector<Allow> allows;
   for (const Comment& comment : f.lexed.comments) {
-    std::size_t marker = comment.text.find("harp-lint:");
-    if (marker == std::string::npos) continue;
+    // Directive comments BEGIN with the marker (same rule as r6's hot-path
+    // opt-in): prose that merely quotes `harp-lint: allow(...)` mid-sentence
+    // — documentation, this very comment — is not a directive.
+    std::size_t start = comment.text.find_first_not_of(" \t");
+    if (start == std::string::npos ||
+        comment.text.compare(start, 10, "harp-lint:") != 0)
+      continue;
+    std::size_t marker = start;
     std::size_t open = comment.text.find("allow(", marker);
     if (open == std::string::npos) {
       // `harp-lint: hot-path` is a file annotation consumed by r6, not a
@@ -794,22 +813,54 @@ std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& op
     for (const Scanned& f : scans) check_lock_annotations(f, findings);
   if (enabled("r6"))
     for (const Scanned& f : scans) check_hot_path_allocations(f, findings);
+  if (enabled("r7") || enabled("r8")) {
+    std::vector<LockUnit> units;
+    units.reserve(scans.size());
+    for (const Scanned& f : scans) units.push_back(LockUnit{f.src, &f.lexed});
+    check_locksets(units, enabled("r7"), enabled("r8"), findings);
+  }
 
   // Apply suppressions: an allow on the finding's line or the line above.
   // Malformed directives surface as findings of rule "allow" themselves.
   std::map<std::string, std::vector<Allow>> allow_table;
   for (const Scanned& f : scans) allow_table[f.src->rel_path] = parse_allows(f, findings);
+  std::map<std::string, std::vector<bool>> allow_used;
+  for (const auto& [file, allows] : allow_table)
+    allow_used[file].assign(allows.size(), false);
   std::vector<Finding> kept;
   for (const Finding& finding : findings) {
     bool suppressed = false;
     auto it = allow_table.find(finding.file);
     if (it != allow_table.end() && finding.rule != "allow") {
-      for (const Allow& allow : it->second) {
+      for (std::size_t a = 0; a < it->second.size(); ++a) {
+        const Allow& allow = it->second[a];
         if (allow.rule != finding.rule && allow.rule != "all") continue;
-        if (allow.line == finding.line || allow.line == finding.line - 1) suppressed = true;
+        if (allow.line == finding.line || allow.line == finding.line - 1) {
+          suppressed = true;
+          allow_used[finding.file][a] = true;
+        }
       }
     }
     if (!suppressed) kept.push_back(finding);
+  }
+
+  // Audit: an allow() whose rule ran but which silenced nothing is stale —
+  // the code it excused was fixed or moved, and a drifting suppression would
+  // silently swallow the next real finding at that line.
+  if (options.audit_suppressions) {
+    auto rule_enabled = [&](const std::string& rule) {
+      if (rule == "all" || options.rules.empty()) return true;
+      return std::find(options.rules.begin(), options.rules.end(), rule) !=
+             options.rules.end();
+    };
+    for (const auto& [file, allows] : allow_table) {
+      for (std::size_t a = 0; a < allows.size(); ++a) {
+        if (allow_used[file][a] || !rule_enabled(allows[a].rule)) continue;
+        kept.push_back(Finding{file, allows[a].line, "allow",
+                               "stale suppression: allow(" + allows[a].rule +
+                                   ") matches no current finding; remove it"});
+      }
+    }
   }
 
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {

@@ -18,7 +18,17 @@
 //                          loop, in files annotated `// harp-lint: hot-path`
 //                          (opt-in; the allocator and resource-vector inner
 //                          loops promise to be allocation-free).
-//   allow                  malformed suppression (missing mandatory reason).
+//   r7  guarded-access      flow-sensitive lockset check: a
+//                          HARP_GUARDED_BY(m) field accessed, or a
+//                          HARP_REQUIRES(m) method called, on a CFG path
+//                          where m is not held (cfg.hpp + lockset.hpp).
+//   r8  guard-coverage      a field of a harp::Mutex-owning class without
+//                          HARP_GUARDED_BY (annotate-or-suppress; atomics and
+//                          const members exempt), or a guard annotation whose
+//                          argument names no declared mutex member.
+//   allow                  malformed suppression (missing mandatory reason),
+//                          or — under audit_suppressions — a stale allow()
+//                          that no longer matches any finding.
 //
 // Suppressions: `// harp-lint: allow(<rule-id> <reason>)` on the finding's
 // line or the line directly above it. The reason is mandatory.
@@ -54,6 +64,10 @@ struct Options {
   /// Files whose token streams must mention every payload struct.
   std::vector<std::string> dispatch_files = {"src/harp/rm_server.cpp",
                                              "src/libharp/client.cpp"};
+  /// Report `allow()` directives that suppressed nothing (rule "allow").
+  /// Only allows whose rule is enabled in this run are audited, so partial
+  /// runs never flag suppressions for rules they did not execute.
+  bool audit_suppressions = false;
 };
 
 /// Run all requested rules over the file set, apply suppressions, and return

@@ -1,0 +1,45 @@
+// Flow-sensitive lockset verification for harp-lint (rules r7 and r8).
+//
+//   r7  guarded-access    a read/write of a HARP_GUARDED_BY(m) field, or a
+//                         call to a HARP_REQUIRES(m) method, on a CFG path
+//                         where m is not in the computed lockset.
+//   r8  guard-coverage    a field of a class that owns a harp::Mutex with no
+//                         HARP_GUARDED_BY annotation (annotate-or-suppress;
+//                         std::atomic and const members are exempt), or a
+//                         HARP_GUARDED_BY whose argument names no declared
+//                         mutex member (dangling guard).
+//
+// The analysis is a classic forward dataflow over the per-function CFG from
+// cfg.hpp: the lattice is sets of normalised lock expressions ordered by
+// superset, meet at joins is set intersection, unreachable blocks start at
+// TOP (every lock held, so dead code never reports). The entry lockset is
+// seeded from the function's own HARP_REQUIRES annotations. Transfer
+// functions: RAII guard declarations and their synthetic scope-exit releases
+// (computed by the CFG builder), plus explicit `expr.lock()`/`expr.unlock()`
+// calls. Known limitations (see DESIGN.md): lock expressions are compared
+// syntactically after `this->` stripping (no aliasing), accesses through
+// another object (`other.field_`) are skipped, and interprocedural depth is
+// exactly the HARP_REQUIRES contracts — an unannotated helper that locks
+// internally is invisible.
+#pragma once
+
+#include <vector>
+
+#include "tools/harp_lint/lexer.hpp"
+#include "tools/harp_lint/lint.hpp"
+
+namespace harp::lint {
+
+/// One scanned translation unit, as lint.cpp already holds them.
+struct LockUnit {
+  const SourceFile* src = nullptr;
+  const LexedFile* lexed = nullptr;
+};
+
+/// Run the r7/r8 passes over the whole scanned set (class field tables and
+/// HARP_REQUIRES contracts are collected globally so out-of-line methods see
+/// the fields their header declares) and append findings.
+void check_locksets(const std::vector<LockUnit>& units, bool enable_r7, bool enable_r8,
+                    std::vector<Finding>& findings);
+
+}  // namespace harp::lint

@@ -1,7 +1,10 @@
-// harp-lint — HARP-specific static analysis (rules r1–r5, see lint.hpp).
+// harp-lint — HARP-specific static analysis (rules r1–r8, see lint.hpp).
 //
 // Usage:
-//   harp-lint [--root <dir>] [--rules r1,r3] [path...]
+//   harp-lint [--root <dir>] [--rules r1,r3] [--audit-suppressions] [path...]
+//
+// --audit-suppressions additionally reports stale `// harp-lint: allow(...)`
+// directives — ones whose rule ran but which silenced nothing.
 //
 // Paths (files or directories, default: src tests tools bench examples) are
 // resolved against --root (default: cwd). Directory walks collect *.cpp and
@@ -21,7 +24,9 @@ namespace fs = std::filesystem;
 namespace {
 
 void usage() {
-  std::fprintf(stderr, "usage: harp-lint [--root <dir>] [--rules r1,r2,...] [path...]\n");
+  std::fprintf(stderr,
+               "usage: harp-lint [--root <dir>] [--rules r1,r2,...] [--audit-suppressions] "
+               "[path...]\n");
 }
 
 bool source_extension(const fs::path& path) {
@@ -56,9 +61,12 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> rules;
   std::vector<std::string> paths;
+  bool audit_suppressions = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--root") {
+    if (arg == "--audit-suppressions") {
+      audit_suppressions = true;
+    } else if (arg == "--root") {
       if (i + 1 >= argc) return usage(), 2;
       root = fs::path(argv[++i]);
     } else if (arg == "--rules") {
@@ -113,6 +121,7 @@ int main(int argc, char** argv) {
 
   harp::lint::Options options;
   options.rules = rules;
+  options.audit_suppressions = audit_suppressions;
   std::vector<harp::lint::Finding> findings = harp::lint::run(files, options);
   for (const harp::lint::Finding& finding : findings)
     std::printf("%s\n", harp::lint::format(finding).c_str());
