@@ -1,0 +1,205 @@
+// Deadline/QoS workload experiment: deadline hit-rate vs energy of HARP
+// against the classic alternatives on a latency-critical service sharing the
+// Raptor Lake machine with a batch co-runner.
+//
+//   cfs  — stock Linux: both apps spread over the whole machine. Deadlines
+//          are met by brute capacity; energy is the price.
+//   edf  — deadline-aware static provisioner (sched::EdfPolicy): the service
+//          gets exactly the analytically required cores for its *nominal*
+//          load. Cheap, but blind to flash crowds.
+//   harp — the RM with offline DSE tables built from the EDF-flavored
+//          utility curve plus slack-priced soft-QoS allocator rows: tracks
+//          the measured hit-rate signal and sizes the grant to the traffic.
+//
+// Traffic shapes are the model::ArrivalGenerator ones (Poisson, MMPP-2
+// flash-crowd, diurnal). Emits BENCH_qos_workload.json (schema:
+// EXPERIMENTS.md "Benchmark JSON schema"). `--quick` shrinks horizons and
+// repetitions for the `bench`-labelled ctest entry; `--out <path>` redirects
+// the JSON.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "src/harp/dse.hpp"
+#include "src/harp/policy.hpp"
+#include "src/model/qos.hpp"
+#include "src/sched/baselines.hpp"
+
+using namespace harp;
+
+namespace {
+
+constexpr const char* kServiceName = "qos-web";
+
+model::QosSpec service_spec() {
+  model::QosSpec spec;
+  spec.work_per_request_gi = 0.2;
+  spec.deadline_s = 0.05;
+  spec.nominal_rate_rps = 40.0;
+  spec.min_hit_rate = 0.95;
+  return spec;
+}
+
+model::WorkloadCatalog service_catalog() {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  catalog.add_app(model::qos_service_behavior(kServiceName, service_spec(), {1.0, 0.9}));
+  return catalog;
+}
+
+struct TrafficShape {
+  std::string name;
+  model::ArrivalConfig config;
+};
+
+std::vector<TrafficShape> traffic_shapes(bool quick) {
+  std::vector<TrafficShape> shapes;
+  {
+    model::ArrivalConfig poisson;
+    poisson.kind = model::ArrivalKind::kPoisson;
+    poisson.rate_rps = 40.0;
+    shapes.push_back({"poisson", poisson});
+  }
+  {
+    // Flash crowd: calm at 3/4 nominal, bursts at 3x nominal.
+    model::ArrivalConfig bursty;
+    bursty.kind = model::ArrivalKind::kBursty;
+    bursty.rate_rps = 30.0;
+    bursty.burst_rate_rps = 120.0;
+    bursty.calm_mean_s = 4.0;
+    bursty.burst_mean_s = 1.0;
+    shapes.push_back({"bursty", bursty});
+  }
+  if (!quick) {
+    model::ArrivalConfig diurnal;
+    diurnal.kind = model::ArrivalKind::kDiurnal;
+    diurnal.rate_rps = 40.0;
+    diurnal.diurnal_period_s = 20.0;
+    diurnal.diurnal_amplitude = 0.8;
+    shapes.push_back({"diurnal", diurnal});
+  }
+  return shapes;
+}
+
+struct QosOutcome {
+  double hit_rate = 0.0;
+  double energy_j = 0.0;
+  double requests = 0.0;
+  double mean_tardiness_s = 0.0;
+};
+
+QosOutcome run_qos_scenario(const platform::HardwareDescription& hw,
+                            const model::WorkloadCatalog& catalog,
+                            const model::ArrivalConfig& traffic,
+                            const std::function<std::unique_ptr<sim::Policy>()>& make_policy,
+                            double horizon_s, int repetitions) {
+  model::Scenario scenario;
+  scenario.name = "qos-service";
+  scenario.apps.push_back(model::ScenarioApp(kServiceName, 0.0, traffic));
+
+  QosOutcome out;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    sim::RunOptions options;
+    options.seed = 1000 + static_cast<std::uint64_t>(rep) * 77;
+    options.repeat_horizon = horizon_s;
+    sim::ScenarioRunner runner(hw, catalog, scenario, options);
+    std::unique_ptr<sim::Policy> policy = make_policy();
+    sim::RunResult result = runner.run(*policy);
+    const sim::AppRunStats& service = result.app(kServiceName);
+    out.hit_rate += service.hit_rate();
+    out.energy_j += result.package_energy_j;
+    out.requests += static_cast<double>(service.requests_completed);
+    out.mean_tardiness_s += service.requests_completed > 0
+                                ? service.tardiness_sum_s /
+                                      static_cast<double>(service.requests_completed)
+                                : 0.0;
+  }
+  out.hit_rate /= repetitions;
+  out.energy_j /= repetitions;
+  out.requests /= repetitions;
+  out.mean_tardiness_s /= repetitions;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_qos_workload.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = service_catalog();
+
+  // Offline DSE over the analytic qos_utility curve: the tables HARP ships
+  // with when the service was profiled at design time (§3.2.1). HARP runs
+  // *online* on top of them — the measured hit-rate keeps updating the
+  // active point, which is what lets it react to flash crowds.
+  std::map<std::string, core::OperatingPointTable> offline;
+  offline[kServiceName] = core::run_offline_dse(catalog.app(kServiceName), hw);
+
+  const double horizon_s = quick ? 10.0 : 30.0;
+  const int repetitions = quick ? 1 : 3;
+
+  struct Manager {
+    std::string name;
+    std::function<std::unique_ptr<sim::Policy>()> make;
+  };
+  std::vector<Manager> managers = {
+      {"cfs", [] { return std::make_unique<sched::CfsPolicy>(); }},
+      {"edf", [] { return std::make_unique<sched::EdfPolicy>(); }},
+      {"harp",
+       [&] {
+         core::HarpOptions o;
+         o.offline_tables = offline;
+         // Latency-critical tuning: reassess the (stable) allocation every
+         // 10 measurement windows (0.5 s) instead of the batch default 5 s,
+         // so a flash crowd's utility drop reaches the allocator in time.
+         o.exploration.stable_realloc_interval = 10;
+         return std::make_unique<core::HarpPolicy>(o);
+       }},
+  };
+
+  std::printf("== Deadline/QoS workload: hit-rate vs energy (%s, horizon %.0f s) ==\n",
+              hw.name.c_str(), horizon_s);
+  std::printf("%-10s %-8s %9s %10s %10s %13s %13s\n", "traffic", "manager", "hit_rate",
+              "energy[J]", "requests", "tardiness[ms]", "J/request");
+
+  json::Array results;
+  for (const TrafficShape& shape : traffic_shapes(quick)) {
+    for (const Manager& manager : managers) {
+      QosOutcome out = run_qos_scenario(hw, catalog, shape.config, manager.make, horizon_s,
+                                        repetitions);
+      double j_per_req = out.requests > 0.0 ? out.energy_j / out.requests : 0.0;
+      std::printf("%-10s %-8s %9.4f %10.1f %10.1f %13.3f %13.3f\n", shape.name.c_str(),
+                  manager.name.c_str(), out.hit_rate, out.energy_j, out.requests,
+                  out.mean_tardiness_s * 1e3, j_per_req);
+      std::fflush(stdout);
+
+      json::Object row;
+      row["traffic"] = json::Value(shape.name);
+      row["manager"] = json::Value(manager.name);
+      row["horizon_s"] = json::Value(horizon_s);
+      row["repetitions"] = json::Value(repetitions);
+      row["hit_rate"] = json::Value(out.hit_rate);
+      row["energy_j"] = json::Value(out.energy_j);
+      row["requests_completed"] = json::Value(out.requests);
+      row["mean_tardiness_s"] = json::Value(out.mean_tardiness_s);
+      row["energy_per_request_j"] = json::Value(j_per_req);
+      results.push_back(json::Value(std::move(row)));
+    }
+  }
+
+  return bench::write_bench_file(out_path, "qos_workload", std::move(results)) ? 0 : 1;
+}

@@ -45,6 +45,8 @@ bool selection_feasible(const std::vector<AllocationGroup>& groups,
   return true;
 }
 
+// Reference helper over raw ζ (no soft-QoS penalties) — reference-solver
+// tests compare solver outputs on penalty-free instances.
 double selection_cost(const std::vector<AllocationGroup>& groups,
                       const std::vector<std::size_t>& selection) {
   double cost = 0.0;
@@ -114,6 +116,38 @@ void Allocator::bind(const std::vector<const AllocationGroup*>& groups,
     ws.rows_[i] = dst;
     offset += group.candidates.size() * static_cast<std::size_t>(num_types);
   }
+
+  // Bind effective cost rows. Groups without a soft-QoS row point straight
+  // at their own costs — the solvers then read exactly the doubles a
+  // QoS-free build would, preserving bit-equivalence. QoS groups get a
+  // slack-penalised copy materialised into cost_storage_ (sized first so
+  // pointers taken below cannot be invalidated by growth).
+  ws.cost_rows_.resize(groups.size());
+  std::size_t penalised_doubles = 0;
+  for (const AllocationGroup* g : groups) {
+    if (!g->qos.has_value()) continue;
+    HARP_CHECK_MSG(g->qos->rates.size() == g->candidates.size(),
+                   "group '" << g->app_name << "' QoS rates not parallel to candidates");
+    HARP_CHECK(g->qos->min_rate > 0.0);
+    penalised_doubles += g->candidates.size();
+  }
+  ws.cost_storage_.resize(penalised_doubles);
+  std::size_t cost_offset = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const AllocationGroup& group = *groups[i];
+    if (!group.qos.has_value()) {
+      ws.cost_rows_[i] = group.costs.data();
+      continue;
+    }
+    const AllocationGroup::SoftQos& qos = *group.qos;
+    double* dst = ws.cost_storage_.data() + cost_offset;
+    for (std::size_t c = 0; c < group.candidates.size(); ++c) {
+      const double deficit = std::max(0.0, (qos.min_rate - qos.rates[c]) / qos.min_rate);
+      dst[c] = group.costs[c] + qos.slack_weight * deficit;
+    }
+    ws.cost_rows_[i] = dst;
+    cost_offset += group.candidates.size();
+  }
 }
 
 std::uint64_t Allocator::bound_fingerprint(const SolveWorkspace& ws) const {
@@ -129,9 +163,12 @@ std::uint64_t Allocator::bound_fingerprint(const SolveWorkspace& ws) const {
     const std::size_t row_ints = group.candidates.size() * num_types;
     for (std::size_t i = 0; i < row_ints; ++i)
       h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(rows[i])));
-    for (double cost : group.costs) {
+    // Effective costs, so QoS-row changes (rates, weight, target) invalidate
+    // the replay cache; identical to raw ζ for non-QoS groups.
+    const double* costs = ws.cost_rows_[g];
+    for (std::size_t c = 0; c < group.candidates.size(); ++c) {
       std::uint64_t bits = 0;
-      std::memcpy(&bits, &cost, sizeof(bits));
+      std::memcpy(&bits, &costs[c], sizeof(bits));
       h = fnv_mix(h, bits);
     }
   }
@@ -189,7 +226,7 @@ void Allocator::solve(const std::vector<const AllocationGroup*>& groups, SolveWo
   out.selection = ws.best_feasible_;
   double total_cost = 0.0;
   for (std::size_t g = 0; g < groups.size(); ++g)
-    total_cost += groups[g]->costs[out.selection[g]];
+    total_cost += ws.cost_rows_[g][out.selection[g]];
   out.total_cost = total_cost;
 
   std::vector<int>& usage = ws.usage_;
@@ -252,6 +289,7 @@ bool Allocator::repair(SolveWorkspace& ws, std::vector<std::size_t>& selection) 
     for (std::size_t g = 0; g < num_groups; ++g) {
       const AllocationGroup& group = *groups[g];
       const int* rows = ws.rows_[g];
+      const double* costs = ws.cost_rows_[g];
       const int* current = rows + selection[g] * num_types;
       for (std::size_t c = 0; c < group.candidates.size(); ++c) {
         if (c == selection[g]) continue;
@@ -261,7 +299,7 @@ bool Allocator::repair(SolveWorkspace& ws, std::vector<std::size_t>& selection) 
           int u = usage[t] - current[t] + candidate[t];
           new_violation += std::max(u - capacity_[t], 0);
         }
-        double delta = group.costs[c] - group.costs[selection[g]];
+        double delta = costs[c] - costs[selection[g]];
         int reduced = violation - new_violation;
         if (reduced > 0) {
           double ratio = delta / static_cast<double>(reduced);
@@ -312,8 +350,11 @@ void Allocator::solve_lagrangian(SolveWorkspace& ws) const {
   // ζ explodes, collapsing every group to its minimum-resource candidate.)
   std::vector<double>& all_costs = ws.cost_scratch_;
   all_costs.clear();
-  for (const AllocationGroup* g : groups)
-    for (double c : g->costs) all_costs.push_back(std::abs(c));
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const double* costs = ws.cost_rows_[g];
+    for (std::size_t c = 0; c < groups[g]->candidates.size(); ++c)
+      all_costs.push_back(std::abs(costs[c]));
+  }
   std::nth_element(all_costs.begin(), all_costs.begin() + all_costs.size() / 2,
                    all_costs.end());
   double cost_scale = std::max(all_costs[all_costs.size() / 2], 1e-9);
@@ -330,8 +371,9 @@ void Allocator::solve_lagrangian(SolveWorkspace& ws) const {
   std::vector<std::size_t>& ideal = ws.ideal_;
   ideal.assign(num_groups, 0);
   for (std::size_t g = 0; g < num_groups; ++g) {
+    const double* costs = ws.cost_rows_[g];
     for (std::size_t c = 1; c < groups[g]->costs.size(); ++c)
-      if (groups[g]->costs[c] < groups[g]->costs[ideal[g]]) ideal[g] = c;
+      if (costs[c] < costs[ideal[g]]) ideal[g] = c;
   }
 
   std::vector<int>& usage = ws.usage_;
@@ -342,10 +384,11 @@ void Allocator::solve_lagrangian(SolveWorkspace& ws) const {
     for (std::size_t g = 0; g < num_groups; ++g) {
       const AllocationGroup& group = *groups[g];
       const int* rows = ws.rows_[g];
+      const double* costs = ws.cost_rows_[g];
       double best = std::numeric_limits<double>::infinity();
       std::size_t pick = 0;
       for (std::size_t c = 0; c < group.candidates.size(); ++c) {
-        double relaxed = group.costs[c];
+        double relaxed = costs[c];
         const int* row = rows + c * num_types;
         for (std::size_t t = 0; t < num_types; ++t) relaxed += lambda[t] * row[t];
         if (relaxed < best) {
@@ -367,7 +410,7 @@ void Allocator::solve_lagrangian(SolveWorkspace& ws) const {
     if (feasible) {
       double cost = 0.0;
       for (std::size_t g = 0; g < num_groups; ++g)
-        cost += groups[g]->costs[last_selection[g]];
+        cost += ws.cost_rows_[g][last_selection[g]];
       if (cost < best_feasible_cost) {
         best_feasible_cost = cost;
         best_feasible = last_selection;
@@ -408,7 +451,7 @@ void Allocator::solve_lagrangian(SolveWorkspace& ws) const {
     trial = seed == 0 ? last_selection : seed == 1 ? ideal : min_footprint;
     if (!repair(ws, trial)) continue;
     double cost = 0.0;
-    for (std::size_t g = 0; g < num_groups; ++g) cost += groups[g]->costs[trial[g]];
+    for (std::size_t g = 0; g < num_groups; ++g) cost += ws.cost_rows_[g][trial[g]];
     if (cost < best_feasible_cost) {
       best_feasible_cost = cost;
       best_feasible = trial;
@@ -429,12 +472,12 @@ void Allocator::solve_greedy(SolveWorkspace& ws) const {
   selection.assign(num_groups, 0);
   for (std::size_t g = 0; g < num_groups; ++g) {
     const AllocationGroup& group = *groups[g];
+    const double* costs = ws.cost_rows_[g];
     std::size_t pick = 0;
     for (std::size_t c = 1; c < group.candidates.size(); ++c) {
       int cur = group.candidates[pick].erv.total_cores();
       int cand = group.candidates[c].erv.total_cores();
-      if (cand < cur || (cand == cur && group.costs[c] < group.costs[pick]))
-        pick = c;
+      if (cand < cur || (cand == cur && costs[c] < costs[pick])) pick = c;
     }
     selection[g] = pick;
   }
@@ -467,9 +510,10 @@ void Allocator::solve_greedy(SolveWorkspace& ws) const {
     for (std::size_t g = 0; g < num_groups; ++g) {
       const AllocationGroup& group = *groups[g];
       const int* rows = ws.rows_[g];
+      const double* costs = ws.cost_rows_[g];
       const int* current = rows + selection[g] * num_types;
       for (std::size_t c = 0; c < group.candidates.size(); ++c) {
-        double delta = group.costs[selection[g]] - group.costs[c];
+        double delta = costs[selection[g]] - costs[c];
         if (delta <= 0.0) continue;
         // Feasibility of the swap.
         bool fits = true;
@@ -522,6 +566,7 @@ void Allocator::solve_exhaustive(SolveWorkspace& ws) const {
     }
     const AllocationGroup& group = *groups[g];
     const int* rows = ws.rows_[g];
+    const double* costs = ws.cost_rows_[g];
     for (std::size_t c = 0; c < group.candidates.size(); ++c) {
       const int* row = rows + c * num_types;
       bool fits = true;
@@ -534,7 +579,7 @@ void Allocator::solve_exhaustive(SolveWorkspace& ws) const {
       if (!fits) continue;
       for (std::size_t t = 0; t < num_types; ++t) usage[t] += row[t];
       current[g] = c;
-      self(self, g + 1, cost + group.costs[c]);
+      self(self, g + 1, cost + costs[c]);
       for (std::size_t t = 0; t < num_types; ++t) usage[t] -= row[t];
     }
   };

@@ -40,6 +40,20 @@ struct AllocationGroup {
   std::vector<OperatingPoint> candidates;
   std::vector<double> costs;  ///< ζ per candidate, parallel to `candidates`
 
+  /// Soft-QoS minimum-service-rate row (Nejat-style slack pricing): the
+  /// solver charges candidates below `min_rate` an extra
+  /// slack_weight · max(0, (min_rate − rate)/min_rate) on top of ζ, steering
+  /// the selection toward QoS-meeting points without making the constraint
+  /// hard (an overloaded machine degrades instead of failing). Groups
+  /// without a row are solved with their raw ζ values, bit-identically to a
+  /// solver without QoS support.
+  struct SoftQos {
+    double min_rate = 0.0;       ///< service-rate target (same units as `rates`)
+    double slack_weight = 0.0;   ///< penalty per unit of relative deficit
+    std::vector<double> rates;   ///< predicted service rate per candidate
+  };
+  std::optional<SoftQos> qos;
+
   /// Flat per-candidate core-usage rows, candidate-major:
   /// usage_rows[c * usage_num_types + t] = cores of type t used by candidate
   /// c. Filled by prepare(); the solver falls back to building rows in its
@@ -107,6 +121,11 @@ class SolveWorkspace {
   const std::vector<const AllocationGroup*>* groups_ = nullptr;
   std::vector<const int*> rows_;  ///< per group: candidate-major usage rows
   std::vector<int> row_storage_;  ///< backing rows for unprepared groups
+  /// Per group: effective per-candidate costs. Points at the group's own
+  /// costs (no QoS row — untouched arithmetic) or at a slack-penalised copy
+  /// in cost_storage_.
+  std::vector<const double*> cost_rows_;
+  std::vector<double> cost_storage_;
   int num_types_ = 0;
 
   // Solver scratch, reused across cycles.
@@ -157,7 +176,8 @@ class Allocator {
 
  private:
   /// Validate groups, bind usage rows (prepared groups point straight at
-  /// their own rows; others are materialised into ws.row_storage_).
+  /// their own rows; others are materialised into ws.row_storage_) and
+  /// effective cost rows (soft-QoS slack penalties applied).
   void bind(const std::vector<const AllocationGroup*>& groups, SolveWorkspace& ws) const;
   /// FNV-1a-style fingerprint of the bound instance (group sizes, usage
   /// rows, cost bit patterns, capacity). Instance-pure: app names do not

@@ -32,7 +32,16 @@ OperatingPointTable run_offline_dse(const model::AppBehavior& app,
                                         options.freq_scale)
                   : model::exclusive_rates(app, hw, erv, rebalance, options.freq_scale);
     NonFunctional nfc;
-    nfc.utility = app.provides_utility ? rates.useful_gips : rates.measured_gips;
+    if (app.qos.has_value()) {
+      // Deadline apps: profile the EDF-flavored utility curve — the hit-rate
+      // the allocation's sustained service rate achieves at nominal load —
+      // rather than raw throughput (a service twice as fast as its traffic
+      // gains nothing from more cores).
+      const double service_rps = rates.useful_gips / app.qos->work_per_request_gi;
+      nfc.utility = model::qos_utility(service_rps, app.qos->nominal_rate_rps, *app.qos);
+    } else {
+      nfc.utility = app.provides_utility ? rates.useful_gips : rates.measured_gips;
+    }
     nfc.power_w = rates.power_w;
     nfcs.push_back(nfc);
   }

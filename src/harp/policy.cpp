@@ -303,7 +303,21 @@ AllocationGroup HarpPolicy::build_group(const ManagedApp& app) const {
     for (const platform::ExtendedResourceVector& erv : enumerate_coarse_points(hw)) {
       OperatingPoint p;
       p.erv = erv;
-      p.nfc.utility = static_cast<double>(erv.total_threads());
+      if (app.behavior->qos.has_value()) {
+        // Deadline apps declare their contract at registration; seed with
+        // the analytic hit-rate of the allocation's raw issue capacity so
+        // synthetic utilities live on the same [0, 1] scale measurements
+        // will report.
+        const model::QosSpec& spec = *app.behavior->qos;
+        double raw_gips = 0.0;
+        for (int t = 0; t < erv.num_types(); ++t)
+          raw_gips += hw.core_types[static_cast<std::size_t>(t)].base_gips *
+                      static_cast<double>(erv.cores_used(t));
+        p.nfc.utility =
+            model::qos_utility(raw_gips / spec.work_per_request_gi, spec.nominal_rate_rps, spec);
+      } else {
+        p.nfc.utility = static_cast<double>(erv.total_threads());
+      }
       double power = 0.0;
       for (int t = 0; t < erv.num_types(); ++t)
         power += hw.core_types[static_cast<std::size_t>(t)].active_power_w * erv.cores_used(t);
@@ -376,6 +390,20 @@ AllocationGroup HarpPolicy::build_group(const ManagedApp& app) const {
   for (std::size_t i : front) {
     group.candidates.push_back(candidates[i]);
     group.costs.push_back(energy_utility_cost(candidates[i].nfc, v_max));
+  }
+
+  // Deadline apps carry a slack-priced soft-QoS row: candidates whose
+  // (hit-rate-shaped) utility falls below the contract's min_hit_rate pay a
+  // penalty proportional to the relative deficit, steering the MMKP toward
+  // QoS-meeting points while degrading gracefully under overload.
+  if (app.behavior->qos.has_value()) {
+    const model::QosSpec& spec = *app.behavior->qos;
+    AllocationGroup::SoftQos row;
+    row.min_rate = spec.min_hit_rate * v_max;
+    row.slack_weight = spec.slack_weight;
+    row.rates.reserve(group.candidates.size());
+    for (const OperatingPoint& p : group.candidates) row.rates.push_back(p.nfc.utility);
+    group.qos = std::move(row);
   }
   return group;
 }

@@ -351,8 +351,14 @@ void dump_string(const std::string& s, std::string& out) {
 }
 
 void dump_number(double d, std::string& out) {
+  // Exact integers print as integers; everything else gets %.17g, which
+  // round-trips every finite double. The integer test must be exact (d == r,
+  // not "close"): snapping nearby values would make dump/parse lossy —
+  // nextafter(1.0) has to survive a round-trip (QoS request traces and the
+  // telemetry JSONL format rely on it). -0.0 takes the %.17g path to keep
+  // its sign bit.
   double r = std::round(d);
-  if (std::abs(d - r) < 1e-9 && std::abs(d) < 1e15) {
+  if (d == r && std::abs(d) < 1e15 && !(d == 0.0 && std::signbit(d))) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(r));
     out += buf;

@@ -213,4 +213,25 @@ AppRates pinned_rates(const AppBehavior& app, const platform::HardwareDescriptio
   return compute_rates(app, hw, views, hw.memory_gips, rebalance_factor);
 }
 
+AppBehavior qos_service_behavior(std::string name, QosSpec spec, std::vector<double> ipc) {
+  HARP_CHECK(spec.work_per_request_gi > 0.0);
+  HARP_CHECK(spec.deadline_s > 0.0);
+  HARP_CHECK(spec.nominal_rate_rps > 0.0);
+  AppBehavior app;
+  app.name = std::move(name);
+  app.framework = "service";
+  app.adaptivity = AdaptivityType::kScalable;
+  // Effectively unbounded: the service drains an open-loop queue until the
+  // simulation horizon ends, it never completes a fixed batch.
+  app.total_work_gi = 1e15;
+  app.ipc = std::move(ipc);
+  app.serial_fraction = 0.02;
+  app.mem_fraction = 0.25;
+  app.smt_friendliness = 0.5;
+  app.provides_utility = true;
+  app.startup_seconds = 0.1;
+  app.qos = spec;
+  return app;
+}
+
 }  // namespace harp::model

@@ -12,9 +12,11 @@
 // hard-coded outcomes.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/model/qos.hpp"
 #include "src/platform/hardware.hpp"
 #include "src/platform/resource_vector.hpp"
 
@@ -96,6 +98,13 @@ struct AppBehavior {
   /// through libharp (§4.2.1); otherwise the RM falls back to perf IPS.
   bool provides_utility = false;
 
+  /// Set for deadline (latency-critical) services: the app serves an
+  /// open-loop request stream instead of a fixed batch of work, and its
+  /// utility is deadline hit-rate (model::qos_utility) rather than
+  /// throughput. QoS apps must set provides_utility (the hit-rate signal
+  /// only exists application-side) — catalog validation enforces this.
+  std::optional<QosSpec> qos;
+
   /// Execution stages with distinct characteristics (§7 outlook: "many
   /// applications exhibit distinct performance-energy characteristics
   /// across different execution stages"). Empty = single-phase behaviour.
@@ -171,6 +180,12 @@ AppRates compute_rates(const AppBehavior& app, const platform::HardwareDescripti
 
 /// The imbalance mitigation free OS migration provides to unpinned apps.
 inline constexpr double kOsMigrationMixing = 0.55;
+
+/// Build an always-on request-serving application around a QoS contract:
+/// scalable, utility-providing, effectively unbounded total work (the
+/// service never "finishes"; runs end at RunOptions::max_sim_seconds).
+/// `ipc` is the per-core-type multiplier vector, as in AppBehavior::ipc.
+AppBehavior qos_service_behavior(std::string name, QosSpec spec, std::vector<double> ipc);
 
 /// Steady-state rates of an app running *exclusively* on the allocation
 /// described by `erv` with one thread per granted hardware thread and the

@@ -45,6 +45,16 @@ void WorkloadCatalog::add_app(AppBehavior app) {
   HARP_CHECK_MSG(!has_app(app.name), "duplicate application '" << app.name << "'");
   HARP_CHECK(!app.ipc.empty());
   HARP_CHECK(app.total_work_gi > 0.0);
+  if (app.qos.has_value()) {
+    HARP_CHECK_MSG(app.provides_utility,
+                   "QoS app '" << app.name << "' must provide an app utility metric");
+    HARP_CHECK(app.qos->work_per_request_gi > 0.0);
+    HARP_CHECK(app.qos->deadline_s > 0.0);
+    HARP_CHECK(app.qos->nominal_rate_rps > 0.0);
+    HARP_CHECK(app.qos->min_hit_rate > 0.0 && app.qos->min_hit_rate <= 1.0);
+    HARP_CHECK(app.qos->tardiness_penalty >= 0.0);
+    HARP_CHECK(app.qos->slack_weight >= 0.0);
+  }
   if (!app.phases.empty()) {
     double total = 0.0;
     for (const AppBehavior::Phase& phase : app.phases) {

@@ -8,6 +8,7 @@
 // parameters are calibrated to the characteristics the paper describes.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,14 @@ namespace harp::model {
 struct ScenarioApp {
   std::string app;      ///< catalog name
   double arrival = 0.0; ///< seconds after scenario start
+  /// Traffic shape for QoS (deadline) apps. When unset, QoS apps receive a
+  /// Poisson stream at their QosSpec::nominal_rate_rps. Ignored otherwise.
+  std::optional<ArrivalConfig> traffic;
+
+  ScenarioApp() = default;
+  ScenarioApp(std::string app_name, double arrival_s = 0.0,  // NOLINT(google-explicit-constructor)
+              std::optional<ArrivalConfig> traffic_config = std::nullopt)
+      : app(std::move(app_name)), arrival(arrival_s), traffic(std::move(traffic_config)) {}
 };
 
 /// A named evaluation scenario (one or more concurrent applications).

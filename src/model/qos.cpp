@@ -1,0 +1,238 @@
+#include "src/model/qos.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/json/json.hpp"
+
+namespace harp::model {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::string line_error(std::size_t line_no, const std::string& detail) {
+  std::ostringstream os;
+  os << "parse: trace line " << line_no << ": " << detail;
+  return os.str();
+}
+
+/// Strict double parse of a whole CSV field (leading/trailing spaces allowed).
+bool parse_double(std::string_view field, double* out) {
+  while (!field.empty() && (field.front() == ' ' || field.front() == '\t'))
+    field.remove_prefix(1);
+  while (!field.empty() && (field.back() == ' ' || field.back() == '\t')) field.remove_suffix(1);
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end && std::isfinite(*out);
+}
+
+/// One trace line (already stripped of comments/blanks) -> request.
+Result<QosRequest> parse_line(std::string_view line, std::size_t line_no) {
+  QosRequest req;
+  if (line.front() == '{') {
+    Result<json::Value> doc = json::parse(line);
+    if (!doc.ok()) return make_error(line_error(line_no, doc.error().message));
+    const json::Value& value = doc.value();
+    if (!value.is_object() || !value.contains("t") || !value.at("t").is_number())
+      return make_error(line_error(line_no, "expected an object with numeric \"t\""));
+    req.arrival_s = value.at("t").as_number();
+    req.work_gi = value.number_or("work_gi", -1.0);
+    req.deadline_s = value.number_or("deadline_s", -1.0);
+  } else {
+    // CSV: t[,work_gi[,deadline_s]]
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        fields.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (fields.size() > 3)
+      return make_error(line_error(line_no, "expected at most 3 CSV fields"));
+    double* slots[] = {&req.arrival_s, &req.work_gi, &req.deadline_s};
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!parse_double(fields[i], slots[i]))
+        return make_error(
+            line_error(line_no, "bad number '" + std::string(fields[i]) + "'"));
+    }
+  }
+  if (req.arrival_s < 0.0)
+    return make_error(line_error(line_no, "arrival time must be >= 0"));
+  if (req.work_gi == 0.0 || (req.work_gi < 0.0 && req.work_gi != -1.0))
+    return make_error(line_error(line_no, "work_gi must be > 0"));
+  if (req.deadline_s == 0.0 || (req.deadline_s < 0.0 && req.deadline_s != -1.0))
+    return make_error(line_error(line_no, "deadline_s must be > 0"));
+  return req;
+}
+
+}  // namespace
+
+std::string RequestTrace::to_jsonl() const {
+  std::string out;
+  for (const QosRequest& req : requests) {
+    json::Object obj;
+    obj["t"] = req.arrival_s;
+    if (req.work_gi >= 0.0) obj["work_gi"] = req.work_gi;
+    if (req.deadline_s >= 0.0) obj["deadline_s"] = req.deadline_s;
+    out += json::dump(json::Value(std::move(obj)));
+    out += '\n';
+  }
+  return out;
+}
+
+Result<RequestTrace> RequestTrace::parse(std::string_view text) {
+  RequestTrace trace;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    ++line_no;
+    std::string_view line = text.substr(start, i - start);
+    start = i + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    Result<QosRequest> req = parse_line(line, line_no);
+    if (!req.ok()) return req.error();
+    if (!trace.requests.empty() && req.value().arrival_s < trace.requests.back().arrival_s)
+      return make_error(line_error(line_no, "arrival times must be non-decreasing"));
+    trace.requests.push_back(req.value());
+  }
+  return trace;
+}
+
+Result<RequestTrace> RequestTrace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error("io: cannot open trace file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+Status RequestTrace::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return make_error("io: cannot open '" + path + "' for writing");
+  out << to_jsonl();
+  if (!out.flush()) return make_error("io: write to '" + path + "' failed");
+  return Status::ok_status();
+}
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kReplay: return "replay";
+  }
+  return "unknown";
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  if (config_.kind != ArrivalKind::kReplay) {
+    HARP_CHECK(config_.rate_rps > 0.0);
+  }
+  if (config_.kind == ArrivalKind::kBursty) {
+    HARP_CHECK(config_.burst_rate_rps > 0.0);
+    HARP_CHECK(config_.calm_mean_s > 0.0 && config_.burst_mean_s > 0.0);
+    state_end_s_ = exp_gap(1.0 / config_.calm_mean_s);
+  }
+  if (config_.kind == ArrivalKind::kDiurnal) {
+    HARP_CHECK(config_.diurnal_period_s > 0.0);
+    HARP_CHECK(config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude < 1.0);
+  }
+}
+
+double ArrivalGenerator::canonical() {
+  // 53 high bits of raw engine output mapped to (0, 1]. Using the engine
+  // directly (not std::uniform_real_distribution) keeps the stream
+  // bit-identical across standard-library implementations.
+  const std::uint64_t bits = rng_.engine()() >> 11;
+  return (static_cast<double>(bits) + 1.0) * 0x1p-53;
+}
+
+double ArrivalGenerator::exp_gap(double rate) { return -std::log(canonical()) / rate; }
+
+std::optional<QosRequest> ArrivalGenerator::next() {
+  QosRequest req;
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      t_ += exp_gap(config_.rate_rps);
+      break;
+    case ArrivalKind::kBursty:
+      // MMPP-2: sample at the current state's rate; a candidate that lands
+      // past the state boundary is discarded (memorylessness makes resampling
+      // from the boundary exact) and the state flips.
+      for (;;) {
+        const double rate = in_burst_ ? config_.burst_rate_rps : config_.rate_rps;
+        const double gap = exp_gap(rate);
+        if (t_ + gap <= state_end_s_) {
+          t_ += gap;
+          break;
+        }
+        t_ = state_end_s_;
+        in_burst_ = !in_burst_;
+        state_end_s_ =
+            t_ + exp_gap(1.0 / (in_burst_ ? config_.burst_mean_s : config_.calm_mean_s));
+      }
+      break;
+    case ArrivalKind::kDiurnal: {
+      // Inhomogeneous Poisson by thinning against the peak rate.
+      const double peak = config_.rate_rps * (1.0 + config_.diurnal_amplitude);
+      for (;;) {
+        t_ += exp_gap(peak);
+        const double rate =
+            config_.rate_rps *
+            (1.0 + config_.diurnal_amplitude * std::sin(2.0 * kPi * t_ / config_.diurnal_period_s));
+        if (canonical() * peak <= rate) break;
+      }
+      break;
+    }
+    case ArrivalKind::kReplay:
+      if (replay_pos_ >= config_.trace.requests.size()) return std::nullopt;
+      return config_.trace.requests[replay_pos_++];
+  }
+  req.arrival_s = t_;
+  return req;
+}
+
+double expected_hit_rate(double service_rps, double arrival_rps, double deadline_s) {
+  if (deadline_s <= 0.0 || service_rps <= arrival_rps) return 0.0;
+  return 1.0 - std::exp(-(service_rps - arrival_rps) * deadline_s);
+}
+
+double expected_tardiness_s(double service_rps, double arrival_rps, double deadline_s) {
+  if (service_rps <= arrival_rps) return std::numeric_limits<double>::infinity();
+  const double headroom = service_rps - arrival_rps;
+  return std::exp(-headroom * std::max(deadline_s, 0.0)) / headroom;
+}
+
+double qos_utility(double service_rps, double arrival_rps, const QosSpec& spec) {
+  HARP_CHECK(spec.deadline_s > 0.0);
+  const double hit = expected_hit_rate(service_rps, arrival_rps, spec.deadline_s);
+  double utility = hit;
+  if (spec.tardiness_penalty > 0.0) {
+    // Guard the penalty==0 case separately: 0 x inf (saturated server) is NaN.
+    const double tard = expected_tardiness_s(service_rps, arrival_rps, spec.deadline_s);
+    utility -= spec.tardiness_penalty * (tard / spec.deadline_s);
+  }
+  return std::clamp(utility, 0.0, 1.0);
+}
+
+double edf_provision_rate(const QosSpec& spec) {
+  HARP_CHECK(spec.deadline_s > 0.0);
+  const double target = std::clamp(spec.min_hit_rate, 0.0, 1.0 - 1e-9);
+  return spec.nominal_rate_rps + std::log(1.0 / (1.0 - target)) / spec.deadline_s;
+}
+
+}  // namespace harp::model

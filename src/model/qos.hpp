@@ -1,0 +1,159 @@
+// Deadline/QoS workload class: latency-critical request-serving applications.
+//
+// HARP's original utility model is throughput-shaped; this module adds the
+// other half of the paper's adaptive-management story — applications whose
+// value is the fraction of requests finished before a deadline. It provides
+// (1) the QoS contract a service declares (work per request, deadline, soft
+// hit-rate target), (2) deterministic open-loop traffic generators (Poisson,
+// MMPP-2 bursty/flash-crowd, diurnal, replay-from-trace) seeded via
+// harp::Rng, (3) a small JSONL/CSV request-trace format with a loader that
+// reports malformed input as Status errors, and (4) the EDF-flavored
+// analytic utility curve (expected deadline hit-rate under M/M/1 with a
+// tardiness penalty) that operating-point tables and the allocator's
+// slack-priced soft-QoS rows are built from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/common/rng.hpp"
+
+namespace harp::model {
+
+/// Soft-QoS contract of a deadline (latency-critical) application.
+struct QosSpec {
+  /// Useful work one request costs, in giga-instructions.
+  double work_per_request_gi = 1.0;
+
+  /// Relative deadline of each request, seconds after its arrival.
+  double deadline_s = 0.05;
+
+  /// Provisioning-time mean arrival rate (requests/s). Baselines size their
+  /// static grants from this; the actual traffic may burst above it.
+  double nominal_rate_rps = 10.0;
+
+  /// Soft-QoS target: the minimum acceptable deadline hit-rate. The
+  /// allocator prices shortfall below this as slack (AllocationGroup::qos)
+  /// rather than treating it as a hard constraint.
+  double min_hit_rate = 0.9;
+
+  /// Utility lost per deadline-length of mean tardiness: the utility curve
+  /// is hit_rate − tardiness_penalty · E[(T−d)⁺]/d, clamped to [0, 1].
+  double tardiness_penalty = 0.5;
+
+  /// Price per unit of relative hit-rate deficit in the allocator's
+  /// slack-priced soft-QoS row. Large values make the target near-hard.
+  double slack_weight = 200.0;
+};
+
+/// One request of a QoS stream. Synthetic generators emit only arrival
+/// times; replayed traces may override per-request work and deadline.
+/// Negative work/deadline mean "use the application's QosSpec default".
+struct QosRequest {
+  double arrival_s = 0.0;   ///< seconds from stream start (non-decreasing)
+  double work_gi = -1.0;    ///< per-request override; < 0 = QosSpec default
+  double deadline_s = -1.0; ///< per-request override; < 0 = QosSpec default
+
+  bool operator==(const QosRequest&) const = default;
+};
+
+/// A replayable request trace. On-disk format is line-oriented and mixes
+/// freely per line:
+///   - JSONL: {"t": 0.10, "work_gi": 1.5, "deadline_s": 0.05}
+///     ("work_gi"/"deadline_s" optional)
+///   - CSV:   t[,work_gi[,deadline_s]]
+///   - blank lines and lines starting with '#' are ignored.
+/// Arrival times must be non-decreasing; violations and malformed lines are
+/// reported as "parse:"-prefixed errors, never crashes.
+struct RequestTrace {
+  std::vector<QosRequest> requests;
+
+  /// Canonical JSONL serialisation (one request per line, keys sorted,
+  /// %.17g numbers). parse(to_jsonl()) round-trips exactly.
+  std::string to_jsonl() const;
+
+  static Result<RequestTrace> parse(std::string_view text);
+  static Result<RequestTrace> load(const std::string& path);
+  Status save(const std::string& path) const;
+};
+
+/// Traffic shapes for open-loop request arrival.
+enum class ArrivalKind {
+  kPoisson,  ///< homogeneous Poisson process at rate_rps
+  kBursty,   ///< MMPP-2 flash crowd: calm rate_rps / burst_rate_rps states
+  kDiurnal,  ///< inhomogeneous Poisson, sinusoidal rate over diurnal_period_s
+  kReplay,   ///< replay `trace` verbatim (finite)
+};
+
+const char* to_string(ArrivalKind kind);
+
+/// Parameters of one arrival process. Only the fields of the selected kind
+/// are read; the rest keep their defaults.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+
+  /// Mean rate (Poisson), calm-state rate (bursty), mean rate (diurnal).
+  double rate_rps = 10.0;
+
+  // --- kBursty (two-state Markov-modulated Poisson process) ---------------
+  double burst_rate_rps = 50.0;  ///< arrival rate inside a flash crowd
+  double calm_mean_s = 4.0;      ///< mean sojourn in the calm state
+  double burst_mean_s = 1.0;     ///< mean sojourn in the burst state
+
+  // --- kDiurnal -----------------------------------------------------------
+  double diurnal_period_s = 60.0;
+  double diurnal_amplitude = 0.8;  ///< rate swings rate·(1 ± amplitude)
+
+  // --- kReplay ------------------------------------------------------------
+  RequestTrace trace;
+};
+
+/// Deterministic request stream. Identical (config, seed) pairs produce
+/// identical sequences; samples are drawn from raw mt19937_64 output via a
+/// fixed inverse-CDF mapping, so streams are bit-stable across standard
+/// libraries (std::*_distribution is implementation-defined).
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(ArrivalConfig config, std::uint64_t seed);
+
+  /// The next request, with a non-decreasing arrival_s. Synthetic kinds are
+  /// infinite; kReplay returns nullopt once the trace is exhausted.
+  std::optional<QosRequest> next();
+
+ private:
+  double canonical();             // uniform in (0, 1], bit-stable
+  double exp_gap(double rate) ;   // Exp(rate) inter-arrival gap
+
+  ArrivalConfig config_;
+  Rng rng_;
+  double t_ = 0.0;
+  bool in_burst_ = false;
+  double state_end_s_ = 0.0;   // bursty: when the current MMPP state ends
+  std::size_t replay_pos_ = 0;
+};
+
+/// Expected deadline hit-rate of an M/M/1 server: requests arrive at
+/// `arrival_rps`, are served at `service_rps`, and hit when response time
+/// ≤ deadline: P(T ≤ d) = 1 − exp(−(μ−λ)·d) for μ > λ, else 0.
+double expected_hit_rate(double service_rps, double arrival_rps, double deadline_s);
+
+/// Expected tardiness E[(T − d)⁺] of the same M/M/1 server:
+/// exp(−(μ−λ)·d)/(μ−λ) for μ > λ, +inf otherwise.
+double expected_tardiness_s(double service_rps, double arrival_rps, double deadline_s);
+
+/// The EDF-flavored utility curve: expected hit-rate minus the tardiness
+/// penalty (spec.tardiness_penalty · E[(T−d)⁺]/d), clamped to [0, 1].
+/// `service_rps` is the sustained request service rate an allocation
+/// delivers (useful GIPS / work_per_request_gi).
+double qos_utility(double service_rps, double arrival_rps, const QosSpec& spec);
+
+/// The static service rate an EDF-style provisioner reserves: the M/M/1
+/// rate at which the nominal load meets min_hit_rate exactly,
+/// μ = λ + ln(1/(1 − min_hit_rate))/deadline.
+double edf_provision_rate(const QosSpec& spec);
+
+}  // namespace harp::model

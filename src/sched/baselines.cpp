@@ -1,8 +1,11 @@
 #include "src/sched/baselines.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.hpp"
+#include "src/model/qos.hpp"
 
 namespace harp::sched {
 
@@ -128,6 +131,82 @@ void ItdPolicy::replace_all() {
       // Machine exhausted: overflow apps time-share the efficient island.
       control.allowed_slots = eff_slots;
     }
+    api_->set_control(app.id, control);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EDF
+// ---------------------------------------------------------------------------
+
+void EdfPolicy::replan() {
+  HARP_CHECK(api_ != nullptr);
+  const platform::HardwareDescription& hw = api_->hardware();
+  const sim::SlotMap& slots = api_->slots();
+
+  std::vector<sim::RunningAppInfo> apps = api_->running_apps();
+  std::vector<sim::RunningAppInfo> services;
+  std::vector<sim::RunningAppInfo> others;
+  for (const sim::RunningAppInfo& app : apps)
+    (app.behavior->qos.has_value() ? services : others).push_back(app);
+
+  // EDF priority: earliest (shortest) deadline provisions first; name breaks
+  // ties so the plan is independent of arrival order.
+  std::sort(services.begin(), services.end(),
+            [](const sim::RunningAppInfo& a, const sim::RunningAppInfo& b) {
+              double da = a.behavior->qos->deadline_s;
+              double db = b.behavior->qos->deadline_s;
+              if (da != db) return da < db;
+              return a.behavior->name < b.behavior->name;
+            });
+
+  std::vector<bool> core_taken(static_cast<std::size_t>(slots.num_slots()), false);
+  for (const sim::RunningAppInfo& app : services) {
+    const model::QosSpec& spec = *app.behavior->qos;
+    // Capacity that keeps the M/M/1 deadline-miss probability at the target
+    // under *nominal* traffic — the static answer; bursts are not tracked.
+    double required_gips =
+        model::edf_provision_rate(spec) * spec.work_per_request_gi;
+
+    // Grab whole cores fastest-first (one worker per core, no SMT sharing:
+    // latency-sensitive services avoid sibling interference).
+    std::vector<std::pair<double, int>> free_cores;  // (-gips, first-SMT slot)
+    for (int s = 0; s < slots.num_slots(); ++s) {
+      const sim::Slot& slot = slots.slot(s);
+      if (slot.smt != 0 || core_taken[static_cast<std::size_t>(s)]) continue;
+      double gips = hw.core_types[static_cast<std::size_t>(slot.type)].base_gips *
+                    app.behavior->ipc[static_cast<std::size_t>(slot.type)];
+      free_cores.emplace_back(-gips, s);
+    }
+    std::sort(free_cores.begin(), free_cores.end());
+
+    sim::AppControl control;
+    double granted = 0.0;
+    for (const auto& [neg_gips, s] : free_cores) {
+      if (granted >= required_gips) break;
+      control.allowed_slots.push_back(s);
+      core_taken[static_cast<std::size_t>(s)] = true;
+      granted += -neg_gips;
+    }
+    if (control.allowed_slots.empty() && !free_cores.empty()) {
+      control.allowed_slots.push_back(free_cores.front().second);
+      core_taken[static_cast<std::size_t>(free_cores.front().second)] = true;
+    }
+    control.threads = static_cast<int>(control.allowed_slots.size());
+    api_->set_control(app.id, control);
+  }
+
+  // Non-deadline apps share whatever the services left over (the whole
+  // machine when nothing remains — EDF does not starve batch work entirely).
+  std::vector<int> leftover;
+  for (int s = 0; s < slots.num_slots(); ++s) {
+    const sim::Slot& slot = slots.slot(s);
+    int first = slots.index(slot.type, slot.core, 0);
+    if (!core_taken[static_cast<std::size_t>(first)]) leftover.push_back(s);
+  }
+  for (const sim::RunningAppInfo& app : others) {
+    sim::AppControl control;
+    control.allowed_slots = leftover;  // empty = whole machine
     api_->set_control(app.id, control);
   }
 }

@@ -15,6 +15,13 @@
 //   the preferred islands — the effect behind ITD's multi-app regression.
 // - PinnedPolicy: measurement harness for offline DSE and the Fig. 1 config
 //   sweeps — pins each application to a fixed allocation/thread count.
+// - EdfPolicy: deadline-aware static provisioner — the classic EDF-style
+//   admission answer to QoS services. Each service is granted just enough of
+//   the fastest remaining cores to sustain the analytic provisioning rate
+//   for its nominal load (model::edf_provision_rate); shorter deadlines pick
+//   first. Deadline-aware but not energy- or burst-aware: provisioned
+//   capacity never shrinks when traffic is calm and never grows under flash
+//   crowds — the gap HARP's measured-utility feedback loop closes.
 #pragma once
 
 #include <map>
@@ -69,6 +76,20 @@ class ItdPolicy : public sim::Policy {
 
   sim::RunnerApi* api_ = nullptr;
   double last_eval_ = -1.0;
+};
+
+/// EDF-flavored static provisioner for deadline services (see file comment).
+class EdfPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "edf"; }
+  void attach(sim::RunnerApi& api) override { api_ = &api; }
+  void on_app_start(sim::AppId id) override { (void)id; replan(); }
+  void on_app_exit(sim::AppId id) override { (void)id; replan(); }
+
+ private:
+  void replan();
+
+  sim::RunnerApi* api_ = nullptr;
 };
 
 /// Pins each application (by name) to a fixed control — the measurement

@@ -14,6 +14,32 @@ const AppRunStats& RunResult::app(const std::string& name) const {
   __builtin_unreachable();
 }
 
+/// Request-queue state of one QoS (deadline) app: an open-loop arrival
+/// stream feeding an EDF-ordered pending queue with deadline accounting.
+struct QosState {
+  struct PendingRequest {
+    double arrival_abs = 0.0;   ///< absolute simulated arrival time
+    double deadline_abs = 0.0;  ///< absolute deadline
+    double remaining_gi = 0.0;
+    std::uint64_t seq = 0;      ///< per-app arrival order, for ties & logs
+  };
+
+  explicit QosState(model::ArrivalGenerator generator) : gen(std::move(generator)) {}
+
+  model::ArrivalGenerator gen;
+  std::optional<model::QosRequest> next_arrival;  ///< pre-fetched, stream-relative
+  std::vector<PendingRequest> queue;  ///< sorted by (deadline_abs, seq) — EDF
+  std::uint64_t next_seq = 0;
+
+  // Cumulative deadline accounting (exact).
+  QosSnapshot totals;
+
+  // Window counters for the libharp utility channel (reset on read).
+  std::uint64_t window_completed = 0;
+  std::uint64_t window_hits = 0;
+  double window_tardiness_s = 0.0;
+};
+
 struct ScenarioRunner::AppState {
   AppId id = -1;
   const model::AppBehavior* behavior = nullptr;
@@ -38,6 +64,8 @@ struct ScenarioRunner::AppState {
 
   AppControl control;
   std::vector<int> thread_slots;  ///< current placement, one entry per thread
+
+  std::unique_ptr<QosState> qos;  ///< set iff behavior->qos
 
   // Cached effective behaviour for the current execution stage (§7
   // outlook: phase-dependent characteristics).
@@ -90,6 +118,22 @@ ScenarioRunner::ScenarioRunner(platform::HardwareDescription hw,
     app->stats.id = app->id;
     app->stats.arrival = sa.arrival;
     app->stats.cpu_seconds_by_type.assign(hw_.core_types.size(), 0.0);
+    if (app->behavior->qos.has_value()) {
+      model::ArrivalConfig traffic;
+      if (sa.traffic.has_value()) {
+        traffic = *sa.traffic;
+      } else {
+        traffic.kind = model::ArrivalKind::kPoisson;
+        traffic.rate_rps = app->behavior->qos->nominal_rate_rps;
+      }
+      // Per-app stream seed derived without consuming rng_, so non-QoS
+      // scenarios keep their pre-QoS noise sequences bit-for-bit.
+      const std::uint64_t stream_seed =
+          (options_.seed ^ (static_cast<std::uint64_t>(app->id) + 1) * 0x9E3779B97F4A7C15ull);
+      app->qos = std::make_unique<QosState>(
+          model::ArrivalGenerator(std::move(traffic), stream_seed));
+      app->qos->next_arrival = app->qos->gen.next();
+    }
     apps_.push_back(std::move(app));
   }
 }
@@ -152,10 +196,41 @@ std::optional<double> ScenarioRunner::read_app_utility(AppId id) {
   if (!app.behavior->provides_utility) return std::nullopt;
   double elapsed = now_ - app.util_marker_time;
   if (elapsed <= 0.0) return 0.0;
+  if (app.qos != nullptr) {
+    // QoS apps report deadline quality over the window, not throughput:
+    // hit-rate minus the tardiness penalty (model::qos_utility's measured
+    // counterpart). An idle window with an empty queue is perfect service.
+    QosState& qos = *app.qos;
+    const model::QosSpec& spec = *app.behavior->qos;
+    double utility = 0.0;
+    if (qos.window_completed == 0) {
+      utility = qos.queue.empty() ? 1.0 : 0.0;
+    } else {
+      const double completed = static_cast<double>(qos.window_completed);
+      const double hit = static_cast<double>(qos.window_hits) / completed;
+      const double mean_tardiness = qos.window_tardiness_s / completed;
+      utility =
+          std::clamp(hit - spec.tardiness_penalty * mean_tardiness / spec.deadline_s, 0.0, 1.0);
+    }
+    qos.window_completed = 0;
+    qos.window_hits = 0;
+    qos.window_tardiness_s = 0.0;
+    app.util_marker_gi = app.useful_gi;
+    app.util_marker_time = now_;
+    return utility * rng_.noise_factor(options_.utility_noise);
+  }
   double gips = (app.useful_gi - app.util_marker_gi) / elapsed;
   app.util_marker_gi = app.useful_gi;
   app.util_marker_time = now_;
   return gips * rng_.noise_factor(options_.utility_noise);
+}
+
+std::optional<QosSnapshot> ScenarioRunner::qos_snapshot(AppId id) const {
+  const AppState& app = state(id);
+  if (app.qos == nullptr) return std::nullopt;
+  QosSnapshot snap = app.qos->totals;
+  snap.queue_depth = app.qos->queue.size();
+  return snap;
 }
 
 void ScenarioRunner::set_control(AppId id, const AppControl& control) {
@@ -297,7 +372,16 @@ void ScenarioRunner::advance_quantum() {
         model::compute_rates(behavior, hw_, views, mem_share, rebalance_factor);
 
     double app_scale = progress_scale * (1.0 - app->control.mgmt_drag);
-    if (app->running) {
+    if (app->qos) {
+      // QoS apps drain an open-loop request queue instead of a fixed batch:
+      // useful progress is capped by the work actually queued. Power and
+      // retired instructions stay at the allocation's full rate (the service
+      // busy-polls its request loop), so over-provisioning costs energy.
+      const double capacity_gi = app->running ? rates.useful_gips * dt * app_scale : 0.0;
+      const double served_gi = advance_qos(*app, capacity_gi, dt);
+      app->work_done_gi += served_gi;
+      app->useful_gi += served_gi;
+    } else if (app->running) {
       app->work_done_gi += rates.useful_gips * dt * app_scale;
       app->useful_gi += rates.useful_gips * dt * app_scale;
     }
@@ -316,6 +400,78 @@ void ScenarioRunner::advance_quantum() {
         package_power += hw_.core_types[t].idle_power_w;
 
   package_energy_j_ += package_power * dt;
+}
+
+double ScenarioRunner::advance_qos(AppState& app, double capacity_gi, double dt) {
+  QosState& qos = *app.qos;
+  const model::QosSpec& spec = *app.behavior->qos;
+  const double quantum_end = now_ + dt;
+
+  // Ingest arrivals landing in [now_, now_ + dt). The stream is open-loop,
+  // relative to the app's scenario arrival, and keeps flowing during startup
+  // (traffic is external to the process).
+  while (qos.next_arrival.has_value() &&
+         app.stats.arrival + qos.next_arrival->arrival_s < quantum_end) {
+    const model::QosRequest& req = *qos.next_arrival;
+    QosState::PendingRequest pending;
+    pending.arrival_abs = app.stats.arrival + req.arrival_s;
+    pending.remaining_gi = req.work_gi > 0.0 ? req.work_gi : spec.work_per_request_gi;
+    pending.deadline_abs =
+        pending.arrival_abs + (req.deadline_s > 0.0 ? req.deadline_s : spec.deadline_s);
+    pending.seq = qos.next_seq++;
+    auto pos = std::upper_bound(qos.queue.begin(), qos.queue.end(), pending,
+                                [](const QosState::PendingRequest& a,
+                                   const QosState::PendingRequest& b) {
+                                  if (a.deadline_abs != b.deadline_abs)
+                                    return a.deadline_abs < b.deadline_abs;
+                                  return a.seq < b.seq;
+                                });
+    qos.queue.insert(pos, pending);
+    ++qos.totals.arrived;
+    qos.next_arrival = qos.gen.next();
+  }
+
+  // Serve earliest-deadline-first with this quantum's useful capacity.
+  const double total_capacity_gi = capacity_gi;
+  while (capacity_gi > 1e-15 && !qos.queue.empty()) {
+    QosState::PendingRequest& head = qos.queue.front();
+    const double used = std::min(capacity_gi, head.remaining_gi);
+    head.remaining_gi -= used;
+    capacity_gi -= used;
+    if (head.remaining_gi > 1e-12) break;  // capacity exhausted mid-request
+
+    // Interpolate the completion instant within the quantum from the share
+    // of capacity consumed so far; a request can't finish before it arrives.
+    double completion = quantum_end;
+    if (total_capacity_gi > 0.0)
+      completion = now_ + dt * (1.0 - capacity_gi / total_capacity_gi);
+    completion = std::max(completion, head.arrival_abs);
+
+    const double tardiness = std::max(0.0, completion - head.deadline_abs);
+    const bool hit = tardiness == 0.0;
+    ++qos.totals.completed;
+    if (hit) ++qos.totals.deadline_hits;
+    qos.totals.tardiness_sum_s += tardiness;
+    qos.totals.max_tardiness_s = std::max(qos.totals.max_tardiness_s, tardiness);
+    ++qos.window_completed;
+    if (hit) ++qos.window_hits;
+    qos.window_tardiness_s += tardiness;
+
+    if (options_.tracer != nullptr) {
+      if (options_.trace_clock != nullptr) options_.trace_clock->set(completion);
+      options_.tracer->instant(
+          telemetry::EventType::kQosRequest, app.stats.name,
+          {{"seq", static_cast<double>(head.seq)},
+           {"arrival", head.arrival_abs},
+           {"completion", completion},
+           {"deadline", head.deadline_abs},
+           {"tardiness_s", tardiness},
+           {"hit", hit ? 1.0 : 0.0},
+           {"queue_depth", static_cast<double>(qos.queue.size() - 1)}});
+    }
+    qos.queue.erase(qos.queue.begin());
+  }
+  return total_capacity_gi - capacity_gi;
 }
 
 void ScenarioRunner::finish_apps(Policy& policy) {
@@ -380,6 +536,14 @@ RunResult ScenarioRunner::run(Policy& policy) {
     app->stats.energy_j = app->energy_j;
     app->stats.cpu_seconds_by_type = app->cpu_by_type;
     if (truncated && app->stats.completions == 0) app->stats.finish = -1.0;
+    if (app->qos != nullptr) {
+      app->stats.requests_arrived = app->qos->totals.arrived;
+      app->stats.requests_completed = app->qos->totals.completed;
+      app->stats.deadline_hits = app->qos->totals.deadline_hits;
+      app->stats.tardiness_sum_s = app->qos->totals.tardiness_sum_s;
+      app->stats.max_tardiness_s = app->qos->totals.max_tardiness_s;
+      app->stats.requests_left_queued = app->qos->queue.size();
+    }
     result.apps.push_back(app->stats);
   }
   return result;

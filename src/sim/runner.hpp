@@ -21,6 +21,7 @@
 #include "src/model/catalog.hpp"
 #include "src/platform/resource_vector.hpp"
 #include "src/sim/slots.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace harp::sim {
 
@@ -61,6 +62,22 @@ struct RunningAppInfo {
   bool in_startup = false;
 };
 
+/// Cumulative deadline accounting of one QoS app (exact, scheduler-side —
+/// analogous to cpu_time_by_type, not a noisy counter).
+struct QosSnapshot {
+  std::uint64_t arrived = 0;        ///< requests ingested so far
+  std::uint64_t completed = 0;      ///< requests fully served
+  std::uint64_t deadline_hits = 0;  ///< completed before their deadline
+  double tardiness_sum_s = 0.0;     ///< Σ max(0, completion − deadline)
+  double max_tardiness_s = 0.0;
+  std::uint64_t queue_depth = 0;    ///< requests currently pending
+
+  double hit_rate() const {
+    return completed > 0 ? static_cast<double>(deadline_hits) / static_cast<double>(completed)
+                         : 1.0;
+  }
+};
+
 /// Telemetry and control surface policies use. Mirrors what the real HARP
 /// RM gets from Linux: perf IPS (noisy), RAPL package energy (noisy),
 /// per-task CPU-time accounting (exact), plus the libharp-style utility
@@ -94,6 +111,13 @@ class RunnerApi {
   /// stage-notification interface (§7 outlook); 0 for single-phase apps.
   virtual int app_phase(AppId id) const = 0;
 
+  /// Deadline accounting for QoS apps (nullopt for non-QoS apps, and by
+  /// default for RunnerApi implementations without request queues).
+  virtual std::optional<QosSnapshot> qos_snapshot(AppId id) const {
+    (void)id;
+    return std::nullopt;
+  }
+
   virtual void set_control(AppId id, const AppControl& control) = 0;
 
   /// Charge RM bookkeeping CPU time; the runner steals it from application
@@ -124,6 +148,20 @@ struct AppRunStats {
   double energy_j = 0.0;       ///< ground-truth core energy attributed to the app
   std::vector<double> cpu_seconds_by_type;
   int completions = 0;         ///< >1 in repeat mode
+
+  // Deadline accounting (QoS apps only; zero otherwise).
+  std::uint64_t requests_arrived = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t deadline_hits = 0;
+  double tardiness_sum_s = 0.0;
+  double max_tardiness_s = 0.0;
+  std::uint64_t requests_left_queued = 0;  ///< backlog at end of run
+
+  double hit_rate() const {
+    return requests_completed > 0
+               ? static_cast<double>(deadline_hits) / static_cast<double>(requests_completed)
+               : 1.0;
+  }
 };
 
 /// Scenario-level outcome.
@@ -152,6 +190,11 @@ struct RunOptions {
   double max_sim_seconds = 3600.0;
   /// Optional observer invoked every quantum after progress is applied.
   std::function<void(double now)> tick_hook;
+  /// When set, the runner emits one kQosRequest instant per completed QoS
+  /// request. If `trace_clock` is also set, the runner stamps each event at
+  /// the request's completion time (it must be the tracer's clock).
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::ManualClock* trace_clock = nullptr;
 };
 
 /// Simulates one scenario under one policy.
@@ -179,6 +222,7 @@ class ScenarioRunner : public RunnerApi {
   std::vector<double> cpu_time_by_type(AppId id) const override;
   std::optional<double> read_app_utility(AppId id) override;
   int app_phase(AppId id) const override;
+  std::optional<QosSnapshot> qos_snapshot(AppId id) const override;
   void set_control(AppId id, const AppControl& control) override;
   void charge_overhead(double cpu_seconds) override;
 
@@ -192,6 +236,9 @@ class ScenarioRunner : public RunnerApi {
   void start_pending_apps(Policy& policy);
   void recompute_placement();
   void advance_quantum();
+  /// Ingest this quantum's arrivals and serve the EDF queue with
+  /// `capacity_gi` of useful work; returns the work actually served.
+  double advance_qos(AppState& app, double capacity_gi, double dt);
   void finish_apps(Policy& policy);
   AppState& state(AppId id);
   const AppState& state(AppId id) const;

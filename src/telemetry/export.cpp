@@ -92,6 +92,7 @@ const char* category(EventType type) {
     case EventType::kLinkDown:
     case EventType::kLease:
     case EventType::kRegistration: return "client";
+    case EventType::kQosRequest: return "qos";
   }
   return "?";
 }

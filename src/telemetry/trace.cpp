@@ -23,6 +23,7 @@ const char* to_string(EventType type) {
     case EventType::kLease: return "lease_eviction";
     case EventType::kRegistration: return "registration";
     case EventType::kDseSweep: return "dse_sweep";
+    case EventType::kQosRequest: return "qos_request";
   }
   return "?";
 }

@@ -40,6 +40,7 @@ enum class EventType : std::uint8_t {
   kLease,              ///< instant: RM evicted a client on lease expiry
   kRegistration,       ///< instant: app registered with the RM
   kDseSweep,           ///< span: offline design-space exploration sweep
+  kQosRequest,         ///< instant: one QoS request completed (deadline accounting)
 };
 
 /// All event types, for exporters and parsers.
@@ -48,7 +49,7 @@ inline constexpr EventType kAllEventTypes[] = {
     EventType::kStageTransition, EventType::kExplorationSelect, EventType::kMeasurement,
     EventType::kIpcSend,      EventType::kIpcRecv,        EventType::kFaultInjected,
     EventType::kReconnect,    EventType::kLinkDown,       EventType::kLease,
-    EventType::kRegistration, EventType::kDseSweep,
+    EventType::kRegistration, EventType::kDseSweep,    EventType::kQosRequest,
 };
 
 const char* to_string(EventType type);

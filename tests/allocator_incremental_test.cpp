@@ -8,11 +8,21 @@
 //  2. Zero allocation — once warm, steady-state Allocator::solve performs no
 //     heap allocation at all, verified with counting global operator
 //     new/delete overrides.
+//  3. Cross-version pinning — a 200-seed hash of every solver's outputs on
+//     non-QoS instances equals the value recorded before soft-QoS cost rows
+//     were added: groups without a SoftQos row run bit-identical arithmetic
+//     to the pre-QoS solver.
+//  4. QoS equivalence — instances with slack-priced SoftQos rows keep the
+//     cold/warm/replay bit-equivalence, and a row that prices nothing
+//     (all candidates meet min_rate, or slack_weight = 0) leaves the result
+//     bit-identical to the same instance without the row.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <string>
 #include <utility>
@@ -246,6 +256,165 @@ INSTANTIATE_TEST_SUITE_P(AllSolvers, WarmColdEquivalence,
                            }
                            return "Unknown";
                          });
+
+// ---------------------------------------------------------------------------
+// Cross-version pinning & QoS rows
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t w) {
+  return (h ^ w) * 1099511628211ull;
+}
+
+// Hashes recorded by running this exact sweep before the soft-QoS cost-row
+// indirection existed. If a refactor of the solver's cost handling changes
+// any selection, feasibility flag, or total-cost *bit pattern* on instances
+// without QoS rows, this fails — the QoS extension must be invisible to
+// non-QoS groups.
+TEST(PinnedNonQosBehaviour, TwoHundredSeedHashesMatchPreQosSolver) {
+  struct KindSpec {
+    SolverKind kind;
+    std::uint64_t expected;
+    int max_groups;
+    int max_candidates;
+  };
+  const KindSpec kinds[] = {
+      {SolverKind::kLagrangian, 0xe8a878809dbf539cull, 12, 10},
+      {SolverKind::kGreedy, 0x0950f976a1eb2578ull, 12, 10},
+      {SolverKind::kExhaustive, 0xe124577fa6a3ced0ull, 5, 5},
+  };
+  for (const KindSpec& ks : kinds) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+      harp::Rng rng(seed * 7919u);
+      platform::HardwareDescription hw = pick_hw(rng);
+      std::vector<AllocationGroup> groups =
+          random_groups(hw, rng, ks.max_groups, ks.max_candidates);
+      Allocator allocator(hw, ks.kind);
+      AllocationResult result = allocator.solve(groups);
+      h = fnv_mix(h, result.feasible ? 1u : 0u);
+      for (std::size_t s : result.selection) h = fnv_mix(h, static_cast<std::uint64_t>(s));
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &result.total_cost, sizeof(bits));
+      h = fnv_mix(h, bits);
+    }
+    EXPECT_EQ(h, ks.expected) << "solver kind " << static_cast<int>(ks.kind);
+  }
+}
+
+/// Attach a slack-priced SoftQos row to every other group: candidate "rates"
+/// drawn in [0, 1] (the qos_utility scale), min_rate set so some candidates
+/// fall short, and a weight large enough to actually steer selections.
+void attach_qos_rows(std::vector<AllocationGroup>& groups, harp::Rng& rng) {
+  for (std::size_t g = 0; g < groups.size(); g += 2) {
+    AllocationGroup::SoftQos row;
+    row.min_rate = rng.uniform(0.3, 0.95);
+    row.slack_weight = rng.uniform(1.0, 300.0);
+    for (std::size_t c = 0; c < groups[g].candidates.size(); ++c)
+      row.rates.push_back(rng.uniform(0.0, 1.0));
+    groups[g].qos = std::move(row);
+  }
+}
+
+class QosRowEquivalence : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(QosRowEquivalence, ColdWarmReplayBitIdenticalWithSoftQosRows) {
+  const SolverKind kind = GetParam();
+  const int max_groups = kind == SolverKind::kExhaustive ? 5 : 12;
+  const int max_candidates = kind == SolverKind::kExhaustive ? 5 : 10;
+  int priced_selections = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    harp::Rng rng(seed * 15485863u);
+    platform::HardwareDescription hw = pick_hw(rng);
+    std::vector<AllocationGroup> groups = random_groups(hw, rng, max_groups, max_candidates);
+    attach_qos_rows(groups, rng);
+    Allocator allocator(hw, kind);
+
+    AllocationResult cold = allocator.solve(groups);
+    if (cold.feasible) {
+      // Count instances where the QoS pricing is live (a selected candidate
+      // sits below its row's min_rate), so the sweep provably exercises the
+      // penalised path.
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (!groups[g].qos.has_value()) continue;
+        if (groups[g].qos->rates[cold.selection[g]] < groups[g].qos->min_rate)
+          ++priced_selections;
+      }
+    }
+
+    std::vector<AllocationGroup> prepared = groups;
+    for (AllocationGroup& group : prepared)
+      group.prepare(static_cast<int>(hw.core_types.size()));
+    std::vector<const AllocationGroup*> ptrs = pointers_to(prepared);
+    SolveWorkspace ws;
+    AllocationResult warm;
+    allocator.solve(ptrs, ws, warm);
+    EXPECT_FALSE(ws.replayed()) << "seed=" << seed;
+    expect_identical(warm, cold, seed, "qos-warm");
+
+    AllocationResult replayed;
+    allocator.solve(ptrs, ws, replayed);
+    EXPECT_TRUE(ws.replayed()) << "seed=" << seed;
+    expect_identical(replayed, cold, seed, "qos-replay");
+
+    // A min_rate above every candidate's rate re-prices the whole group:
+    // the fingerprint (over *effective* costs) must change — no stale
+    // replay of a differently-priced QoS instance.
+    if (prepared[0].qos.has_value()) {
+      prepared[0].qos->min_rate = 2.0;  // rates are in [0, 1]: all penalised
+      AllocationResult nudged;
+      allocator.solve(ptrs, ws, nudged);
+      EXPECT_FALSE(ws.replayed()) << "seed=" << seed;
+      AllocationResult nudged_cold = allocator.solve(prepared);
+      expect_identical(nudged, nudged_cold, seed, "qos-nudged");
+    }
+  }
+  EXPECT_GT(priced_selections, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, QosRowEquivalence,
+                         ::testing::Values(SolverKind::kLagrangian, SolverKind::kGreedy,
+                                           SolverKind::kExhaustive),
+                         [](const ::testing::TestParamInfo<SolverKind>& info) {
+                           switch (info.param) {
+                             case SolverKind::kLagrangian: return "Lagrangian";
+                             case SolverKind::kGreedy: return "Greedy";
+                             case SolverKind::kExhaustive: return "Exhaustive";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(QosRowEquivalenceEdge, InertRowIsBitIdenticalToNoRow) {
+  // A row whose penalty is identically zero (every candidate meets min_rate,
+  // or slack_weight = 0) must not change a single output bit relative to the
+  // same instance without the row.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    harp::Rng rng(seed * 32452843u);
+    platform::HardwareDescription hw = pick_hw(rng);
+    std::vector<AllocationGroup> bare = random_groups(hw, rng, 8, 6);
+    Allocator allocator(hw, SolverKind::kLagrangian);
+    AllocationResult expected = allocator.solve(bare);
+
+    std::vector<AllocationGroup> satisfied = bare;
+    for (AllocationGroup& group : satisfied) {
+      AllocationGroup::SoftQos row;
+      row.min_rate = 0.5;
+      row.slack_weight = 1000.0;
+      row.rates.assign(group.candidates.size(), 1.0);  // all meet the target
+      group.qos = std::move(row);
+    }
+    expect_identical(allocator.solve(satisfied), expected, seed, "satisfied-row");
+
+    std::vector<AllocationGroup> weightless = bare;
+    for (AllocationGroup& group : weightless) {
+      AllocationGroup::SoftQos row;
+      row.min_rate = 0.9;
+      row.slack_weight = 0.0;  // priced at zero
+      row.rates.assign(group.candidates.size(), 0.1);
+      group.qos = std::move(row);
+    }
+    expect_identical(allocator.solve(weightless), expected, seed, "weightless-row");
+  }
+}
 
 TEST(WorkspaceReuse, OneWorkspaceAcrossChangingInstances) {
   // A single workspace driven through 50 different instances (the RM's real

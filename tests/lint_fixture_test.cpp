@@ -83,6 +83,13 @@ TEST(LintFixtures, R2Determinism) {
   expect_exact({fixture("r2_bad.cpp"), fixture("r2_good.cpp")}, {"r2"});
 }
 
+TEST(LintFixtures, R2TraceLoaderDeterminism) {
+  // Trace-loading flavour: loaders that jitter or synthesize requests from
+  // wall clocks / unseeded randomness fire; from_chars parsing and seeded
+  // harp::Rng synthesis stay silent.
+  expect_exact({fixture("r2_trace_bad.cpp"), fixture("r2_trace_good.cpp")}, {"r2"});
+}
+
 TEST(LintFixtures, R2RngHomeIsExempt) {
   // The same violations under the sanctioned path produce nothing.
   SourceFile exempt = fixture("r2_bad.cpp", "src/common/rng.hpp");

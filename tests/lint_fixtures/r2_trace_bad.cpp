@@ -1,0 +1,33 @@
+// Bad fixture for r2 (determinism), trace-loading flavour: a request-trace
+// loader that invents data from wall clocks and unseeded randomness. Every
+// line a QoS trace loader must never contain — replaying the same file twice
+// would yield two different workloads.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <vector>
+
+struct Request {
+  double arrival_s;
+};
+
+std::vector<Request> load_with_jitter(const std::vector<double>& arrivals) {
+  std::vector<Request> requests;
+  std::random_device rd;  // expect: r2
+  for (double t : arrivals) {
+    double jitter = static_cast<double>(rd()) * 1e-12;
+    requests.push_back({t + jitter});
+  }
+  return requests;
+}
+
+double stamp_load_time() {
+  return static_cast<double>(time(nullptr));  // expect: r2
+}
+
+Request synthesize_missing_row() {
+  auto now = std::chrono::system_clock::now();  // expect: r2
+  double t = std::chrono::duration<double>(now.time_since_epoch()).count();
+  return {t + static_cast<double>(rand()) * 1e-12};  // expect: r2
+}

@@ -1,0 +1,39 @@
+// Good fixture for r2 (determinism), trace-loading flavour: the sanctioned
+// way to load and synthesize request traces — exact text parsing via
+// from_chars and explicitly seeded harp::Rng draws, so the same file and
+// seed always reproduce the same workload.
+#include <charconv>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+struct Request {
+  double arrival_s;
+};
+
+bool parse_arrival(std::string_view field, double* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::vector<Request> load_exact(const std::vector<std::string_view>& lines) {
+  std::vector<Request> requests;
+  for (std::string_view line : lines) {
+    double t = 0.0;
+    if (parse_arrival(line, &t)) requests.push_back({t});
+  }
+  return requests;
+}
+
+std::vector<Request> synthesize_seeded(harp::Rng& rng, int count, double rate_rps) {
+  std::vector<Request> requests;
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.uniform(0.5, 1.5) / rate_rps;
+    requests.push_back({t});
+  }
+  return requests;
+}

@@ -1,0 +1,296 @@
+// Deterministic end-to-end QoS scenario suite.
+//
+//  1. Dominance — on Poisson and flash-crowd (MMPP-2) traffic, HARP meets or
+//     beats the deadline hit-rate of the EDF static provisioner while
+//     spending no more energy, and stays far below the CFS energy bill:
+//     better QoS per joule on every shape.
+//  2. Determinism — a (scenario, seed) pair replays bit-identically within a
+//     binary: per-request counters match exactly and energy to the last bit;
+//     headline numbers are pinned per seed.
+//  3. Golden trace — a checked-in replay input (qos_fixtures/input_trace.jsonl)
+//     run under a fixed policy must reproduce the checked-in per-request
+//     JSONL telemetry byte for byte, and reruns of the same binary must be
+//     byte-identical to each other.
+//
+// Regenerating the golden fixture (after an intentional model/simulator
+// change — never to paper over an unexplained diff):
+//   HARP_REGEN_QOS_GOLDEN=1 ./build/tests/qos_scenario_test --gtest_filter='GoldenTrace.*'
+// rewrites tests/qos_fixtures/golden_trace.jsonl in the source tree; commit
+// the new file together with the change that moved it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/harp/dse.hpp"
+#include "src/harp/policy.hpp"
+#include "src/model/qos.hpp"
+#include "src/sched/baselines.hpp"
+#include "src/telemetry/export.hpp"
+
+namespace harp {
+namespace {
+
+constexpr const char* kService = "frontend";
+
+model::QosSpec service_spec() {
+  model::QosSpec spec;
+  spec.work_per_request_gi = 0.2;
+  spec.deadline_s = 0.05;
+  spec.nominal_rate_rps = 40.0;
+  spec.min_hit_rate = 0.95;
+  return spec;
+}
+
+model::WorkloadCatalog service_catalog() {
+  model::WorkloadCatalog catalog = model::WorkloadCatalog::raptor_lake();
+  catalog.add_app(model::qos_service_behavior(kService, service_spec(), {1.0, 0.9}));
+  return catalog;
+}
+
+model::ArrivalConfig poisson_traffic() {
+  model::ArrivalConfig config;
+  config.kind = model::ArrivalKind::kPoisson;
+  config.rate_rps = 40.0;
+  return config;
+}
+
+model::ArrivalConfig bursty_traffic() {
+  model::ArrivalConfig config;
+  config.kind = model::ArrivalKind::kBursty;
+  config.rate_rps = 30.0;
+  config.burst_rate_rps = 120.0;
+  config.calm_mean_s = 4.0;
+  config.burst_mean_s = 1.0;
+  return config;
+}
+
+enum class Manager { kCfs, kEdf, kHarp };
+
+std::unique_ptr<sim::Policy> make_manager(Manager manager,
+                                          const platform::HardwareDescription& hw,
+                                          const model::WorkloadCatalog& catalog) {
+  switch (manager) {
+    case Manager::kCfs: return std::make_unique<sched::CfsPolicy>();
+    case Manager::kEdf: return std::make_unique<sched::EdfPolicy>();
+    case Manager::kHarp: {
+      core::HarpOptions options;
+      options.offline_tables[kService] = core::run_offline_dse(catalog.app(kService), hw);
+      options.exploration.stable_realloc_interval = 10;  // latency-critical tuning
+      return std::make_unique<core::HarpPolicy>(options);
+    }
+  }
+  return nullptr;
+}
+
+sim::RunResult run_service(const model::ArrivalConfig& traffic, Manager manager,
+                           std::uint64_t seed, double horizon_s) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = service_catalog();
+  model::Scenario scenario;
+  scenario.name = "qos-service";
+  scenario.apps.push_back(model::ScenarioApp(kService, 0.0, traffic));
+
+  sim::RunOptions options;
+  options.seed = seed;
+  options.repeat_horizon = horizon_s;
+  std::unique_ptr<sim::Policy> policy = make_manager(manager, hw, catalog);
+  sim::ScenarioRunner runner(hw, catalog, scenario, options);
+  return runner.run(*policy);
+}
+
+// ---------------------------------------------------------------------------
+// 1. HARP vs baselines: more QoS for fewer joules on >= 2 traffic shapes
+// ---------------------------------------------------------------------------
+
+void expect_harp_dominates(const model::ArrivalConfig& traffic, std::uint64_t seed,
+                           bool expect_strict_hit_win) {
+  const double horizon = 20.0;
+  sim::RunResult cfs = run_service(traffic, Manager::kCfs, seed, horizon);
+  sim::RunResult edf = run_service(traffic, Manager::kEdf, seed, horizon);
+  sim::RunResult harp = run_service(traffic, Manager::kHarp, seed, horizon);
+
+  const sim::AppRunStats& cfs_app = cfs.app(kService);
+  const sim::AppRunStats& edf_app = edf.app(kService);
+  const sim::AppRunStats& harp_app = harp.app(kService);
+
+  // Same open-loop traffic under every manager.
+  EXPECT_EQ(harp_app.requests_arrived, cfs_app.requests_arrived);
+  EXPECT_EQ(harp_app.requests_arrived, edf_app.requests_arrived);
+  ASSERT_GT(harp_app.requests_completed, 100u);
+
+  // Hit-rate: HARP >= the deadline-aware baseline (strictly better under
+  // bursts, where static provisioning under-serves)...
+  EXPECT_GE(harp_app.hit_rate(), edf_app.hit_rate());
+  if (expect_strict_hit_win) {
+    EXPECT_GT(harp_app.hit_rate(), edf_app.hit_rate() + 0.05);
+  }
+
+  // ...at no more energy than EDF's static grant, and far below the CFS
+  // whole-machine bill: equal-or-less energy, equal-or-more QoS.
+  EXPECT_LE(harp.package_energy_j, edf.package_energy_j);
+  EXPECT_LT(harp.package_energy_j, 0.7 * cfs.package_energy_j);
+
+  // QoS per joule, the paper's headline currency: HARP best of the three.
+  auto qos_per_kj = [](const sim::RunResult& result) {
+    return result.app(kService).hit_rate() / result.package_energy_j * 1e3;
+  };
+  EXPECT_GT(qos_per_kj(harp), qos_per_kj(edf));
+  EXPECT_GT(qos_per_kj(harp), qos_per_kj(cfs));
+}
+
+TEST(QosDominance, HarpMeetsEdfHitRateWithLessEnergyOnPoisson) {
+  expect_harp_dominates(poisson_traffic(), 1000, /*expect_strict_hit_win=*/false);
+}
+
+TEST(QosDominance, HarpBeatsEdfHitRateWithLessEnergyOnFlashCrowd) {
+  expect_harp_dominates(bursty_traffic(), 1000, /*expect_strict_hit_win=*/true);
+}
+
+TEST(QosDominance, HarpHoldsTheSoftTargetOnNominalLoad) {
+  sim::RunResult harp = run_service(poisson_traffic(), Manager::kHarp, 1000, 20.0);
+  EXPECT_GE(harp.app(kService).hit_rate(), service_spec().min_hit_rate);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Seeded determinism: exact replay within a binary, pinned headline stats
+// ---------------------------------------------------------------------------
+
+TEST(QosDeterminism, SameSeedReplaysBitIdentically) {
+  for (Manager manager : {Manager::kCfs, Manager::kEdf, Manager::kHarp}) {
+    sim::RunResult a = run_service(bursty_traffic(), manager, 77, 10.0);
+    sim::RunResult b = run_service(bursty_traffic(), manager, 77, 10.0);
+    const sim::AppRunStats& sa = a.app(kService);
+    const sim::AppRunStats& sb = b.app(kService);
+    EXPECT_EQ(sa.requests_arrived, sb.requests_arrived);
+    EXPECT_EQ(sa.requests_completed, sb.requests_completed);
+    EXPECT_EQ(sa.deadline_hits, sb.deadline_hits);
+    EXPECT_EQ(sa.requests_left_queued, sb.requests_left_queued);
+    // Bit-exact doubles: the whole pipeline is deterministic, not just close.
+    EXPECT_EQ(sa.tardiness_sum_s, sb.tardiness_sum_s);
+    EXPECT_EQ(sa.max_tardiness_s, sb.max_tardiness_s);
+    EXPECT_EQ(a.package_energy_j, b.package_energy_j);
+  }
+
+  // Different seeds draw different traffic.
+  sim::RunResult a = run_service(bursty_traffic(), Manager::kEdf, 77, 10.0);
+  sim::RunResult c = run_service(bursty_traffic(), Manager::kEdf, 78, 10.0);
+  EXPECT_NE(a.app(kService).requests_arrived, c.app(kService).requests_arrived);
+}
+
+TEST(QosDeterminism, PinnedHeadlineNumbersPerSeed) {
+  // Pinned outcomes for (seed 1000, horizon 10 s) — the request counts this
+  // simulator must reproduce run after run, and the energy to within float
+  // noise of the libm in use. If an intentional model/policy change moves
+  // them, re-pin from this test's failure output and justify the shift in
+  // the commit that makes it.
+  struct Pinned {
+    const char* traffic_name;
+    model::ArrivalConfig traffic;
+    Manager manager;
+    std::uint64_t arrived;
+    std::uint64_t completed;
+    std::uint64_t hits;
+    double energy_j;
+  };
+  const Pinned pinned[] = {
+      {"poisson", poisson_traffic(), Manager::kCfs, 398, 398, 391, 846.642393504},
+      {"poisson", poisson_traffic(), Manager::kEdf, 398, 398, 389, 503.947033333},
+      {"poisson", poisson_traffic(), Manager::kHarp, 398, 398, 389, 417.388221278},
+      {"bursty", bursty_traffic(), Manager::kCfs, 500, 500, 497, 846.642393504},
+      {"bursty", bursty_traffic(), Manager::kEdf, 500, 500, 344, 503.947033333},
+      {"bursty", bursty_traffic(), Manager::kHarp, 500, 500, 421, 437.921015550},
+  };
+  for (const Pinned& pin : pinned) {
+    SCOPED_TRACE(std::string(pin.traffic_name) + "/" +
+                 std::to_string(static_cast<int>(pin.manager)));
+    sim::RunResult result = run_service(pin.traffic, pin.manager, 1000, 10.0);
+    const sim::AppRunStats& stats = result.app(kService);
+    EXPECT_EQ(stats.requests_arrived, pin.arrived);
+    EXPECT_EQ(stats.requests_completed, pin.completed);
+    EXPECT_EQ(stats.deadline_hits, pin.hits);
+    EXPECT_NEAR(result.package_energy_j, pin.energy_j, 1e-6 * pin.energy_j + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Golden per-request trace: byte-for-byte stable telemetry
+// ---------------------------------------------------------------------------
+
+std::string fixture_path(const std::string& name) {
+  return std::string(HARP_QOS_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The golden scenario: the checked-in replay trace (no arrival RNG), zero
+/// telemetry noise, the EDF baseline (static plan, no RM feedback loop) —
+/// the minimal pipeline that still exercises queueing, deadline accounting,
+/// and per-request telemetry.
+std::string render_golden_trace() {
+  Result<model::RequestTrace> input = model::RequestTrace::load(fixture_path("input_trace.jsonl"));
+  EXPECT_TRUE(input.ok()) << (input.ok() ? "" : input.error().message);
+  model::ArrivalConfig traffic;
+  traffic.kind = model::ArrivalKind::kReplay;
+  traffic.trace = input.value();
+
+  platform::HardwareDescription hw = platform::raptor_lake();
+  model::WorkloadCatalog catalog = service_catalog();
+  model::Scenario scenario;
+  scenario.name = "qos-golden";
+  scenario.apps.push_back(model::ScenarioApp(kService, 0.0, traffic));
+
+  telemetry::ManualClock clock;
+  telemetry::Tracer tracer(&clock);
+  sim::RunOptions options;
+  options.seed = 7;
+  options.repeat_horizon = 6.0;
+  options.perf_noise = 0.0;
+  options.energy_noise = 0.0;
+  options.utility_noise = 0.0;
+  options.tracer = &tracer;
+  options.trace_clock = &clock;
+  sched::EdfPolicy policy;
+  sim::ScenarioRunner runner(hw, catalog, scenario, options);
+  (void)runner.run(policy);
+
+  // to_jsonl IS the file format: write_trace_file dumps it verbatim, so
+  // comparing the string avoids a shared temp path (the two GoldenTrace
+  // tests run as concurrent ctest processes).
+  return telemetry::to_jsonl(tracer.events());
+}
+
+TEST(GoldenTrace, RerunsAreByteIdentical) {
+  std::string first = render_golden_trace();
+  std::string second = render_golden_trace();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(GoldenTrace, MatchesCheckedInFixtureByteForByte) {
+  std::string rendered = render_golden_trace();
+  ASSERT_FALSE(rendered.empty());
+  if (std::getenv("HARP_REGEN_QOS_GOLDEN") != nullptr) {
+    std::ofstream out(fixture_path("golden_trace.jsonl"), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    out << rendered;
+    ASSERT_TRUE(out.flush().good());
+    GTEST_SKIP() << "regenerated " << fixture_path("golden_trace.jsonl");
+  }
+  std::string golden = read_file(fixture_path("golden_trace.jsonl"));
+  // Byte-for-byte: timestamps, ordering, and %.17g number formatting are all
+  // part of the contract (harp-trace and diff-based tooling rely on it).
+  EXPECT_EQ(rendered, golden);
+}
+
+}  // namespace
+}  // namespace harp

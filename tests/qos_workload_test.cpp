@@ -1,0 +1,271 @@
+// Property tests for the deadline/QoS workload model (src/model/qos):
+// arrival-process statistics, determinism, trace round-trips, loader error
+// handling, and the analytic EDF-flavored utility curve.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/qos.hpp"
+
+namespace harp::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+/// Arrivals of `gen` with arrival_s < horizon (consumes the stream).
+std::vector<QosRequest> take_until(ArrivalGenerator& gen, double horizon_s) {
+  std::vector<QosRequest> out;
+  while (std::optional<QosRequest> req = gen.next()) {
+    if (req->arrival_s >= horizon_s) break;
+    out.push_back(*req);
+  }
+  return out;
+}
+
+TEST(ArrivalProcess, PoissonEmpiricalRateMatchesConfigured) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kPoisson;
+  config.rate_rps = 20.0;
+  const double horizon = 2000.0;
+  ArrivalGenerator gen(config, 7);
+  std::vector<QosRequest> requests = take_until(gen, horizon);
+  double empirical = static_cast<double>(requests.size()) / horizon;
+  // 40k arrivals: the sample mean is within a few standard deviations of
+  // the configured rate at 3% tolerance.
+  EXPECT_NEAR(empirical, config.rate_rps, 0.03 * config.rate_rps);
+  for (std::size_t i = 1; i < requests.size(); ++i)
+    ASSERT_GE(requests[i].arrival_s, requests[i - 1].arrival_s);
+}
+
+TEST(ArrivalProcess, BurstyEmpiricalRateMatchesStationaryMean) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBursty;
+  config.rate_rps = 10.0;
+  config.burst_rate_rps = 80.0;
+  config.calm_mean_s = 4.0;
+  config.burst_mean_s = 1.0;
+  const double horizon = 4000.0;
+  ArrivalGenerator gen(config, 11);
+  std::vector<QosRequest> requests = take_until(gen, horizon);
+  // MMPP-2 stationary rate: time-weighted mix of the two state rates.
+  double expected = (config.calm_mean_s * config.rate_rps +
+                     config.burst_mean_s * config.burst_rate_rps) /
+                    (config.calm_mean_s + config.burst_mean_s);
+  double empirical = static_cast<double>(requests.size()) / horizon;
+  EXPECT_NEAR(empirical, expected, 0.08 * expected);
+
+  // The process actually has two regimes: over 100 ms windows, some see
+  // burst-level counts, most see calm-level counts.
+  int busy_windows = 0;
+  std::size_t i = 0;
+  for (double w = 0.0; w < horizon; w += 0.1) {
+    int in_window = 0;
+    while (i < requests.size() && requests[i].arrival_s < w + 0.1) ++in_window, ++i;
+    if (in_window >= 4) ++busy_windows;  // ≥40 rps observed
+  }
+  EXPECT_GT(busy_windows, 100);
+}
+
+TEST(ArrivalProcess, DiurnalOscillatesAroundMeanRate) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kDiurnal;
+  config.rate_rps = 20.0;
+  config.diurnal_period_s = 100.0;
+  config.diurnal_amplitude = 0.8;
+  const double horizon = 3000.0;  // 30 whole periods
+  ArrivalGenerator gen(config, 13);
+  std::vector<QosRequest> requests = take_until(gen, horizon);
+  double empirical = static_cast<double>(requests.size()) / horizon;
+  EXPECT_NEAR(empirical, config.rate_rps, 0.05 * config.rate_rps);
+
+  // Peak quarter-periods (around t ≡ P/4) must out-arrive trough quarters
+  // (around t ≡ 3P/4) by roughly (1+a)/(1-a).
+  double peak = 0.0, trough = 0.0;
+  for (const QosRequest& req : requests) {
+    double phase = std::fmod(req.arrival_s, config.diurnal_period_s) / config.diurnal_period_s;
+    if (phase >= 0.125 && phase < 0.375) peak += 1.0;
+    if (phase >= 0.625 && phase < 0.875) trough += 1.0;
+  }
+  ASSERT_GT(trough, 0.0);
+  EXPECT_GT(peak / trough, 3.0);  // (1+0.8)/(1-0.8) = 9 in the rate ratio
+}
+
+TEST(ArrivalProcess, SameSeedSameSequenceDifferentSeedDiverges) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
+    ArrivalConfig config;
+    config.kind = kind;
+    ArrivalGenerator a(config, 99);
+    ArrivalGenerator b(config, 99);
+    ArrivalGenerator c(config, 100);
+    bool diverged = false;
+    for (int i = 0; i < 1000; ++i) {
+      std::optional<QosRequest> ra = a.next(), rb = b.next(), rc = c.next();
+      ASSERT_TRUE(ra.has_value() && rb.has_value() && rc.has_value());
+      // Bit-exact: same seed must replay the same stream.
+      ASSERT_EQ(ra->arrival_s, rb->arrival_s) << to_string(kind) << " i=" << i;
+      if (ra->arrival_s != rc->arrival_s) diverged = true;
+    }
+    EXPECT_TRUE(diverged) << to_string(kind);
+  }
+}
+
+TEST(ArrivalProcess, ReplayEmitsTraceVerbatimThenEnds) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kReplay;
+  config.trace.requests = {{0.0, -1.0, -1.0}, {0.5, 2.0, -1.0}, {0.5, -1.0, 0.25}, {1.75, -1.0, -1.0}};
+  ArrivalGenerator gen(config, 1);
+  for (const QosRequest& expected : config.trace.requests) {
+    std::optional<QosRequest> got = gen.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(gen.next().has_value());
+  EXPECT_FALSE(gen.next().has_value());  // stays exhausted
+}
+
+// ---------------------------------------------------------------------------
+// Trace format
+// ---------------------------------------------------------------------------
+
+TEST(RequestTrace, JsonlRoundTripIsExact) {
+  RequestTrace trace;
+  // Awkward doubles on purpose: the %.17g serialisation must round-trip bits.
+  trace.requests = {{0.0, -1.0, -1.0},
+                    {0.1 + 0.2, 1.0 / 3.0, -1.0},
+                    {1.0000000000000002, -1.0, 0.049999999999999996},
+                    {12345.678901234567, 9.87654321e-3, 0.5}};
+  Result<RequestTrace> parsed = RequestTrace::parse(trace.to_jsonl());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().requests, trace.requests);
+}
+
+TEST(RequestTrace, SaveLoadRoundTrip) {
+  RequestTrace trace;
+  trace.requests = {{0.25, -1.0, -1.0}, {0.75, 1.5, 0.1}};
+  std::string path = ::testing::TempDir() + "/qos_trace_roundtrip.jsonl";
+  ASSERT_TRUE(trace.save(path).ok());
+  Result<RequestTrace> loaded = RequestTrace::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().requests, trace.requests);
+  std::remove(path.c_str());
+}
+
+TEST(RequestTrace, ParsesCsvJsonlCommentsAndBlanks) {
+  const char* text =
+      "# request trace, mixed formats\n"
+      "0.5\n"
+      "\n"
+      "1.0,2.5\n"
+      "1.5,2.5,0.125\n"
+      "{\"t\": 2.0}\n"
+      "{\"t\": 2.5, \"work_gi\": 3.0, \"deadline_s\": 0.2}\n";
+  Result<RequestTrace> parsed = RequestTrace::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const std::vector<QosRequest> expected = {{0.5, -1.0, -1.0},
+                                            {1.0, 2.5, -1.0},
+                                            {1.5, 2.5, 0.125},
+                                            {2.0, -1.0, -1.0},
+                                            {2.5, 3.0, 0.2}};
+  EXPECT_EQ(parsed.value().requests, expected);
+}
+
+TEST(RequestTrace, MalformedInputIsAStatusErrorNotACrash) {
+  const struct {
+    const char* text;
+    const char* why;
+  } cases[] = {
+      {"abc\n", "non-numeric arrival"},
+      {"1.0,xyz\n", "non-numeric work"},
+      {"1.0,1.0,zz\n", "non-numeric deadline"},
+      {"2.0\n1.0\n", "decreasing arrivals"},
+      {"1.0,-3.0\n", "negative work (only -1 sentinel allowed)"},
+      {"1.0,1.0,0.0\n", "zero deadline"},
+      {"{\"t\": \n", "truncated json"},
+      {"{\"work_gi\": 1.0}\n", "json without t"},
+      {"1.0,1.0,0.5,9\n", "too many csv fields"},
+  };
+  for (const auto& c : cases) {
+    Result<RequestTrace> parsed = RequestTrace::parse(c.text);
+    ASSERT_FALSE(parsed.ok()) << c.why;
+    EXPECT_EQ(parsed.error().message.rfind("parse:", 0), 0u)
+        << c.why << " -> " << parsed.error().message;
+  }
+  // Line numbers point at the offending line, counting comments and blanks.
+  Result<RequestTrace> parsed = RequestTrace::parse("# ok\n0.5\n\nbroken\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("line 4"), std::string::npos)
+      << parsed.error().message;
+
+  Result<RequestTrace> missing = RequestTrace::load("/nonexistent/qos.jsonl");
+  EXPECT_FALSE(missing.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Analytic utility curve
+// ---------------------------------------------------------------------------
+
+TEST(QosCurve, HitRateIsMonotoneInServiceRate) {
+  const double lambda = 40.0, deadline = 0.05;
+  EXPECT_EQ(expected_hit_rate(40.0, lambda, deadline), 0.0);  // μ = λ: saturated
+  EXPECT_EQ(expected_hit_rate(10.0, lambda, deadline), 0.0);  // μ < λ: overloaded
+  double prev = 0.0;
+  for (double mu = 45.0; mu <= 400.0; mu += 5.0) {
+    double hit = expected_hit_rate(mu, lambda, deadline);
+    EXPECT_GE(hit, prev);
+    EXPECT_LE(hit, 1.0);
+    prev = hit;
+  }
+  EXPECT_GT(prev, 0.99);  // 10x over-provisioning is effectively perfect
+}
+
+TEST(QosCurve, EdfProvisionRateMeetsTheTargetExactly) {
+  QosSpec spec;
+  spec.deadline_s = 0.05;
+  spec.nominal_rate_rps = 40.0;
+  spec.min_hit_rate = 0.95;
+  double mu = edf_provision_rate(spec);
+  EXPECT_GT(mu, spec.nominal_rate_rps);
+  EXPECT_NEAR(expected_hit_rate(mu, spec.nominal_rate_rps, spec.deadline_s),
+              spec.min_hit_rate, 1e-12);
+}
+
+TEST(QosCurve, UtilityIsClampedAndPenalisesTardiness) {
+  QosSpec spec;
+  spec.deadline_s = 0.05;
+  spec.nominal_rate_rps = 40.0;
+  spec.tardiness_penalty = 0.5;
+  EXPECT_EQ(qos_utility(0.0, spec.nominal_rate_rps, spec), 0.0);    // no service
+  EXPECT_EQ(qos_utility(40.0, spec.nominal_rate_rps, spec), 0.0);   // saturated
+  double u = qos_utility(1000.0, spec.nominal_rate_rps, spec);
+  EXPECT_GT(u, 0.99);
+  EXPECT_LE(u, 1.0);
+  // The tardiness penalty strictly lowers utility relative to the raw
+  // hit-rate wherever tardiness is nonzero.
+  double mu = 80.0;
+  EXPECT_LT(qos_utility(mu, spec.nominal_rate_rps, spec),
+            expected_hit_rate(mu, spec.nominal_rate_rps, spec.deadline_s));
+  QosSpec no_penalty = spec;
+  no_penalty.tardiness_penalty = 0.0;
+  EXPECT_EQ(qos_utility(mu, spec.nominal_rate_rps, no_penalty),
+            expected_hit_rate(mu, spec.nominal_rate_rps, spec.deadline_s));
+}
+
+TEST(QosCurve, ExpectedTardinessFallsWithCapacity) {
+  const double lambda = 40.0, deadline = 0.05;
+  EXPECT_TRUE(std::isinf(expected_tardiness_s(40.0, lambda, deadline)));
+  double prev = expected_tardiness_s(45.0, lambda, deadline);
+  for (double mu = 50.0; mu <= 200.0; mu += 10.0) {
+    double tard = expected_tardiness_s(mu, lambda, deadline);
+    EXPECT_LT(tard, prev);
+    prev = tard;
+  }
+}
+
+}  // namespace
+}  // namespace harp::model

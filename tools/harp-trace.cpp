@@ -1,12 +1,13 @@
 // harp-trace — render telemetry traces (src/telemetry) for humans.
 //
 // Reads a JSONL trace produced by telemetry::write_trace_file and prints
-// per-cycle allocation summaries, an exploration convergence table, and a
-// fault/recovery timeline. Sections can be selected individually; with no
-// selection flags every section is printed.
+// per-cycle allocation summaries, an exploration convergence table, a
+// per-service deadline/QoS table, and a fault/recovery timeline. Sections
+// can be selected individually; with no selection flags every section is
+// printed.
 //
 // Usage:
-//   harp-trace [--summary] [--cycles] [--exploration] [--faults] <trace.jsonl>
+//   harp-trace [--summary] [--cycles] [--exploration] [--qos] [--faults] <trace.jsonl>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -23,7 +24,7 @@ using harp::telemetry::TraceEvent;
 
 void usage() {
   std::fprintf(stderr,
-               "usage: harp-trace [--summary] [--cycles] [--exploration] [--faults] "
+               "usage: harp-trace [--summary] [--cycles] [--exploration] [--qos] [--faults] "
                "<trace.jsonl>\n");
 }
 
@@ -140,6 +141,41 @@ void print_exploration(const std::vector<TraceEvent>& events) {
   }
 }
 
+void print_qos(const std::vector<TraceEvent>& events) {
+  std::printf("== deadline / qos ==\n");
+  struct ServiceStats {
+    std::size_t completed = 0;
+    std::size_t hits = 0;
+    double tardiness_sum_s = 0.0;
+    double max_tardiness_s = 0.0;
+    double max_queue_depth = 0.0;
+  };
+  std::map<std::string, ServiceStats> services;
+  for (const TraceEvent& event : events) {
+    if (event.type != EventType::kQosRequest) continue;
+    ServiceStats& service = services[event.scope];
+    ++service.completed;
+    if (num_arg(event, "hit") > 0.5) ++service.hits;
+    double tardiness = num_arg(event, "tardiness_s");
+    service.tardiness_sum_s += tardiness;
+    if (tardiness > service.max_tardiness_s) service.max_tardiness_s = tardiness;
+    double depth = num_arg(event, "queue_depth");
+    if (depth > service.max_queue_depth) service.max_queue_depth = depth;
+  }
+  if (services.empty()) {
+    std::printf("no qos_request events in trace\n");
+    return;
+  }
+  std::printf("%-16s %9s %8s %12s %12s %9s\n", "service", "requests", "hit_rate",
+              "mean_tard_s", "max_tard_s", "max_queue");
+  for (const auto& [name, service] : services) {
+    double denom = static_cast<double>(service.completed);
+    std::printf("%-16s %9zu %8.4f %12.6f %12.6f %9.0f\n", name.c_str(), service.completed,
+                static_cast<double>(service.hits) / denom, service.tardiness_sum_s / denom,
+                service.max_tardiness_s, service.max_queue_depth);
+  }
+}
+
 void print_faults(const std::vector<TraceEvent>& events) {
   std::printf("== fault / recovery timeline ==\n");
   std::size_t printed = 0;
@@ -174,7 +210,7 @@ void print_faults(const std::vector<TraceEvent>& events) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool summary = false, cycles = false, exploration = false, faults = false;
+  bool summary = false, cycles = false, exploration = false, qos = false, faults = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -184,6 +220,8 @@ int main(int argc, char** argv) {
       cycles = true;
     } else if (arg == "--exploration") {
       exploration = true;
+    } else if (arg == "--qos") {
+      qos = true;
     } else if (arg == "--faults") {
       faults = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -195,8 +233,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage(), 2;
-  if (!summary && !cycles && !exploration && !faults)
-    summary = cycles = exploration = faults = true;
+  if (!summary && !cycles && !exploration && !qos && !faults)
+    summary = cycles = exploration = qos = faults = true;
 
   auto loaded = harp::telemetry::load_trace_file(path);
   if (!loaded.ok()) {
@@ -208,6 +246,7 @@ int main(int argc, char** argv) {
   if (summary) print_summary(events);
   if (cycles) print_cycles(events);
   if (exploration) print_exploration(events);
+  if (qos) print_qos(events);
   if (faults) print_faults(events);
   return 0;
 }
