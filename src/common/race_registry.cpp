@@ -22,15 +22,6 @@ std::vector<const void*>& held_locks() {
   return held;
 }
 
-std::string describe_lockset(const std::vector<const void*>& locks) {
-  if (locks.empty()) return "{}";
-  std::ostringstream out;
-  out << "{";
-  for (std::size_t i = 0; i < locks.size(); ++i) out << (i ? ", " : "") << locks[i];
-  out << "}";
-  return out.str();
-}
-
 /// Per-tracked-object Eraser state.
 struct SharedState {
   enum class Phase { kExclusive, kShared };
@@ -51,6 +42,15 @@ struct Registry {
   bool abort_on_race = true;  // harp-lint: allow(r5 guarded by raw guard mutex above)
   std::size_t races = 0;      // harp-lint: allow(r5 guarded by raw guard mutex above)
   std::string last_report;    // harp-lint: allow(r5 guarded by raw guard mutex above)
+  // Stable first-appearance ids for report text. Raw addresses and
+  // std::thread::ids vary run to run (ASLR, thread-id reuse), which made
+  // reports impossible to diff or pin in golden assertions; objects render
+  // as o<N>, mutexes as m<N>, threads as t<N> in the order each is first
+  // described. Assigned only while building report strings — always under
+  // `guard` — so the lock/unlock hooks stay registry-lock-free.
+  std::map<const void*, int> object_ids;      // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::map<const void*, int> mutex_ids;       // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::map<std::thread::id, int> thread_ids;  // harp-lint: allow(r5 guarded by raw guard mutex above)
 };
 
 Registry& registry() {
@@ -58,10 +58,27 @@ Registry& registry() {
   return *r;
 }
 
-std::string describe_access(const char* label) {
+/// First-appearance id lookup (caller holds reg.guard).
+template <typename Key>
+std::string stable_id(std::map<Key, int>& ids, const Key& key, char prefix) {
+  auto [it, inserted] = ids.emplace(key, static_cast<int>(ids.size()));
+  return std::string(1, prefix) + std::to_string(it->second);
+}
+
+std::string describe_lockset(Registry& reg, const std::vector<const void*>& locks) {
+  if (locks.empty()) return "{}";
   std::ostringstream out;
-  out << "thread " << std::this_thread::get_id() << " accessed '" << label << "' holding "
-      << describe_lockset(held_locks());
+  out << "{";
+  for (std::size_t i = 0; i < locks.size(); ++i)
+    out << (i ? ", " : "") << stable_id(reg.mutex_ids, locks[i], 'm');
+  out << "}";
+  return out.str();
+}
+
+std::string describe_access(Registry& reg, const char* label) {
+  std::ostringstream out;
+  out << "thread " << stable_id(reg.thread_ids, std::this_thread::get_id(), 't')
+      << " accessed '" << label << "' holding " << describe_lockset(reg, held_locks());
   return out.str();
 }
 
@@ -91,7 +108,7 @@ void RaceRegistry::on_shared_access(const void* object, const char* label) {
   if (state.phase == SharedState::Phase::kExclusive) {
     if (state.owner == std::this_thread::get_id()) {
       // Single-threaded init: constructors and setup may write unlocked.
-      state.last_access = describe_access(label);
+      state.last_access = describe_access(reg, label);
       return;
     }
     // First access from a second thread: the object is now shared. C(v)
@@ -108,22 +125,22 @@ void RaceRegistry::on_shared_access(const void* object, const char* label) {
 
   if (state.candidate.empty()) {
     std::ostringstream out;
-    out << "HARP_RACE_CHECK: lockset violation on '" << label << "' (" << object << "): "
-        << describe_access(label) << "; previous: "
-        << (state.last_access.empty() ? "<none>" : state.last_access)
+    out << "HARP_RACE_CHECK: lockset violation on '" << label << "' ("
+        << stable_id(reg.object_ids, object, 'o') << "): " << describe_access(reg, label)
+        << "; previous: " << (state.last_access.empty() ? "<none>" : state.last_access)
         << "; no common lock protects every access";
     reg.last_report = out.str();
     ++reg.races;
     // Re-arm so one discipline bug does not cascade into a report per access.
     state.candidate = std::set<const void*>(held.begin(), held.end());
-    state.last_access = describe_access(label);
+    state.last_access = describe_access(reg, label);
     if (reg.abort_on_race) {
       std::fprintf(stderr, "%s\n", reg.last_report.c_str());
       std::abort();
     }
     return;
   }
-  state.last_access = describe_access(label);
+  state.last_access = describe_access(reg, label);
 }
 
 void RaceRegistry::forget(const void* object) {
@@ -156,6 +173,9 @@ void RaceRegistry::reset() {
   reg.tracked.clear();
   reg.races = 0;
   reg.last_report.clear();
+  reg.object_ids.clear();
+  reg.mutex_ids.clear();
+  reg.thread_ids.clear();
 }
 
 }  // namespace harp

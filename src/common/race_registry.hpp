@@ -49,11 +49,16 @@ class RaceRegistry {
   /// instrumented objects so address reuse cannot alias histories).
   void forget(const void* object);
 
-  /// Test hooks.
+  /// Test hooks. Reports render tracked objects, mutexes and threads as
+  /// stable first-appearance ids (o0, m0, t0, ...), never raw addresses or
+  /// std::thread::ids, so a deterministic access schedule produces a
+  /// byte-identical report on every run.
   void set_abort_on_race(bool abort_on_race);
   std::size_t race_count() const;
   std::string last_report() const;
-  void reset();  ///< clears tracked objects, races and reports (not held sets)
+  /// Clears tracked objects, races, reports and the stable report-id maps
+  /// (not per-thread held sets).
+  void reset();
 
  private:
   RaceRegistry() = default;

@@ -130,6 +130,99 @@ TEST(LintFixtures, R8AnnotateOrSuppress) {
   expect_exact({fixture("r8_bad.cpp"), fixture("r8_good.cpp")}, {"r8"});
 }
 
+TEST(LintFixtures, R9InterproceduralTaint) {
+  expect_exact({fixture("r9_bad.cpp"), fixture("r9_good.cpp")}, {"r9"});
+}
+
+TEST(LintFixtures, R9FixpointTerminatesOnRecursion) {
+  // Mutual recursion and self-recursion form cycles; the worklist converges
+  // and still reports both the sink-side and call-site findings.
+  expect_exact({fixture("r9_recursive.cpp")}, {"r9"});
+}
+
+TEST(LintFixtures, R9DiagnosticCarriesSourceToSinkPath) {
+  // The multi-hop chain in r9_bad.cpp: the message prints every hop from the
+  // emitting function down to the source, and Finding::path carries the same
+  // chain for machine consumption.
+  std::vector<Finding> findings = run({fixture("r9_bad.cpp")}, Options{{"r9"}});
+  const Finding* multi_hop = nullptr;
+  for (const Finding& f : findings)
+    if (f.line == 40) multi_hop = &f;
+  ASSERT_NE(multi_hop, nullptr);
+  EXPECT_EQ(multi_hop->rule, "r9");
+  EXPECT_EQ(multi_hop->message,
+            "nondeterminism reaches sink 'Tracer::begin': path publish_budget -> "
+            "jitter_budget -> entropy_sample [rand() draw at "
+            "tests/lint_fixtures/r9_bad.cpp:34]; make the data deterministic or suppress "
+            "with harp-lint: allow(r9 <reason>)");
+  std::vector<std::string> expected_path = {"publish_budget", "jitter_budget",
+                                            "entropy_sample"};
+  EXPECT_EQ(multi_hop->path, expected_path);
+}
+
+TEST(LintFixtures, R9CallSiteDiagnosticNamesTheSink) {
+  // Case B: a tainted caller handing data to a deterministic sink-reaching
+  // callee reports at the hand-off call site and names the eventual sink.
+  std::vector<Finding> findings = run({fixture("r9_bad.cpp")}, Options{{"r9"}});
+  const Finding* hand_off = nullptr;
+  for (const Finding& f : findings)
+    if (f.line == 28) hand_off = &f;
+  ASSERT_NE(hand_off, nullptr);
+  EXPECT_EQ(hand_off->message,
+            "call to 'write_report' carries nondeterministic data toward sink "
+            "'json::dump' (tests/lint_fixtures/r9_bad.cpp:21): path stamp_report "
+            "[environment read (getenv) at tests/lint_fixtures/r9_bad.cpp:26]; make the "
+            "data deterministic or suppress with harp-lint: allow(r9 <reason>)");
+}
+
+TEST(LintFixtures, R9RngHomeIsExempt) {
+  // The sanctioned seed home may touch entropy without tainting anything.
+  SourceFile exempt = fixture("r9_bad.cpp", "src/common/rng.hpp");
+  EXPECT_TRUE(run({exempt}, Options{{"r9"}}).empty());
+}
+
+TEST(LintFixtures, R10IterationOrder) {
+  expect_exact({fixture("r10_bad.cpp"), fixture("r10_good.cpp")}, {"r10"});
+}
+
+TEST(LintFixtures, R10MessageNamesEffectAndFix) {
+  std::vector<Finding> findings = run({fixture("r10_bad.cpp")}, Options{{"r10"}});
+  const Finding* fp_fold = nullptr;
+  for (const Finding& f : findings)
+    if (f.line == 40) fp_fold = &f;
+  ASSERT_NE(fp_fold, nullptr);
+  EXPECT_EQ(fp_fold->rule, "r10");
+  EXPECT_EQ(fp_fold->message,
+            "iteration over unordered container 'watts_by_core' accumulates into "
+            "floating-point 'watt_sum' (FP addition is not associative) (line 41); "
+            "iterate a sorted snapshot (collect keys, std::sort) or use std::map");
+}
+
+TEST(LintFixtures, LexerEdgeCasesDoNotConfuseTheIndexer) {
+  // Raw strings with embedded quotes, digit separators and line splices: the
+  // only finding is the genuine spliced rand() → tracer flow; the fake
+  // source/sink text inside the raw string stays a literal.
+  expect_exact({fixture("lexer_edges.cpp")}, {"r9"});
+}
+
+TEST(LintFixtures, JsonFormatIsStable) {
+  Finding plain{"src/a.cpp", 7, "r10", "iteration over unordered container 'm'"};
+  Finding with_path{"src/b.cpp", 12, "r9", "quote \" backslash \\ tab \t done"};
+  with_path.path = {"caller", "Class::callee"};
+  EXPECT_EQ(format_json({plain, with_path}),
+            "[\n"
+            "  {\"file\": \"src/a.cpp\", \"line\": 7, \"rule\": \"r10\", \"message\": "
+            "\"iteration over unordered container 'm'\", \"path\": []},\n"
+            "  {\"file\": \"src/b.cpp\", \"line\": 12, \"rule\": \"r9\", \"message\": "
+            "\"quote \\\" backslash \\\\ tab \\t done\", \"path\": [\"caller\", "
+            "\"Class::callee\"]}\n"
+            "]\n");
+}
+
+TEST(LintFixtures, JsonFormatEmptyFindings) {
+  EXPECT_EQ(format_json({}), "[]\n");
+}
+
 TEST(LintFixtures, StaleSuppressionsAreAudited) {
   Options options;
   options.audit_suppressions = true;

@@ -1,0 +1,31 @@
+// Lexer edge cases the call-graph indexer must survive: raw string literals
+// with embedded quotes swallowing source/sink-shaped text, C++14 digit
+// separators, and backslash line splices inside identifiers.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+// The raw string contains an embedded quoted word followed by source- and
+// sink-shaped text. A lexer that ended the literal at the inner quote would
+// tokenise std::rand() and json::dump() as real code in this function —
+// producing a spurious r9 here — and then swallow the rest of the file as
+// an unterminated string, losing the genuine finding below.
+const char* describe_format() {
+  return R"(the "seed" column is drawn from std::rand() and json::dump(state) writes it)";
+}
+
+// 1'000'000 must lex as one number, not a number plus a character literal
+// that swallows the rest of the function and breaks brace tracking for
+// every definition after it.
+int budget_micros() { return 1'000'000; }
+
+// A splice inside an identifier: `ra\<newline>nd` is one rand() call, and
+// the sink fed from it in the same function must still be reported.
+void spliced_emit(Tracer& tracer) {
+  int draw = ra\
+nd();
+  tracer.instant(EventType::kSolve, draw);  // expect: r9
+}
+
+}  // namespace fixture

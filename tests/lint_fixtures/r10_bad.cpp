@@ -1,0 +1,60 @@
+// r10 fixtures: range-for over unordered containers whose bodies are
+// order-sensitive. The finding sits on the `for` line; the message names the
+// effect line inside the body.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// Appending into a vector with no later sort: output order is scrambled.
+void collect_labels(const std::unordered_map<int, std::string>& label_by_id,
+                    std::vector<std::string>& out) {
+  for (const auto& entry : label_by_id) {  // expect: r10
+    out.push_back(entry.second);
+  }
+}
+
+// Direct sink emission from inside the loop body (most severe shape).
+void trace_members(Tracer& tracer, const std::unordered_set<int>& members) {
+  for (int id : members) {  // expect: r10
+    tracer.instant(EventType::kLease, id);
+  }
+}
+
+// String concatenation is non-commutative.
+std::string describe_stats(const std::unordered_map<std::string, double>& stats) {
+  std::string joined;
+  for (const auto& entry : stats) {  // expect: r10
+    joined += entry.first;
+  }
+  return joined;
+}
+
+// Floating-point accumulation: FP addition is not associative, so the hash
+// order leaks into the low bits of the total.
+double total_power(const std::unordered_map<int, double>& watts_by_core) {
+  double watt_sum = 0.0;
+  for (const auto& entry : watts_by_core) {  // expect: r10
+    watt_sum += entry.second;
+  }
+  return watt_sum;
+}
+
+// Stream insertion from the loop body.
+void render_rows(const std::unordered_set<std::string>& rows, std::ostringstream& row_os) {
+  for (const std::string& row : rows) {  // expect: r10
+    row_os << row << '\n';
+  }
+}
+
+// Iterating an inline temporary is reported as '<temporary>'.
+void seed_defaults(std::vector<int>& out) {
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // expect: r10
+    out.push_back(v);
+  }
+}
+
+}  // namespace fixture

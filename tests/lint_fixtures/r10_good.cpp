@@ -1,0 +1,62 @@
+// r10-clean shapes: the sanctioned collect-then-sort pattern, commutative
+// folds, keyed inserts (order-independent destinations), ordered std::map
+// iteration, and a reasoned suppression.
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// Collect-then-sort: appends inside the loop are fine because the collected
+// vector is sorted before anyone can observe its order.
+std::vector<std::string> sorted_labels(const std::unordered_map<int, std::string>& labels) {
+  std::vector<std::string> collected;
+  for (const auto& entry : labels) {
+    collected.push_back(entry.second);
+  }
+  std::sort(collected.begin(), collected.end());
+  return collected;
+}
+
+// Commutative integer fold: order-insensitive.
+int member_count(const std::unordered_set<int>& members) {
+  int count = 0;
+  for (int id : members) {
+    count += id > 0 ? 1 : 0;
+  }
+  return count;
+}
+
+// Keyed insert into an ordered destination: the map re-orders regardless of
+// visit order.
+std::map<int, double> ordered_snapshot(const std::unordered_map<int, double>& watts) {
+  std::map<int, double> snapshot;
+  for (const auto& entry : watts) {
+    snapshot.insert({entry.first, entry.second});
+  }
+  return snapshot;
+}
+
+// std::map iteration is deterministic; string concatenation is fine here.
+std::string render_ordered(const std::map<int, std::string>& ordered_labels) {
+  std::string rendering;
+  for (const auto& entry : ordered_labels) {
+    rendering += entry.second;
+  }
+  return rendering;
+}
+
+// Sanctioned order-dependent dump, suppressed with a reason on the line
+// above the loop.
+void debug_dump(std::ostringstream& debug_os, const std::unordered_set<int>& ids) {
+  // harp-lint: allow(r10 debug-only dump; ordering is irrelevant to golden tests)
+  for (int id : ids) {
+    debug_os << id;
+  }
+}
+
+}  // namespace fixture

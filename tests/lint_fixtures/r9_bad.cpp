@@ -1,0 +1,64 @@
+// r9 fixtures: nondeterminism sources reaching determinism sinks over the
+// call graph. Markers sit on the lines where the engine reports: the sink
+// call site when the sink's own function is tainted, the hand-off call site
+// when a tainted caller feeds a deterministic sink-reaching callee.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+namespace fixture {
+
+// Case A: source and sink in the same function — fires at the sink line.
+void emit_wallclock_metric(Tracer& tracer) {
+  auto now = std::chrono::system_clock::now();
+  tracer.instant(EventType::kLease, to_millis(now));  // expect: r9
+}
+
+// The sink-side helper is deterministic on its own: no source, so it stays
+// silent and the report lands at the hand-off call site instead.
+void write_report(const std::string& payload) { json::dump(payload); }
+
+// Case B: the nondeterministic value crosses one call edge; fires where the
+// tainted caller hands it to the sink-reaching callee.
+std::string stamp_report() {
+  const char* tag = std::getenv("HARP_TAG");
+  std::string payload = tag != nullptr ? tag : "";
+  write_report(payload);  // expect: r9
+  return payload;
+}
+
+// Multi-hop chain: the taint climbs two call edges, and the diagnostic path
+// names every hop from the emitting function down to the source.
+long entropy_sample() { return std::rand(); }
+
+long jitter_budget() { return entropy_sample() / 7; }
+
+void publish_budget(Tracer& tracer) {
+  long budget = jitter_budget();
+  tracer.begin(EventType::kSolve, budget);  // expect: r9
+}
+
+// Method resolution: this-> call into a private tainted helper.
+class EnergyLedger {
+ public:
+  void record(Tracer& tracer) {
+    double sample = this->noisy_sample();
+    tracer.instant(EventType::kEnergy, sample);  // expect: r9
+  }
+
+ private:
+  double noisy_sample() {
+    std::random_device seed_source;
+    return static_cast<double>(seed_source());
+  }
+};
+
+// Pointer identity leaking into a bench report (source and sink local).
+void tag_bench_rows(const Task* task) {
+  auto key = reinterpret_cast<std::uintptr_t>(task);
+  bench::write_bench_file("rows", key);  // expect: r9
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixpoint-termination regression: mutual recursion and self-recursion form
+// cycles in the call graph; the worklist must converge (each node colored at
+// most once) and still carry the taint across the cycle to the sinks.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int pong_depth(int n);
+
+// Mutually recursive pair; the source sits in the base case of one side.
+int ping_depth(int n) {
+  if (n <= 0) return std::rand();
+  return pong_depth(n - 1);
+}
+
+int pong_depth(int n) {
+  if (n <= 0) return 0;
+  return ping_depth(n - 1);
+}
+
+// The cycle's taint reaches this sink through ping_depth.
+void report_depth(Tracer& tracer) {
+  tracer.instant(EventType::kSolve, ping_depth(3));  // expect: r9
+}
+
+// Self-recursive sink-side helper: deterministic itself, so the report
+// lands at the tainted caller's hand-off call site.
+void spill_chain(Tracer& tracer, int n) {
+  if (n > 0) spill_chain(tracer, n - 1);
+  tracer.end(EventType::kSolve, n);
+}
+
+void seed_spill(Tracer& tracer) {
+  std::random_device entropy;
+  spill_chain(tracer, static_cast<int>(entropy() % 4));  // expect: r9
+}
+
+}  // namespace fixture

@@ -77,6 +77,48 @@ TEST_F(RaceCheckTest, SeededDisciplineViolationFires) {
   HARP_UNTRACK_SHARED(&value);
 }
 
+TEST_F(RaceCheckTest, ViolationReportIsByteIdenticalAcrossReruns) {
+  // Reports must be reproducible run to run: objects, mutexes and threads
+  // appear as first-appearance ids (o0, m0, t0), never raw addresses or
+  // std::thread::ids, so race logs diff cleanly and the exact report text
+  // below can be pinned. Rerunning the identical schedule (fresh stack
+  // objects, fresh worker thread) must reproduce the report byte for byte.
+  auto provoke = [] {
+    RaceRegistry::instance().reset();
+    Mutex lock_a;
+    Mutex lock_b;
+    int value = 0;
+    {
+      MutexLock lock(lock_a);
+      HARP_TRACK_SHARED(&value);
+      value = 1;
+    }
+    std::thread worker([&] {
+      {
+        MutexLock lock(lock_b);
+        HARP_TRACK_SHARED(&value);
+        value = 2;
+      }
+      {
+        MutexLock lock(lock_a);
+        HARP_TRACK_SHARED(&value);
+        value = 3;
+      }
+    });
+    worker.join();
+    HARP_UNTRACK_SHARED(&value);
+    return RaceRegistry::instance().last_report();
+  };
+  std::string first = provoke();
+  std::string second = provoke();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find("0x"), std::string::npos) << first;
+  EXPECT_EQ(first,
+            "HARP_RACE_CHECK: lockset violation on '&value' (o0): thread t1 accessed "
+            "'&value' holding {m0}; previous: thread t1 accessed '&value' holding {m1}; "
+            "no common lock protects every access");
+}
+
 TEST_F(RaceCheckTest, ConsistentLockIsSilent) {
   Mutex lock_a;
   int value = 0;

@@ -31,7 +31,7 @@ fi
 
 echo "== harp-lint =="
 cmake --build "$build" -j "$jobs" --target harp-lint >/dev/null
-"$build/tools/harp-lint" --root "$root" src tests tools bench examples
+"$build/tools/harp-lint" --root "$root" --audit-suppressions src tests tools bench examples
 
 echo "== tier1 tests =="
 ctest --test-dir "$build" -L tier1 --output-on-failure

@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Gating clang-tidy wrapper: run the bugprone-*/concurrency-* checks (see
+# .clang-tidy) over the tracked src/ and tools/ sources and diff the
+# normalised findings against the checked-in baseline
+# (tools/clang_tidy_baseline.txt). Any finding not in the baseline fails the
+# gate; fixed findings are reported so the baseline can be ratcheted down.
+#
+#   ./tools/clang_tidy_gate.sh                    # gate against build/
+#   BUILD_DIR=build-check ./tools/clang_tidy_gate.sh
+#   ./tools/clang_tidy_gate.sh --update-baseline  # regenerate the baseline
+#
+# Normalisation keeps the baseline stable across unrelated edits: line and
+# column numbers are stripped, paths are made repo-relative, and duplicate
+# findings (headers seen from many TUs) collapse to one line. Exit status:
+# 0 clean (or only fixed findings), 1 new findings, 2 environment error.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${BUILD_DIR:-"$root/build"}
+baseline="$root/tools/clang_tidy_baseline.txt"
+mode=${1:-check}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang_tidy_gate: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "clang_tidy_gate: no compile database in $build (run cmake -B $build -S $root first)" >&2
+  exit 2
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Run clang-tidy file by file via xargs (|| true: findings make clang-tidy
+# exit non-zero; the gate decides pass/fail from the diff, not the tool's
+# exit code), then normalise to `path: severity: message [check]` lines.
+(cd "$root" && git ls-files 'src/**/*.cpp' 'tools/**/*.cpp') \
+  | (cd "$root" && xargs clang-tidy -p "$build" --quiet 2>/dev/null || true) \
+  | sed -n 's/^\([^ :][^:]*\):[0-9][0-9]*:[0-9][0-9]*: \(warning\|error\): /\1: \2: /p' \
+  | sed "s#^$root/##" \
+  | sort -u > "$tmpdir/current"
+
+if [ "$mode" = "--update-baseline" ]; then
+  {
+    echo "# clang-tidy baseline: one normalised finding per line"
+    echo "# (path: severity: message [check]; line/column numbers stripped)."
+    echo "# Regenerate with: ./tools/clang_tidy_gate.sh --update-baseline"
+    cat "$tmpdir/current"
+  } > "$baseline"
+  count=$(wc -l < "$tmpdir/current" | tr -d ' ')
+  echo "clang_tidy_gate: baseline updated with $count finding(s)"
+  exit 0
+fi
+
+grep -v '^#' "$baseline" | sort -u > "$tmpdir/baseline" || true
+
+new_findings=$(comm -13 "$tmpdir/baseline" "$tmpdir/current")
+fixed_findings=$(comm -23 "$tmpdir/baseline" "$tmpdir/current")
+
+if [ -n "$fixed_findings" ]; then
+  echo "clang_tidy_gate: baseline entries no longer firing (ratchet the baseline down):"
+  printf '%s\n' "$fixed_findings" | sed 's/^/  - /'
+fi
+if [ -n "$new_findings" ]; then
+  echo "clang_tidy_gate: new findings not in tools/clang_tidy_baseline.txt:" >&2
+  printf '%s\n' "$new_findings" | sed 's/^/  + /' >&2
+  echo "clang_tidy_gate: fix them, or if intentional run ./tools/clang_tidy_gate.sh --update-baseline" >&2
+  exit 1
+fi
+echo "clang_tidy_gate: clean against baseline"

@@ -1,0 +1,71 @@
+// Whole-tree call graph for harp-lint's interprocedural passes.
+//
+// Every function/method definition across all scanned SourceFiles is indexed
+// (via cfg.hpp's extract_functions) and call sites inside each body are
+// resolved to defined functions with the same pragmatic one-hop style the
+// lockset pass uses:
+//
+//   - `Class::name(...)`  → the definition(s) keyed "Class::name";
+//   - `this->name(...)` / unqualified `name(...)` inside a class → the
+//     enclosing class's method first, then a free function `name`;
+//   - `obj.name(...)` / `obj->name(...)` on a non-this object → resolved
+//     only when `name` maps to exactly one qualified function in the whole
+//     index (no receiver type inference);
+//   - anything else (std:: calls, unknown names, declaration-like
+//     `Type name(...)` runs) resolves to nothing and creates no edge.
+//
+// When a qualified name has definitions in several files (internal-linkage
+// helpers sharing a name), a call prefers the definition(s) in its own file;
+// only if the file defines none does it fan out to all of them — a sound
+// over-approximation for the taint fixpoint, which must terminate on
+// arbitrary (including mutually recursive) graphs and therefore treats the
+// graph purely as reachability, never as a call stack.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/harp_lint/lexer.hpp"
+#include "tools/harp_lint/lint.hpp"
+
+namespace harp::lint {
+
+/// One scanned translation unit (same shape the lockset pass takes).
+struct CgUnit {
+  const SourceFile* src = nullptr;
+  const LexedFile* lexed = nullptr;
+};
+
+/// One resolved call edge out of a node's body.
+struct CallSite {
+  int callee = 0;  ///< node id
+  int line = 1;    ///< line of the call site (for path diagnostics)
+};
+
+/// One function/method definition.
+struct CgNode {
+  int unit = 0;              ///< index into the CgUnit vector
+  std::string class_name;    ///< enclosing/qualifying class; empty = free fn
+  std::string name;
+  int line = 1;              ///< definition line
+  std::size_t body_begin = 0;  ///< first token inside the braces
+  std::size_t body_end = 0;    ///< token index of the closing brace
+  std::vector<CallSite> calls;  ///< resolved callees, deduped, one site each
+};
+
+struct CallGraph {
+  std::vector<CgNode> nodes;
+  std::vector<std::vector<int>> callers;  ///< reverse edges, node-id order
+};
+
+/// "Class::name" for methods, plain "name" for free functions — the display
+/// form used in r9 path diagnostics.
+std::string qualified_name(const CgNode& node);
+
+/// Index all definitions and resolve all call sites. Deterministic: node ids
+/// follow (unit order, definition order), edges and caller lists are emitted
+/// in ascending node-id order.
+CallGraph build_call_graph(const std::vector<CgUnit>& units);
+
+}  // namespace harp::lint

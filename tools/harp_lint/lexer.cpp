@@ -39,6 +39,10 @@ class Lexer {
       advance();
       return;
     }
+    if (at_line_splice()) {
+      skip_line_splice();
+      return;
+    }
     if (c == '/' && peek(1) == '/') return line_comment();
     if (c == '/' && peek(1) == '*') return block_comment();
     if (c == '#' && at_line_start()) return directive();
@@ -48,6 +52,20 @@ class Lexer {
     if (ident_start(c)) return identifier();
     if (std::isdigit(static_cast<unsigned char>(c))) return number();
     punct();
+  }
+
+  /// `\` immediately followed by a newline (optionally `\r\n`): a line
+  /// splice. The standard joins the physical lines before tokenisation, so
+  /// an identifier or literal split across a splice is one token.
+  bool at_line_splice() const {
+    if (peek() != '\\') return false;
+    return peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n');
+  }
+
+  void skip_line_splice() {
+    advance();                     // backslash
+    if (peek() == '\r') advance();  // CR of a CRLF splice
+    advance();                     // newline
   }
 
   bool at_line_start() const {
@@ -154,19 +172,38 @@ class Lexer {
   void identifier() {
     int line = line_;
     std::string name;
-    while (pos_ < text_.size() && ident_char(peek())) name += advance();
+    while (pos_ < text_.size()) {
+      if (at_line_splice()) {  // `foo\<newline>bar` is one identifier
+        skip_line_splice();
+        continue;
+      }
+      if (!ident_char(peek())) break;
+      name += advance();
+    }
     push(TokKind::kIdent, std::move(name), line);
   }
 
   void number() {
     int line = line_;
     std::string body;
-    while (pos_ < text_.size() &&
-           (ident_char(peek()) || peek() == '.' ||
+    while (pos_ < text_.size()) {
+      if (at_line_splice()) {
+        skip_line_splice();
+        continue;
+      }
+      // `'` between digit-ish characters is a C++14 digit separator
+      // (1'000'000), not the start of a char literal.
+      if (peek() == '\'' && ident_char(peek(1))) {
+        advance();
+        continue;
+      }
+      if (!(ident_char(peek()) || peek() == '.' ||
             ((peek() == '+' || peek() == '-') &&
              (body.ends_with("e") || body.ends_with("E") || body.ends_with("p") ||
               body.ends_with("P")))))
+        break;
       body += advance();
+    }
     push(TokKind::kNumber, std::move(body), line);
   }
 

@@ -5,8 +5,10 @@
 #include <set>
 #include <unordered_set>
 
+#include "tools/harp_lint/callgraph.hpp"
 #include "tools/harp_lint/lexer.hpp"
 #include "tools/harp_lint/lockset.hpp"
+#include "tools/harp_lint/taint.hpp"
 
 namespace harp::lint {
 
@@ -786,6 +788,54 @@ std::string format(const Finding& finding) {
          finding.message;
 }
 
+namespace {
+
+/// Minimal JSON string escaping (the linter depends on nothing but the
+/// standard library, so it cannot use src/json).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"file\": \"" + json_escape(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"rule\": \"" + json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\", \"path\": [";
+    for (std::size_t p = 0; p < f.path.size(); ++p) {
+      if (p != 0) out += ", ";
+      out += "\"" + json_escape(f.path[p]) + "\"";
+    }
+    out += "]}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
 std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& options) {
   std::vector<Scanned> scans;
   scans.reserve(files.size());
@@ -818,6 +868,13 @@ std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& op
     units.reserve(scans.size());
     for (const Scanned& f : scans) units.push_back(LockUnit{f.src, &f.lexed});
     check_locksets(units, enabled("r7"), enabled("r8"), findings);
+  }
+  if (enabled("r9") || enabled("r10")) {
+    std::vector<CgUnit> units;
+    units.reserve(scans.size());
+    for (const Scanned& f : scans) units.push_back(CgUnit{f.src, &f.lexed});
+    CallGraph cg = build_call_graph(units);
+    check_determinism_taint(cg, units, enabled("r9"), enabled("r10"), findings);
   }
 
   // Apply suppressions: an allow on the finding's line or the line above.

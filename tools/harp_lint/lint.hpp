@@ -26,6 +26,21 @@
 //                          HARP_GUARDED_BY (annotate-or-suppress; atomics and
 //                          const members exempt), or a guard annotation whose
 //                          argument names no declared mutex member.
+//   r9  nondet-taint        interprocedural: a determinism sink (telemetry
+//                          event emission, json::dump/save_file, the solver
+//                          fingerprint, bench report writers) reachable from
+//                          a nondeterminism source (wall clock, rand/
+//                          random_device, getenv, pointer-to-integer casts,
+//                          pointer hashing, order-sensitive unordered-
+//                          container iteration) over the whole-tree call
+//                          graph; the message carries the full
+//                          source → call-chain → sink path (callgraph.hpp +
+//                          taint.hpp).
+//   r10 iteration-order     a range-for over std::unordered_map/set whose
+//                          body emits to a sink or accumulates
+//                          non-commutatively (push_back/append, string or
+//                          float +=, stream insertion); collect-then-sort
+//                          is the sanctioned pattern.
 //   allow                  malformed suppression (missing mandatory reason),
 //                          or — under audit_suppressions — a stale allow()
 //                          that no longer matches any finding.
@@ -45,6 +60,11 @@ struct Finding {
   int line = 1;
   std::string rule;
   std::string message;
+  /// r9 only: the qualified-function call chain from the reporting function
+  /// to the source-containing function, for machine-readable output. The
+  /// default member initializer keeps four-field aggregate initialization
+  /// (used throughout the rule implementations) warning-free.
+  std::vector<std::string> path = {};
 };
 
 /// One input translation unit. `rel_path` is the repo-relative path with
@@ -76,5 +96,10 @@ std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& op
 
 /// `file:line: rule-id message` — the one-line diagnostic format.
 std::string format(const Finding& finding);
+
+/// Stable machine-readable form: a JSON array of
+/// `{"file","line","rule","message","path"}` objects in the engine's sorted
+/// finding order, so CI artifacts diff cleanly across runs.
+std::string format_json(const std::vector<Finding>& findings);
 
 }  // namespace harp::lint

@@ -1,15 +1,21 @@
-// harp-lint — HARP-specific static analysis (rules r1–r8, see lint.hpp).
+// harp-lint — HARP-specific static analysis (rules r1–r10, see lint.hpp).
 //
 // Usage:
-//   harp-lint [--root <dir>] [--rules r1,r3] [--audit-suppressions] [path...]
+//   harp-lint [--root <dir>] [--rules r1,r3] [--format text|json]
+//             [--audit-suppressions] [path...]
 //
 // --audit-suppressions additionally reports stale `// harp-lint: allow(...)`
 // directives — ones whose rule ran but which silenced nothing.
+// --format=json emits the findings as a stable JSON array (file/line/rule/
+// message/path) on stdout for CI artifacts; exit codes are unchanged.
 //
 // Paths (files or directories, default: src tests tools bench examples) are
 // resolved against --root (default: cwd). Directory walks collect *.cpp and
 // *.hpp and skip build outputs and the lint fixture corpus; explicitly named
-// files are always scanned. Exit status: 0 clean, 1 findings, 2 usage error.
+// files are always scanned, and the scan order is sorted by relative path so
+// output (and the r9 taint paths) never depend on directory enumeration
+// order. Exit status: 0 clean, 1 findings, 2 usage error.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -25,8 +31,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: harp-lint [--root <dir>] [--rules r1,r2,...] [--audit-suppressions] "
-               "[path...]\n");
+               "usage: harp-lint [--root <dir>] [--rules r1,r2,...] [--format text|json] "
+               "[--audit-suppressions] [path...]\n");
 }
 
 bool source_extension(const fs::path& path) {
@@ -62,10 +68,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> rules;
   std::vector<std::string> paths;
   bool audit_suppressions = false;
+  bool json_output = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--audit-suppressions") {
       audit_suppressions = true;
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) return usage(), 2;
+      std::string fmt = argv[++i];
+      if (fmt == "json") {
+        json_output = true;
+      } else if (fmt != "text") {
+        return usage(), 2;
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string fmt = arg.substr(9);
+      if (fmt == "json") {
+        json_output = true;
+      } else if (fmt != "text") {
+        return usage(), 2;
+      }
     } else if (arg == "--root") {
       if (i + 1 >= argc) return usage(), 2;
       root = fs::path(argv[++i]);
@@ -119,12 +141,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::sort(files.begin(), files.end(),
+            [](const harp::lint::SourceFile& a, const harp::lint::SourceFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+
   harp::lint::Options options;
   options.rules = rules;
   options.audit_suppressions = audit_suppressions;
   std::vector<harp::lint::Finding> findings = harp::lint::run(files, options);
-  for (const harp::lint::Finding& finding : findings)
-    std::printf("%s\n", harp::lint::format(finding).c_str());
+  if (json_output) {
+    std::fputs(harp::lint::format_json(findings).c_str(), stdout);
+  } else {
+    for (const harp::lint::Finding& finding : findings)
+      std::printf("%s\n", harp::lint::format(finding).c_str());
+  }
   if (!findings.empty()) {
     std::fprintf(stderr, "harp-lint: %zu finding(s) in %zu file(s) scanned\n", findings.size(),
                  files.size());
