@@ -12,6 +12,18 @@ namespace harp::core {
 
 struct RmServer::Client {
   std::unique_ptr<ipc::Channel> channel;
+  /// Cached native_handle() (the channel forgets it on close); -1 = in-proc.
+  int fd = -1;
+  /// Global adoption order; ties allocation order together across shards.
+  std::uint64_t admission = 0;
+  /// Readiness flag, set by the event loop (fd channels) or by the channel's
+  /// ready hook (in-process channels, possibly from the sending thread) and
+  /// test-and-cleared by the poll cycle. Shared so a hook outliving a poll
+  /// cycle can never dangle. Always true in legacy scan mode.
+  std::shared_ptr<std::atomic<bool>> ready;
+  /// True while the event loop watches this fd for writability (a partial
+  /// frame is buffered awaiting flush_pending()).
+  bool watching_write = false;
   bool registered = false;
   std::int32_t app_id = -1;
   std::int32_t pid = 0;
@@ -40,6 +52,10 @@ struct RmServer::Client {
 
 RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
     : hw_(std::move(hw)), options_(options), allocator_(hw_, options.solver, options.tracer) {
+  if (options_.use_event_loop) {
+    loop_ = std::make_shared<ipc::EventLoop>();
+    if (!loop_->valid()) loop_ = nullptr;  // degrade to the legacy scan cycle
+  }
   if (options_.metrics != nullptr) {
     reallocs_counter_ = &options_.metrics->counter("rm_reallocs_total");
     registrations_counter_ = &options_.metrics->counter("rm_registrations_total");
@@ -49,6 +65,8 @@ RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
     group_cache_hits_counter_ = &options_.metrics->counter("rm_group_cache_hits_total");
     solve_replays_counter_ = &options_.metrics->counter("rm_solve_replays_total");
     realloc_skips_counter_ = &options_.metrics->counter("rm_realloc_skips_total");
+    eventloop_cycles_counter_ = &options_.metrics->counter("rm_eventloop_cycles_total");
+    eventloop_ready_counter_ = &options_.metrics->counter("rm_eventloop_ready_fds");
     solve_histogram_ = &options_.metrics->histogram(
         "rm_solve_seconds", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1});
   }
@@ -61,17 +79,50 @@ Status RmServer::listen(const std::string& socket_path) {
   if (!server.ok()) return Status(server.error());
   MutexLock lock(mutex_);
   server_ = std::move(server).take();
+  if (loop_ != nullptr) (void)loop_->add(server_->fd(), ipc::kEventReadable);
   return Status{};
 }
 
 void RmServer::adopt_channel(std::unique_ptr<ipc::Channel> channel) {
   MutexLock lock(mutex_);
-  adopt_channel_locked(std::move(channel));
+  adopt_channel_locked(std::move(channel), next_admission_++);
 }
 
-void RmServer::adopt_channel_locked(std::unique_ptr<ipc::Channel> channel) {
+void RmServer::adopt_channel(std::unique_ptr<ipc::Channel> channel, std::uint64_t admission) {
+  MutexLock lock(mutex_);
+  if (admission >= next_admission_) next_admission_ = admission + 1;
+  adopt_channel_locked(std::move(channel), admission);
+}
+
+void RmServer::adopt_channel_locked(std::unique_ptr<ipc::Channel> channel,
+                                    std::uint64_t admission) {
   auto client = std::make_unique<Client>();
   client->channel = std::move(channel);
+  client->admission = admission;
+  client->fd = client->channel->native_handle();
+  // New channels start ready: frames may have arrived before adoption.
+  client->ready = std::make_shared<std::atomic<bool>>(true);
+  if (loop_ != nullptr) {
+    if (client->fd >= 0) {
+      (void)loop_->add(client->fd, ipc::kEventReadable);
+      by_fd_[client->fd] = client.get();
+      // Event-loop mode: never block the cycle on one slow peer; partial
+      // frames buffer and flush on the fd's next writable event.
+      client->channel->set_nonblocking_send(true);
+    } else {
+      // In-process transport: readiness arrives through the push hook, which
+      // may fire from the sending thread. The shared flag keeps the store
+      // safe even if the hook outlives this client; the weak loop pointer
+      // keeps the wakeup safe even if it outlives this server.
+      std::shared_ptr<std::atomic<bool>> ready = client->ready;
+      std::weak_ptr<ipc::EventLoop> weak_loop = loop_;
+      client->channel->set_ready_hook([ready, weak_loop] {
+        ready->store(true, std::memory_order_release);
+        if (std::shared_ptr<ipc::EventLoop> loop = weak_loop.lock()) loop->wakeup();
+      });
+    }
+  }
+  lease_init_pending_.push_back(client.get());
   clients_.push_back(std::move(client));
 }
 
@@ -88,6 +139,11 @@ std::uint64_t RmServer::realloc_count() const {
 std::uint64_t RmServer::lease_evictions() const {
   MutexLock lock(mutex_);
   return lease_evictions_;
+}
+
+std::optional<ipc::EventLoop::Backend> RmServer::loop_backend() const {
+  if (loop_ == nullptr) return std::nullopt;
+  return loop_->backend();
 }
 
 double RmServer::last_utility(const std::string& app_name) const {
@@ -123,30 +179,89 @@ std::vector<ClientSnapshot> RmServer::snapshot() const {
   return out;
 }
 
-void RmServer::poll(double now_seconds) {
-  MutexLock lock(mutex_);
-  HARP_TRACK_SHARED(&clients_);
-  // Accept pending connections.
-  if (server_ != nullptr) {
-    while (true) {
-      auto accepted = server_->accept();
-      if (!accepted.ok()) {
-        HARP_WARN << "accept failed: " << accepted.error().message;
-        break;
-      }
-      if (!accepted.value().has_value()) break;
-      adopt_channel_locked(std::move(*accepted.value()));
-    }
+void RmServer::poll(double now_seconds) { poll_impl(now_seconds, 0); }
+
+void RmServer::poll(double now_seconds, int timeout_ms) { poll_impl(now_seconds, timeout_ms); }
+
+void RmServer::wakeup() {
+  if (loop_ != nullptr) loop_->wakeup();
+}
+
+void RmServer::poll_impl(double now_seconds, int timeout_ms) {
+  if (loop_ == nullptr) {
+    // Legacy scan cycle: every client is treated as ready every cycle.
+    MutexLock lock(mutex_);
+    HARP_TRACK_SHARED(&clients_);
+    accept_pending_locked();
+    process_cycle_locked(now_seconds);
+    return;
   }
 
-  // Start the lease clock for channels adopted since the last cycle.
-  for (const auto& client : clients_)
-    if (client->last_heard < 0.0) client->last_heard = now_seconds;
+  // Wait outside the lock so accessors (and wakeup-triggering adopters) are
+  // never blocked behind the kernel wait.
+  Result<int> waited = loop_->wait(timeout_ms, ready_scratch_);
+  if (!waited.ok()) {
+    HARP_WARN << "event loop wait failed: " << waited.error().message;
+    ready_scratch_.clear();
+  }
 
-  // Drain client messages; drop broken/closed clients.
+  MutexLock lock(mutex_);
+  HARP_TRACK_SHARED(&clients_);
+  if (eventloop_cycles_counter_ != nullptr) eventloop_cycles_counter_->inc();
+  if (eventloop_ready_counter_ != nullptr && !ready_scratch_.empty())
+    eventloop_ready_counter_->inc(ready_scratch_.size());
+
+  const int listen_fd = server_ != nullptr ? server_->fd() : -1;
+  for (const ipc::EventLoop::Ready& event : ready_scratch_) {
+    if (event.fd == listen_fd) {
+      accept_pending_locked();
+      continue;
+    }
+    auto it = by_fd_.find(event.fd);
+    if (it == by_fd_.end()) continue;  // raced with a drop; stale event
+    Client* client = it->second;
+    if ((event.events & (ipc::kEventReadable | ipc::kEventError)) != 0)
+      client->ready->store(true, std::memory_order_relaxed);
+    if ((event.events & ipc::kEventWritable) != 0) {
+      (void)client->channel->flush_pending();
+      if (client->watching_write && !client->channel->has_pending_send()) {
+        (void)loop_->modify(event.fd, ipc::kEventReadable);
+        client->watching_write = false;
+      }
+    }
+  }
+  process_cycle_locked(now_seconds);
+}
+
+void RmServer::accept_pending_locked() {
+  if (server_ == nullptr) return;
+  while (true) {
+    auto accepted = server_->accept();
+    if (!accepted.ok()) {
+      HARP_WARN << "accept failed: " << accepted.error().message;
+      break;
+    }
+    if (!accepted.value().has_value()) break;
+    adopt_channel_locked(std::move(*accepted.value()), next_admission_++);
+  }
+}
+
+void RmServer::process_cycle_locked(double now_seconds) {
+  // Start the lease clock for channels adopted since the last cycle.
+  for (Client* client : lease_init_pending_)
+    if (client->last_heard < 0.0) client->last_heard = now_seconds;
+  lease_init_pending_.clear();
+
+  // Drain client messages — only the ready ones when readiness is tracked —
+  // and drop broken/closed clients. Iteration stays in adoption order so
+  // message processing (and therefore allocation state) is deterministic
+  // regardless of the order the kernel reported readiness in.
+  const bool selective = loop_ != nullptr;
   for (std::size_t i = 0; i < clients_.size();) {
-    process_client_messages(*clients_[i], now_seconds);
-    if (clients_[i]->channel->closed()) {
+    Client& client = *clients_[i];
+    bool ready = !selective || client.ready->exchange(false, std::memory_order_acq_rel);
+    if (ready) process_client_messages(client, now_seconds);
+    if (client.channel->closed()) {
       drop_client(i);
       continue;
     }
@@ -173,7 +288,7 @@ void RmServer::poll(double now_seconds) {
     }
   }
 
-  if (needs_realloc_) reallocate();
+  if (needs_realloc_ && !options_.external_solver) reallocate();
 
   // Periodic utility feedback (Fig. 3 step 4).
   if (now_seconds - last_utility_poll_ >= options_.utility_poll_interval_s) {
@@ -181,6 +296,18 @@ void RmServer::poll(double now_seconds) {
     for (const auto& client : clients_)
       if (client->registered && client->provides_utility)
         (void)client->channel->send(ipc::Message(ipc::UtilityRequest{}));
+  }
+
+  // Sends above may have left partial frames buffered on slow peers; ask the
+  // loop to tell us when those fds drain. fd-backed clients only — in-proc
+  // channels never buffer.
+  if (loop_ != nullptr) {
+    for (auto& [fd, client] : by_fd_) {
+      if (!client->watching_write && client->channel->has_pending_send()) {
+        (void)loop_->modify(fd, ipc::kEventReadable | ipc::kEventWritable);
+        client->watching_write = true;
+      }
+    }
   }
 }
 
@@ -276,15 +403,16 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
   // Unregistering (not just closing) matters: the zombie may already have
   // been drained this cycle, and a still-registered zombie would be handed
   // a grant by the reallocation running later in the same poll().
-  for (const auto& other : clients_) {
-    if (other.get() == &client || !other->registered) continue;
-    if (other->name == request.app_name && other->pid == request.pid) {
-      HARP_WARN << "registration of '" << request.app_name << "' (pid " << request.pid
-                << ") supersedes a stale connection; evicting the old one";
-      other->registered = false;
-      other->channel->close();
-      needs_realloc_ = true;
-    }
+  auto key = std::make_pair(request.app_name, request.pid);
+  auto stale = identity_.find(key);
+  if (stale != identity_.end() && stale->second != &client) {
+    Client* zombie = stale->second;
+    HARP_WARN << "registration of '" << request.app_name << "' (pid " << request.pid
+              << ") supersedes a stale connection; evicting the old one";
+    zombie->registered = false;
+    zombie->channel->close();
+    identity_.erase(stale);
+    needs_realloc_ = true;
   }
 
   client.registered = true;
@@ -297,6 +425,7 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
   // The replacement table restarts at version 0; drop any cached group so
   // the version comparison cannot pair the fresh table with a stale build.
   client.has_group = false;
+  identity_[key] = &client;
   (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
   needs_realloc_ = true;
   if (registrations_counter_ != nullptr) registrations_counter_->inc();
@@ -308,7 +437,16 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
 }
 
 void RmServer::drop_client(std::size_t index) {
-  HARP_INFO << "client '" << clients_[index]->name << "' left";
+  Client& client = *clients_[index];
+  HARP_INFO << "client '" << client.name << "' left";
+  if (client.registered) {
+    auto it = identity_.find(std::make_pair(client.name, client.pid));
+    if (it != identity_.end() && it->second == &client) identity_.erase(it);
+  }
+  if (client.fd >= 0) {
+    if (loop_ != nullptr) loop_->remove(client.fd);
+    by_fd_.erase(client.fd);
+  }
   clients_.erase(clients_.begin() + static_cast<long>(index));
   needs_realloc_ = true;
 }
@@ -353,6 +491,111 @@ AllocationGroup RmServer::build_group(const Client& client) const {
   return group;
 }
 
+void RmServer::refresh_group_locked(Client& client) {
+  if (client.has_group && client.group_version == client.table.version()) {
+    if (group_cache_hits_counter_ != nullptr) group_cache_hits_counter_->inc();
+    return;
+  }
+  client.group = build_group(client);
+  client.group.prepare(static_cast<int>(hw_.core_types.size()));
+  client.group_version = client.table.version();
+  client.has_group = true;
+  if (group_rebuilds_counter_ != nullptr) group_rebuilds_counter_->inc();
+}
+
+void RmServer::send_activation_locked(Client& client, const OperatingPoint& point,
+                                      const platform::CoreAllocation& cores, double cost) {
+  ipc::ActivateMsg activate;
+  activate.erv = point.erv;
+  for (std::size_t t = 0; t < cores.cores.size(); ++t) {
+    for (const auto& [core, threads] : cores.cores[t]) {
+      // Budgeted servers solve in local core ids; translate to platform ids.
+      int platform_core =
+          owned_cores_.empty() ? core : owned_cores_[t][static_cast<std::size_t>(core)];
+      activate.cores.push_back(
+          ipc::ActivateMsg::CoreGrant{static_cast<std::int32_t>(t), platform_core, threads});
+    }
+  }
+  bool scalable = client.adaptivity != ipc::WireAdaptivity::kStatic;
+  activate.parallelism = scalable ? point.erv.total_threads() : 0;
+  activate.rebalance = client.adaptivity == ipc::WireAdaptivity::kCustom;
+  client.active_point = point;
+  client.has_active = true;
+  client.last_activation = activate;
+  client.activation_sent = true;
+  (void)client.channel->send(ipc::Message(activate));
+  if (options_.tracer != nullptr)
+    options_.tracer->instant(telemetry::EventType::kGrant, client.name,
+                             {{"cost", cost},
+                              {"cycle", static_cast<double>(realloc_count_)},
+                              {"power_w", point.nfc.power_w},
+                              {"utility", point.nfc.utility}},
+                             {{"erv", point.erv.to_string(hw_)}});
+}
+
+void RmServer::send_coallocation_locked(Client& client) {
+  ipc::ActivateMsg activate;
+  activate.erv = platform::ExtendedResourceVector::full(hw_);
+  activate.parallelism = 0;
+  client.has_active = false;
+  client.last_activation = activate;
+  client.activation_sent = true;
+  (void)client.channel->send(ipc::Message(activate));
+}
+
+void RmServer::export_groups(std::vector<ExportedGroup>& out) {
+  out.clear();
+  MutexLock lock(mutex_);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client* client = clients_[i].get();
+    if (!client->registered) continue;
+    refresh_group_locked(*client);
+    out.push_back(ExportedGroup{client->admission, i, &client->group});
+  }
+}
+
+bool RmServer::take_needs_realloc() {
+  MutexLock lock(mutex_);
+  bool value = needs_realloc_;
+  needs_realloc_ = false;
+  return value;
+}
+
+void RmServer::push_activation(std::size_t client_index, const OperatingPoint& point,
+                               const platform::CoreAllocation& cores, double cost) {
+  MutexLock lock(mutex_);
+  if (client_index >= clients_.size()) return;
+  send_activation_locked(*clients_[client_index], point, cores, cost);
+}
+
+void RmServer::push_coallocation(std::size_t client_index) {
+  MutexLock lock(mutex_);
+  if (client_index >= clients_.size()) return;
+  send_coallocation_locked(*clients_[client_index]);
+}
+
+void RmServer::set_core_budget(std::vector<std::vector<int>> owned_cores) {
+  MutexLock lock(mutex_);
+  if (!owned_cores.empty())
+    HARP_CHECK(owned_cores.size() == hw_.core_types.size());
+  owned_cores_ = std::move(owned_cores);
+  platform::HardwareDescription budget_hw = hw_;
+  if (!owned_cores_.empty())
+    for (std::size_t t = 0; t < budget_hw.core_types.size(); ++t)
+      budget_hw.core_types[t].core_count = static_cast<int>(owned_cores_[t].size());
+  allocator_ = Allocator(budget_hw, options_.solver, options_.tracer);
+  // The cached fingerprint was computed against the old capacity vector;
+  // replaying it against the new one would hand out stale core ids.
+  solve_ws_.invalidate();
+  last_grant_ids_.clear();
+  needs_realloc_ = true;
+}
+
+std::vector<double> RmServer::last_multipliers() const {
+  MutexLock lock(mutex_);
+  return solve_ws_.multipliers();
+}
+
 void RmServer::reallocate() {
   needs_realloc_ = false;
   ++realloc_count_;
@@ -371,18 +614,7 @@ void RmServer::reallocate() {
 
   // Refresh only the groups whose operating-point table changed since the
   // cached build (per-client dirty bit = stored table version).
-  const int num_types = static_cast<int>(hw_.core_types.size());
-  for (Client* client : registered) {
-    if (client->has_group && client->group_version == client->table.version()) {
-      if (group_cache_hits_counter_ != nullptr) group_cache_hits_counter_->inc();
-      continue;
-    }
-    client->group = build_group(*client);
-    client->group.prepare(num_types);
-    client->group_version = client->table.version();
-    client->has_group = true;
-    if (group_rebuilds_counter_ != nullptr) group_rebuilds_counter_->inc();
-  }
+  for (Client* client : registered) refresh_group_locked(*client);
   group_ptrs_.resize(registered.size());
   for (std::size_t g = 0; g < registered.size(); ++g) group_ptrs_[g] = &registered[g]->group;
 
@@ -419,15 +651,7 @@ void RmServer::reallocate() {
     // Co-allocation fallback (§4.2.2): every app gets the whole machine and
     // the OS scheduler time-shares.
     HARP_WARN << "demand exceeds capacity; falling back to co-allocation";
-    for (Client* client : registered) {
-      ipc::ActivateMsg activate;
-      activate.erv = platform::ExtendedResourceVector::full(hw_);
-      activate.parallelism = 0;
-      client->has_active = false;
-      client->last_activation = activate;
-      client->activation_sent = true;
-      (void)client->channel->send(ipc::Message(activate));
-    }
+    for (Client* client : registered) send_coallocation_locked(*client);
     if (tracer != nullptr)
       tracer->end(telemetry::EventType::kAllocCycle, "rm", {{"feasible", 0.0}});
     return;
@@ -435,30 +659,9 @@ void RmServer::reallocate() {
 
   for (std::size_t g = 0; g < registered.size(); ++g) {
     Client* client = registered[g];
-    const OperatingPoint& point = registered[g]->group.candidates[result.selection[g]];
-    const platform::CoreAllocation& alloc = result.allocations[g];
-
-    ipc::ActivateMsg activate;
-    activate.erv = point.erv;
-    for (std::size_t t = 0; t < alloc.cores.size(); ++t)
-      for (const auto& [core, threads] : alloc.cores[t])
-        activate.cores.push_back(
-            ipc::ActivateMsg::CoreGrant{static_cast<std::int32_t>(t), core, threads});
-    bool scalable = client->adaptivity != ipc::WireAdaptivity::kStatic;
-    activate.parallelism = scalable ? point.erv.total_threads() : 0;
-    activate.rebalance = client->adaptivity == ipc::WireAdaptivity::kCustom;
-    client->active_point = point;
-    client->has_active = true;
-    client->last_activation = activate;
-    client->activation_sent = true;
-    (void)client->channel->send(ipc::Message(activate));
-    if (tracer != nullptr)
-      tracer->instant(telemetry::EventType::kGrant, client->name,
-                      {{"cost", registered[g]->group.costs[result.selection[g]]},
-                       {"cycle", static_cast<double>(realloc_count_)},
-                       {"power_w", point.nfc.power_w},
-                       {"utility", point.nfc.utility}},
-                      {{"erv", point.erv.to_string(hw_)}});
+    const OperatingPoint& point = client->group.candidates[result.selection[g]];
+    send_activation_locked(*client, point, result.allocations[g],
+                           client->group.costs[result.selection[g]]);
   }
   if (tracer != nullptr)
     tracer->end(telemetry::EventType::kAllocCycle, "rm",

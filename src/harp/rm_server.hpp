@@ -8,21 +8,37 @@
 // pushes operating-point activations with concrete spatially isolated core
 // grants, and polls utility feedback from applications that provide it.
 //
+// I/O is readiness-driven (DESIGN.md "Event loop & sharding"): an
+// ipc::EventLoop owns every client fd, so a poll() cycle drains only the
+// clients with work instead of issuing one recv(2) per connected client.
+// In-process channels participate through ready hooks that set a per-client
+// atomic flag and nudge the loop's wakeup pipe. If event-loop construction
+// fails (fd exhaustion) the server degrades to the legacy scan-all cycle.
+//
+// For multi-RM scale-out the server also exposes a sharding surface
+// (export_groups / push_activation / set_core_budget): a ShardedRmServer
+// (rm_shard.hpp) runs N RmServers over disjoint client sets and either
+// solves globally across them (result-neutral to a single server) or gives
+// each shard a disjoint core budget and rebalances on λ drift.
+//
 // Unlike HarpPolicy (the simulator-embedded RM used in the evaluation
 // benches), RmServer manages real client processes; it has no telemetry of
 // its own, so applications without description files receive a fair-share
 // allocation until they submit points or report utility.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/mutex.hpp"
 #include "src/harp/allocator.hpp"
 #include "src/harp/operating_point.hpp"
+#include "src/ipc/event_loop.hpp"
 #include "src/ipc/transport.hpp"
 
 namespace harp::core {
@@ -39,6 +55,15 @@ struct RmServerOptions {
   /// Consecutive malformed ("proto:") frames tolerated per client before the
   /// connection is cut; a valid frame resets the count.
   int max_malformed_frames = 8;
+  /// Readiness-driven I/O (the default). Off = the legacy scan-all cycle
+  /// that polls every client channel every cycle; kept for comparison
+  /// benches and as the degraded mode when fds run out.
+  bool use_event_loop = true;
+  /// When true, poll() never runs the MMKP itself: it drains I/O and leaves
+  /// the realloc flag set for an external coordinator that solves globally
+  /// via export_groups() / push_activation() (ShardedRmServer with
+  /// rebalancing disabled).
+  bool external_solver = false;
   /// Optional telemetry sinks (may each be null): allocation-cycle spans,
   /// grant/registration/lease instants, and "rm_*_total" counters.
   telemetry::Tracer* tracer = nullptr;
@@ -56,6 +81,16 @@ struct ClientSnapshot {
   std::vector<ipc::ActivateMsg::CoreGrant> granted;
 };
 
+/// One registered client's choice group, exported for an external (global)
+/// solve. `group` points into the server's client record and `client_index`
+/// is positional — both are valid only until the server's next poll() or
+/// adoption; the coordinator uses them within a single cycle.
+struct ExportedGroup {
+  std::uint64_t admission = 0;   ///< global adoption order (the merge key)
+  std::size_t client_index = 0;  ///< index into the owning server
+  const AllocationGroup* group = nullptr;
+};
+
 class RmServer {
  public:
   RmServer(platform::HardwareDescription hw, RmServerOptions options = {});
@@ -68,15 +103,61 @@ class RmServer {
 
   /// Adopt an already connected channel (in-process transport).
   void adopt_channel(std::unique_ptr<ipc::Channel> channel);
+  /// Sharded adoption: the coordinator assigns the global admission number
+  /// so allocation order is defined across shards.
+  void adopt_channel(std::unique_ptr<ipc::Channel> channel, std::uint64_t admission);
 
   /// One event-loop iteration: accept clients, process pending messages,
   /// reallocate if anything changed, and issue due utility requests.
   /// `now_seconds` is the caller's clock (monotonic); drives utility polls.
   void poll(double now_seconds);
 
-  /// The read-only accessors below may be called from a monitoring thread
-  /// while another thread drives poll(); they copy out under the lock and
-  /// never hand back references into client state.
+  /// Blocking variant for dedicated shard threads: waits up to `timeout_ms`
+  /// (-1 = indefinitely) for readiness before running the cycle. Without an
+  /// event loop the timeout is ignored and the call degenerates to poll().
+  /// Returns immediately when wakeup() or readiness arrives.
+  void poll(double now_seconds, int timeout_ms);
+
+  /// Nudge a poll(now, timeout) blocked on the event loop (cross-thread
+  /// adoption, shutdown). No-op without an event loop. Thread-safe.
+  void wakeup();
+
+  // Sharding surface (used by ShardedRmServer; see rm_shard.hpp). ------
+
+  /// Export the choice groups of all registered clients in adoption order,
+  /// refreshing dirty group caches. See ExportedGroup for lifetime rules.
+  void export_groups(std::vector<ExportedGroup>& out);
+
+  /// Consume the needs-reallocation flag (set by registrations, point
+  /// updates, departures). The external coordinator solves when any shard
+  /// reports true.
+  bool take_needs_realloc();
+
+  /// Push an externally solved activation to a client (by export index).
+  /// `cores` holds core ids local to this server's budget; they are
+  /// remapped to platform ids when a budget is installed.
+  void push_activation(std::size_t client_index, const OperatingPoint& point,
+                       const platform::CoreAllocation& cores, double cost);
+
+  /// Push the co-allocation fallback (whole machine, OS-scheduled).
+  void push_coallocation(std::size_t client_index);
+
+  /// Restrict this server to a disjoint slice of the platform: one vector of
+  /// owned physical core ids per core type. The internal allocator is
+  /// rebuilt with the slice's capacities and solves in local core ids, which
+  /// grants translate back through the slice. An empty outer vector restores
+  /// full-platform operation.
+  void set_core_budget(std::vector<std::vector<int>> owned_cores);
+
+  /// λ multipliers from the last Lagrangian solve (empty before the first
+  /// solve); the coordinator's rebalance signal.
+  std::vector<double> last_multipliers() const;
+
+  // Read-only accessors. ------------------------------------------------
+
+  /// The accessors below may be called from a monitoring thread while
+  /// another thread drives poll(); they copy out under the lock and never
+  /// hand back references into client state.
 
   std::size_t client_count() const;
 
@@ -94,16 +175,36 @@ class RmServer {
   /// Clients evicted for lease expiry since construction.
   std::uint64_t lease_evictions() const;
 
+  /// The readiness backend actually in use; nullopt in legacy scan mode.
+  std::optional<ipc::EventLoop::Backend> loop_backend() const;
+
  private:
   struct Client;
 
-  void adopt_channel_locked(std::unique_ptr<ipc::Channel> channel) HARP_REQUIRES(mutex_);
+  void poll_impl(double now_seconds, int timeout_ms);
+  void accept_pending_locked() HARP_REQUIRES(mutex_);
+  void process_cycle_locked(double now_seconds) HARP_REQUIRES(mutex_);
+  void adopt_channel_locked(std::unique_ptr<ipc::Channel> channel, std::uint64_t admission)
+      HARP_REQUIRES(mutex_);
   void process_client_messages(Client& client, double now_seconds) HARP_REQUIRES(mutex_);
   void handle_registration(Client& client, const ipc::RegisterRequest& request)
       HARP_REQUIRES(mutex_);
   void drop_client(std::size_t index) HARP_REQUIRES(mutex_);
   void reallocate() HARP_REQUIRES(mutex_);
+  void refresh_group_locked(Client& client) HARP_REQUIRES(mutex_);
+  void send_activation_locked(Client& client, const OperatingPoint& point,
+                              const platform::CoreAllocation& cores, double cost)
+      HARP_REQUIRES(mutex_);
+  void send_coallocation_locked(Client& client) HARP_REQUIRES(mutex_);
   AllocationGroup build_group(const Client& client) const HARP_REQUIRES(mutex_);
+
+  /// Readiness loop; created at construction, immutable after (null = legacy
+  /// scan mode). Shared so in-process ready hooks can hold a weak_ptr for
+  /// their wakeup nudge without dangling after destruction. Declared before
+  /// clients_ so it outlives every hook-owning channel during teardown.
+  std::shared_ptr<ipc::EventLoop> loop_;  // harp-lint: allow(all immutable after construction)
+  /// wait() output, reused across cycles; touched only by the poll thread.
+  std::vector<ipc::EventLoop::Ready> ready_scratch_;  // harp-lint: allow(all poll-thread-only)
 
   /// Guards all server state: poll() holds it for a full event-loop
   /// iteration; accessors take it briefly. hw_/options_/allocator_ are
@@ -115,6 +216,17 @@ class RmServer {
   Allocator allocator_ HARP_GUARDED_BY(mutex_);
   std::unique_ptr<ipc::UnixServer> server_ HARP_GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<Client>> clients_ HARP_GUARDED_BY(mutex_);
+  /// fd → client, for routing readiness events (fd-backed channels only).
+  std::map<int, Client*> by_fd_ HARP_GUARDED_BY(mutex_);
+  /// Registered identity → client, for O(log n) zombie supersession.
+  std::map<std::pair<std::string, std::int32_t>, Client*> identity_ HARP_GUARDED_BY(mutex_);
+  /// Clients adopted since the last cycle, awaiting their lease-clock start
+  /// (adoption has no clock; poll() provides one).
+  std::vector<Client*> lease_init_pending_ HARP_GUARDED_BY(mutex_);
+  /// Owned physical core ids per type when budgeted (see set_core_budget);
+  /// empty = the full platform.
+  std::vector<std::vector<int>> owned_cores_ HARP_GUARDED_BY(mutex_);
+  std::uint64_t next_admission_ HARP_GUARDED_BY(mutex_) = 0;
   std::int32_t next_app_id_ HARP_GUARDED_BY(mutex_) = 1;
   bool needs_realloc_ HARP_GUARDED_BY(mutex_) = false;
   double last_utility_poll_ HARP_GUARDED_BY(mutex_) = 0.0;
@@ -142,6 +254,8 @@ class RmServer {
   telemetry::Counter* group_cache_hits_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* solve_replays_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* realloc_skips_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* eventloop_cycles_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* eventloop_ready_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Histogram* solve_histogram_ HARP_GUARDED_BY(mutex_) = nullptr;
 };
 

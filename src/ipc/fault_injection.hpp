@@ -89,6 +89,16 @@ class FaultInjectingChannel : public Channel {
   /// instant plus per-kind counters ("frames_dropped_total", ...).
   void set_telemetry(ChannelTelemetry telemetry) override;
 
+  // Event-loop integration: readiness and pending-send state live in the
+  // inner transport; the decorator is transparent to the loop.
+  int native_handle() const override { return inner_->native_handle(); }
+  void set_ready_hook(std::function<void()> hook) override {
+    inner_->set_ready_hook(std::move(hook));
+  }
+  void set_nonblocking_send(bool on) override { inner_->set_nonblocking_send(on); }
+  bool has_pending_send() const override { return inner_->has_pending_send(); }
+  Status flush_pending() override { return inner_->flush_pending(); }
+
   const FaultStats& stats() const { return stats_; }
 
  private:

@@ -12,9 +12,39 @@
 
 #include "src/common/mutex.hpp"
 #include "src/common/race_registry.hpp"
+#include "src/ipc/transport_hooks.hpp"
 #include "src/ipc/wire.hpp"
 
 namespace harp::ipc {
+
+SyscallHooks& syscall_hooks() {
+  static SyscallHooks hooks;
+  return hooks;
+}
+
+namespace {
+
+ssize_t sys_recv(int fd, void* buf, size_t len, int flags) {
+  auto* hook = syscall_hooks().recv;
+  return hook != nullptr ? hook(fd, buf, len, flags) : ::recv(fd, buf, len, flags);
+}
+
+ssize_t sys_send(int fd, const void* buf, size_t len, int flags) {
+  auto* hook = syscall_hooks().send;
+  return hook != nullptr ? hook(fd, buf, len, flags) : ::send(fd, buf, len, flags);
+}
+
+int sys_poll(struct pollfd* fds, nfds_t nfds, int timeout) {
+  auto* hook = syscall_hooks().poll;
+  return hook != nullptr ? hook(fds, nfds, timeout) : ::poll(fds, nfds, timeout);
+}
+
+int sys_accept(int fd, struct sockaddr* addr, socklen_t* addr_len) {
+  auto* hook = syscall_hooks().accept;
+  return hook != nullptr ? hook(fd, addr, addr_len) : ::accept(fd, addr, addr_len);
+}
+
+}  // namespace
 
 ChannelTelemetry ChannelTelemetry::for_scope(telemetry::Tracer* tracer,
                                              telemetry::MetricsRegistry* metrics,
@@ -57,6 +87,11 @@ struct InProcQueue {
   Mutex mutex;
   std::deque<std::vector<std::uint8_t>> frames HARP_GUARDED_BY(mutex);
   bool closed HARP_GUARDED_BY(mutex) = false;
+  /// Readiness hook of the receiving end (see Channel::set_ready_hook):
+  /// fired by the sender on the empty→non-empty transition, outside the
+  /// lock, so an in-process channel can participate in event-loop readiness
+  /// without being scanned.
+  std::function<void()> on_push HARP_GUARDED_BY(mutex);
 };
 
 class InProcChannel : public Channel {
@@ -69,12 +104,20 @@ class InProcChannel : public Channel {
   Status send(const Message& message) override { return send_raw(encode(message)); }
 
   Status send_raw(const std::vector<std::uint8_t>& frame) override {
+    std::function<void()> notify;
     {
       MutexLock lock(tx_->mutex);
       HARP_TRACK_SHARED(&tx_->frames);
       if (tx_->closed) return Status(make_error("io: channel closed"));
+      bool was_empty = tx_->frames.empty();
       tx_->frames.push_back(frame);
+      // Notify only on the empty→non-empty edge: the receiver drains its
+      // queue completely per readiness cycle, so one edge per burst is
+      // enough and a 100k-client heartbeat storm costs 100k flag stores,
+      // not 100k redundant wakeups.
+      if (was_empty && tx_->on_push) notify = tx_->on_push;
     }
+    if (notify) notify();
     telemetry_.on_frame_sent(frame.size());
     return Status{};
   }
@@ -107,6 +150,11 @@ class InProcChannel : public Channel {
     telemetry_ = std::move(telemetry);
   }
 
+  void set_ready_hook(std::function<void()> hook) override {
+    MutexLock lock(rx_->mutex);
+    rx_->on_push = std::move(hook);
+  }
+
   bool closed() const override {
     MutexLock lock(tx_->mutex);
     return tx_->closed;
@@ -122,6 +170,9 @@ class InProcChannel : public Channel {
     }
     MutexLock lock(rx_->mutex);
     rx_->closed = true;
+    // The hook points into the (dying) receiver; the peer must not fire it
+    // after this channel is gone.
+    rx_->on_push = nullptr;
   }
 
  private:
@@ -139,6 +190,10 @@ void set_nonblocking(int fd) {
   if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/// Outbound bytes a dead-slow peer may buffer before the channel gives up
+/// (event-loop send mode). Generous: ~1000 maximum-size frames.
+constexpr std::size_t kMaxSendBacklogBytes = 64u << 20;
+
 class UnixChannel : public Channel {
  public:
   explicit UnixChannel(int fd) : fd_(fd) { set_nonblocking(fd_); }
@@ -149,18 +204,35 @@ class UnixChannel : public Channel {
 
   Status send_raw(const std::vector<std::uint8_t>& frame) override {
     if (fd_ < 0) return Status(make_error("io: channel closed"));
+    if (nonblocking_send_) {
+      if (!out_buf_.empty()) {
+        // Earlier frames are still queued; appending keeps the stream in
+        // order. flush_pending() drains on the next writable event.
+        return enqueue_tail(frame, 0);
+      }
+      std::size_t sent = 0;
+      Status direct = send_some(frame, sent);
+      if (!direct.ok()) return direct;
+      if (sent < frame.size()) return enqueue_tail(frame, sent);
+      telemetry_.on_frame_sent(frame.size());
+      return Status{};
+    }
     std::size_t sent = 0;
     while (sent < frame.size()) {
-      ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      ssize_t n = sys_send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
       if (n > 0) {
         sent += static_cast<std::size_t>(n);
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         // Briefly wait for the peer to drain; bounded so a dead peer cannot
-        // wedge the RM.
+        // wedge the RM. A signal interrupting the wait is not the peer's
+        // fault: retry the wait instead of treating EINTR as a timeout
+        // (which used to kill the channel mid-frame).
         struct pollfd pfd{fd_, POLLOUT, 0};
-        if (::poll(&pfd, 1, 100) > 0) continue;
+        int ready = sys_poll(&pfd, 1, 100);
+        if (ready > 0) continue;
+        if (ready < 0 && errno == EINTR) continue;
         // Giving up mid-frame leaves a partial frame on the wire and the
         // byte stream permanently desynchronised, so the channel must die
         // with it. Before any byte went out the stream is still clean and
@@ -182,7 +254,7 @@ class UnixChannel : public Channel {
     // Drain whatever is available into the reassembly buffer.
     std::uint8_t chunk[4096];
     while (true) {
-      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      ssize_t n = sys_recv(fd_, chunk, sizeof(chunk), 0);
       if (n > 0) {
         buffer_.insert(buffer_.end(), chunk, chunk + n);
         continue;
@@ -225,6 +297,21 @@ class UnixChannel : public Channel {
     telemetry_ = std::move(telemetry);
   }
 
+  int native_handle() const override { return fd_; }
+
+  void set_nonblocking_send(bool on) override { nonblocking_send_ = on; }
+
+  bool has_pending_send() const override { return !out_buf_.empty(); }
+
+  Status flush_pending() override {
+    if (out_buf_.empty()) return Status{};
+    if (fd_ < 0) return Status(make_error("io: channel closed"));
+    std::size_t sent = 0;
+    Status pushed = send_some(out_buf_, sent);
+    out_buf_.erase(out_buf_.begin(), out_buf_.begin() + static_cast<long>(sent));
+    return pushed;
+  }
+
   bool closed() const override { return fd_ < 0; }
 
   void close() override {
@@ -232,11 +319,47 @@ class UnixChannel : public Channel {
       ::close(fd_);
       fd_ = -1;
     }
+    out_buf_.clear();
   }
 
  private:
+  /// Write as much of `bytes` as the socket accepts right now; `sent` gets
+  /// the byte count. EAGAIN stops cleanly (ok status, partial sent); EINTR
+  /// retries; any other error closes the channel.
+  Status send_some(const std::vector<std::uint8_t>& bytes, std::size_t& sent) {
+    sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = sys_send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return Status(make_error("io: send failed: " + std::string(std::strerror(errno))));
+    }
+    return Status{};
+  }
+
+  /// Queue frame bytes from `offset` for flush_pending(). Telemetry counts
+  /// the frame at queue time — it is committed to the stream.
+  Status enqueue_tail(const std::vector<std::uint8_t>& frame, std::size_t offset) {
+    if (out_buf_.size() + (frame.size() - offset) > kMaxSendBacklogBytes) {
+      // The peer has not drained for the whole backlog; the stream cannot be
+      // cut mid-frame without desynchronising, so the channel dies instead.
+      close();
+      return Status(make_error("io: send backlog overflow"));
+    }
+    out_buf_.insert(out_buf_.end(), frame.begin() + static_cast<long>(offset), frame.end());
+    telemetry_.on_frame_sent(frame.size());
+    return Status{};
+  }
+
   int fd_;
   std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> out_buf_;
+  bool nonblocking_send_ = false;
   ChannelTelemetry telemetry_;
 };
 
@@ -266,8 +389,10 @@ Result<std::unique_ptr<UnixServer>> UnixServer::listen(const std::string& path) 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  // SOMAXCONN backlog: the scale bench opens thousands of connections in a
+  // burst; the kernel clamps to its own limit anyway.
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 16) < 0) {
+      ::listen(fd, SOMAXCONN) < 0) {
     int saved = errno;
     ::close(fd);
     return Result<std::unique_ptr<UnixServer>>(
@@ -278,13 +403,19 @@ Result<std::unique_ptr<UnixServer>> UnixServer::listen(const std::string& path) 
 }
 
 Result<std::optional<std::unique_ptr<Channel>>> UnixServer::accept() {
-  int client = ::accept(fd_, nullptr, nullptr);
-  if (client >= 0)
-    return std::optional<std::unique_ptr<Channel>>(std::make_unique<UnixChannel>(client));
-  if (errno == EAGAIN || errno == EWOULDBLOCK)
-    return std::optional<std::unique_ptr<Channel>>{};
-  return Result<std::optional<std::unique_ptr<Channel>>>(
-      make_error("io: accept: " + std::string(std::strerror(errno))));
+  while (true) {
+    int client = sys_accept(fd_, nullptr, nullptr);
+    if (client >= 0)
+      return std::optional<std::unique_ptr<Channel>>(std::make_unique<UnixChannel>(client));
+    if (errno == EINTR) continue;  // interrupted, not failed: retry
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return std::optional<std::unique_ptr<Channel>>{};
+    // A connection that died in the backlog (ECONNABORTED) is not a listener
+    // failure either — report "nobody waiting" and let the next cycle retry.
+    if (errno == ECONNABORTED) return std::optional<std::unique_ptr<Channel>>{};
+    return Result<std::optional<std::unique_ptr<Channel>>>(
+        make_error("io: accept: " + std::string(std::strerror(errno))));
+  }
 }
 
 Result<std::unique_ptr<Channel>> unix_connect(const std::string& path) {
@@ -305,5 +436,7 @@ Result<std::unique_ptr<Channel>> unix_connect(const std::string& path) {
   }
   return std::unique_ptr<Channel>(std::make_unique<UnixChannel>(fd));
 }
+
+std::unique_ptr<Channel> channel_from_fd(int fd) { return std::make_unique<UnixChannel>(fd); }
 
 }  // namespace harp::ipc

@@ -7,6 +7,7 @@
 // format to keep the codec honest.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -73,6 +74,33 @@ class Channel {
   /// Install (or replace) the channel's telemetry sink. Default: ignored —
   /// transports without instrumentation stay zero-cost.
   virtual void set_telemetry(ChannelTelemetry telemetry) { (void)telemetry; }
+
+  // Event-loop integration (src/ipc/event_loop.hpp). Decorators (fault
+  // injection) forward all four to the inner channel.
+
+  /// OS-pollable readiness handle (the socket fd); -1 when the transport has
+  /// none (in-process queues) — such channels signal via the ready hook.
+  virtual int native_handle() const { return -1; }
+
+  /// Install a hook invoked when a frame lands on this channel's receive
+  /// path (possibly from the sending thread). Fd-backed transports ignore it
+  /// — their fd *is* the readiness signal. Pass nullptr to uninstall. The
+  /// hook must not call back into the channel.
+  virtual void set_ready_hook(std::function<void()> hook) { (void)hook; }
+
+  /// Switch send() between the default bounded-blocking mode (poll(2)-wait
+  /// for a slow peer, used by standalone clients) and event-loop mode, where
+  /// a frame tail that does not fit the socket buffer is queued and flushed
+  /// by flush_pending() on the next writable readiness event. Transports
+  /// that never block ignore it.
+  virtual void set_nonblocking_send(bool on) { (void)on; }
+
+  /// True when buffered outbound bytes await a writable fd (event-loop mode).
+  virtual bool has_pending_send() const { return false; }
+
+  /// Write buffered outbound bytes until drained or the socket fills again.
+  /// No-op when nothing is pending.
+  virtual Status flush_pending() { return Status{}; }
 };
 
 /// Create a connected in-process channel pair (RM end, app end).
@@ -88,10 +116,13 @@ class UnixServer {
   /// Bind and listen; an existing stale socket file is replaced.
   static Result<std::unique_ptr<UnixServer>> listen(const std::string& path);
 
-  /// Non-blocking accept: nullopt when no client is waiting.
+  /// Non-blocking accept: nullopt when no client is waiting. Interrupted
+  /// syscalls (EINTR) are retried, never surfaced.
   Result<std::optional<std::unique_ptr<Channel>>> accept();
 
   const std::string& path() const { return path_; }
+  /// Listen fd, for event-loop registration (readable = client waiting).
+  int fd() const { return fd_; }
 
  private:
   UnixServer(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
@@ -101,5 +132,10 @@ class UnixServer {
 
 /// Connect to a UnixServer as a libharp client.
 Result<std::unique_ptr<Channel>> unix_connect(const std::string& path);
+
+/// Wrap an already connected stream-socket fd (socketpair(2), accepted
+/// connections from foreign listeners) in the Unix framing channel. Takes
+/// ownership of the fd and switches it to non-blocking.
+std::unique_ptr<Channel> channel_from_fd(int fd);
 
 }  // namespace harp::ipc

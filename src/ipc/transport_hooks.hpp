@@ -1,0 +1,31 @@
+// Test seam for the Unix transport's syscalls.
+//
+// The EINTR/EAGAIN regression tests (tests/event_loop_test.cpp) need to make
+// recv/send/poll/accept fail with scripted errnos on demand, which no real
+// socket can do deterministically. transport.cpp routes every such syscall
+// through these function pointers; tests swap one in, exercise the channel,
+// and restore the default. Production code never touches this header beyond
+// the default initialisation, so the indirection costs one load per syscall.
+//
+// Not thread-safe: swap hooks only in single-threaded test sections and
+// restore them before the test returns (see ScopedSyscallOverride in the
+// tests).
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace harp::ipc {
+
+struct SyscallHooks {
+  ssize_t (*recv)(int fd, void* buf, size_t len, int flags) = nullptr;
+  ssize_t (*send)(int fd, const void* buf, size_t len, int flags) = nullptr;
+  int (*poll)(struct pollfd* fds, nfds_t nfds, int timeout) = nullptr;
+  int (*accept)(int fd, struct sockaddr* addr, socklen_t* addr_len) = nullptr;
+};
+
+/// The active hook set. Null members mean "call the real syscall".
+SyscallHooks& syscall_hooks();
+
+}  // namespace harp::ipc

@@ -238,6 +238,14 @@ TEST(LintFixtures, R6HotPathAllocations) {
   expect_exact({fixture("r6_bad.cpp"), fixture("r6_good.cpp")}, {"r6"});
 }
 
+TEST(LintFixtures, R6EventLoopHotPaths) {
+  // Fixtures shaped like the event-loop dispatch and shard-cycle loops
+  // (src/ipc/event_loop.cpp and src/harp/rm_shard.cpp are hot-path
+  // annotated): per-cycle readiness/snapshot buffers and per-shard scope
+  // strings must be hoisted.
+  expect_exact({fixture("r6_eventloop_bad.cpp"), fixture("r6_eventloop_good.cpp")}, {"r6"});
+}
+
 TEST(LintFixtures, R6IsOptIn) {
   // The same per-iteration constructions without the annotation: silent.
   EXPECT_TRUE(run({fixture("r6_unannotated.cpp")}, Options{{"r6"}}).empty());

@@ -1,0 +1,397 @@
+// Tests for the sharded multi-RM scale-out (src/harp/rm_shard.hpp): budget
+// conservation across rebalances, λ-drift core migration, the 200-seed
+// allocation bit-equivalence between a single RmServer and a ShardedRmServer
+// with rebalancing disabled, per-shard fault/lease isolation, shard
+// telemetry, and a threaded smoke run. Also registered under the `race`
+// ctest label so the HARP_RACE_CHECK / TSan CI job runs the whole suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/harp/rm_shard.hpp"
+#include "src/platform/hardware.hpp"
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/trace.hpp"
+
+namespace harp::core {
+namespace {
+
+using ipc::ActivateMsg;
+using ipc::Message;
+using ipc::OperatingPointsMsg;
+using ipc::RegisterRequest;
+
+/// The app-side half of one simulated client plus everything it received.
+struct TestClient {
+  std::unique_ptr<ipc::Channel> app;
+  std::vector<ActivateMsg> activations;
+  int acks = 0;
+};
+
+OperatingPointsMsg::Point point(const platform::HardwareDescription& hw, int p_threads,
+                                int e_threads, double utility, double power_w) {
+  return {platform::ExtendedResourceVector::from_threads(hw, {p_threads, e_threads}), utility,
+          power_w};
+}
+
+/// Queue a registration (and optional points) on a fresh in-process pair;
+/// returns the app end and hands the RM end back through `rm_end`.
+TestClient make_client(const std::string& name, int pid,
+                       const std::vector<OperatingPointsMsg::Point>& points,
+                       std::unique_ptr<ipc::Channel>* rm_end) {
+  auto [server_end, app_end] = ipc::make_in_process_pair();
+  RegisterRequest reg;
+  reg.pid = pid;
+  reg.app_name = name;
+  EXPECT_TRUE(app_end->send(Message(reg)).ok());
+  if (!points.empty()) {
+    OperatingPointsMsg msg;
+    msg.points = points;
+    EXPECT_TRUE(app_end->send(Message(msg)).ok());
+  }
+  *rm_end = std::move(server_end);
+  return TestClient{std::move(app_end), {}, 0};
+}
+
+/// Drain everything pending on a client's app end into its record. Stops
+/// cleanly if the server dropped the client (peer closed).
+void drain(TestClient& client) {
+  for (;;) {
+    auto polled = client.app->poll();
+    if (!polled.ok() || !polled.value().has_value()) return;
+    const Message& message = *polled.value();
+    if (std::holds_alternative<ActivateMsg>(message))
+      client.activations.push_back(std::get<ActivateMsg>(message));
+    else if (std::holds_alternative<ipc::RegisterAck>(message))
+      ++client.acks;
+  }
+}
+
+/// Assert the per-shard budgets partition the platform exactly: for every
+/// core type, the union of owned ids across shards is {0..count-1} with no
+/// overlap — the conservation invariant after any number of rebalances.
+void expect_partition(const std::vector<std::vector<std::vector<int>>>& budgets,
+                      const platform::HardwareDescription& hw) {
+  ASSERT_FALSE(budgets.empty());
+  for (std::size_t t = 0; t < hw.core_types.size(); ++t) {
+    std::vector<int> owned;
+    for (const auto& shard : budgets) {
+      ASSERT_GT(shard.size(), t);
+      owned.insert(owned.end(), shard[t].begin(), shard[t].end());
+    }
+    std::sort(owned.begin(), owned.end());
+    ASSERT_EQ(owned.size(), static_cast<std::size_t>(hw.core_types[t].core_count))
+        << "type " << hw.core_types[t].name;
+    for (int c = 0; c < hw.core_types[t].core_count; ++c)
+      EXPECT_EQ(owned[static_cast<std::size_t>(c)], c) << "type " << hw.core_types[t].name;
+  }
+}
+
+std::string activation_to_string(const ActivateMsg& msg) {
+  std::string out = "erv[";
+  for (int t = 0; t < msg.erv.num_types(); ++t)
+    out += std::to_string(msg.erv.threads(t)) + " ";
+  out += "] cores[";
+  for (const auto& grant : msg.cores)
+    out += std::to_string(grant.type) + ":" + std::to_string(grant.core) + "x" +
+           std::to_string(grant.threads) + " ";
+  out += "] par=" + std::to_string(msg.parallelism);
+  return out;
+}
+
+bool same_activation(const ActivateMsg& a, const ActivateMsg& b) {
+  if (!(a.erv == b.erv) || a.parallelism != b.parallelism || a.rebalance != b.rebalance ||
+      a.cores.size() != b.cores.size())
+    return false;
+  for (std::size_t i = 0; i < a.cores.size(); ++i)
+    if (a.cores[i].type != b.cores[i].type || a.cores[i].core != b.cores[i].core ||
+        a.cores[i].threads != b.cores[i].threads)
+      return false;
+  return true;
+}
+
+TEST(ShardedRm, InitialBudgetsPartitionPlatform) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  ShardedRmOptions options;
+  options.num_shards = 3;
+  options.rebalance = RebalanceMode::kLambdaDrift;
+  ShardedRmServer rm(hw, options);
+  EXPECT_EQ(rm.shard_count(), 3);
+  expect_partition(rm.budgets(), hw);
+}
+
+TEST(ShardedRm, RoundRobinAdoptionSpreadsClients) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  ShardedRmOptions options;
+  options.num_shards = 2;
+  ShardedRmServer rm(hw, options);
+  for (int i = 0; i < 5; ++i) {
+    auto [server_end, app_end] = ipc::make_in_process_pair();
+    rm.adopt_channel(std::move(server_end));
+    (void)app_end;  // closing the app end is fine; adoption already happened
+  }
+  EXPECT_EQ(rm.client_count(), 5u);
+  EXPECT_EQ(rm.shard(0).client_count(), 3u);
+  EXPECT_EQ(rm.shard(1).client_count(), 2u);
+}
+
+// The headline determinism property: with rebalancing disabled the
+// coordinator solves the identical MMKP instance a single server would, so
+// every client receives a bit-identical activation — across 200 seeded
+// random workloads.
+TEST(ShardedRm, DisabledModeMatchesSingleServerOver200Seeds) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  for (int seed = 1; seed <= 200; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 2654435761u + 17);
+    int n_clients = rng.uniform_int(1, 5);
+    std::vector<std::vector<OperatingPointsMsg::Point>> specs;
+    for (int c = 0; c < n_clients; ++c) {
+      int n_points = rng.uniform_int(1, 3);
+      std::vector<OperatingPointsMsg::Point> points;
+      for (int p = 0; p < n_points; ++p) {
+        int p_threads = rng.uniform_int(0, 8);
+        int e_threads = rng.uniform_int(0, 8);
+        if (p_threads == 0 && e_threads == 0) p_threads = 1;
+        points.push_back(point(hw, p_threads, e_threads,
+                               1.0 + rng.uniform_int(0, 99),
+                               1.0 + rng.uniform_int(0, 49)));
+      }
+      specs.push_back(std::move(points));
+    }
+
+    RmServerOptions server_options;
+    server_options.lease_seconds = 0;
+
+    // Single server.
+    std::vector<TestClient> single_clients;
+    {
+      RmServer rm(hw, server_options);
+      for (int c = 0; c < n_clients; ++c) {
+        std::unique_ptr<ipc::Channel> rm_end;
+        single_clients.push_back(
+            make_client("app" + std::to_string(c), 100 + c, specs[static_cast<std::size_t>(c)],
+                        &rm_end));
+        rm.adopt_channel(std::move(rm_end));
+      }
+      rm.poll(0.0);
+      rm.poll(0.0);
+      for (TestClient& client : single_clients) drain(client);
+    }
+
+    // Sharded, rebalance disabled, same adoption order.
+    std::vector<TestClient> sharded_clients;
+    {
+      ShardedRmOptions options;
+      options.num_shards = 3;
+      options.rebalance = RebalanceMode::kDisabled;
+      options.server = server_options;
+      ShardedRmServer rm(hw, options);
+      for (int c = 0; c < n_clients; ++c) {
+        std::unique_ptr<ipc::Channel> rm_end;
+        sharded_clients.push_back(
+            make_client("app" + std::to_string(c), 100 + c, specs[static_cast<std::size_t>(c)],
+                        &rm_end));
+        rm.adopt_channel(std::move(rm_end));
+      }
+      rm.poll(0.0);
+      rm.poll(0.0);
+      EXPECT_GE(rm.coordinator_solves(), 1u);
+      for (TestClient& client : sharded_clients) drain(client);
+    }
+
+    for (int c = 0; c < n_clients; ++c) {
+      const TestClient& single = single_clients[static_cast<std::size_t>(c)];
+      const TestClient& sharded = sharded_clients[static_cast<std::size_t>(c)];
+      ASSERT_FALSE(single.activations.empty()) << "seed " << seed << " client " << c;
+      ASSERT_FALSE(sharded.activations.empty()) << "seed " << seed << " client " << c;
+      const ActivateMsg& a = single.activations.back();
+      const ActivateMsg& b = sharded.activations.back();
+      EXPECT_TRUE(same_activation(a, b))
+          << "seed " << seed << " client " << c << "\n  single:  " << activation_to_string(a)
+          << "\n  sharded: " << activation_to_string(b);
+    }
+  }
+}
+
+// λ-drift rebalancing: pile contended clients onto shard 0 while shard 1
+// idles; after the hysteresis window one core must migrate toward the
+// contention, and the budgets must remain an exact partition throughout.
+TEST(ShardedRm, LambdaDriftMovesCoreTowardContention) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  int p_type = hw.type_index("P");
+  ASSERT_GE(p_type, 0);
+
+  ShardedRmOptions options;
+  options.num_shards = 2;
+  options.rebalance = RebalanceMode::kLambdaDrift;
+  options.rebalance_min_cycles = 3;
+  options.lambda_drift_threshold = 0.25;
+  options.server.lease_seconds = 0;
+  ShardedRmServer rm(hw, options);
+
+  std::size_t shard0_p_cores_before =
+      rm.budgets()[0][static_cast<std::size_t>(p_type)].size();
+
+  // Six clients, all on shard 0, each wanting most of the shard's P threads
+  // (with a cheap fallback so the shard solve stays feasible).
+  std::vector<TestClient> clients;
+  for (int c = 0; c < 6; ++c) {
+    std::unique_ptr<ipc::Channel> rm_end;
+    clients.push_back(make_client("hot" + std::to_string(c), 200 + c,
+                                  {point(hw, 8, 0, 100.0, 40.0), point(hw, 1, 0, 5.0, 5.0)},
+                                  &rm_end));
+    rm.adopt_into_shard(0, std::move(rm_end));
+  }
+
+  for (int cycle = 0; cycle < 12 && rm.rebalances() == 0; ++cycle) {
+    rm.poll(static_cast<double>(cycle));
+    expect_partition(rm.budgets(), hw);
+  }
+  ASSERT_GE(rm.rebalances(), 1u);
+  expect_partition(rm.budgets(), hw);
+  EXPECT_GT(rm.budgets()[0][static_cast<std::size_t>(p_type)].size(), shard0_p_cores_before);
+}
+
+// A misbehaving client must be cut by its own shard without disturbing
+// clients on other shards.
+TEST(ShardedRm, FaultyClientIsIsolatedToItsShard) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  ShardedRmOptions options;
+  options.num_shards = 2;
+  options.server.max_malformed_frames = 3;
+  options.server.lease_seconds = 0;
+  ShardedRmServer rm(hw, options);
+
+  // Bad client on shard 0: a stream of garbage frames.
+  auto [bad_rm_end, bad_app_end] = ipc::make_in_process_pair();
+  std::vector<std::uint8_t> garbage(16, 0xEE);
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(bad_app_end->send_raw(garbage).ok());
+  rm.adopt_into_shard(0, std::move(bad_rm_end));
+
+  // Good client on shard 1.
+  std::unique_ptr<ipc::Channel> good_rm_end;
+  TestClient good = make_client("good", 300, {point(hw, 2, 0, 10.0, 5.0)}, &good_rm_end);
+  rm.adopt_into_shard(1, std::move(good_rm_end));
+
+  rm.poll(0.0);
+  rm.poll(0.0);
+  EXPECT_EQ(rm.shard(0).client_count(), 0u);  // struck out after 3 bad frames
+  EXPECT_EQ(rm.shard(1).client_count(), 1u);
+  drain(good);
+  EXPECT_EQ(good.acks, 1);
+  EXPECT_FALSE(good.activations.empty());
+}
+
+TEST(ShardedRm, LeaseEvictionRunsPerShard) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  ShardedRmOptions options;
+  options.num_shards = 2;
+  options.server.lease_seconds = 5.0;
+  ShardedRmServer rm(hw, options);
+
+  std::vector<TestClient> clients;
+  for (int c = 0; c < 2; ++c) {
+    std::unique_ptr<ipc::Channel> rm_end;
+    clients.push_back(make_client("quiet" + std::to_string(c), 400 + c,
+                                  {point(hw, 1, 0, 10.0, 5.0)}, &rm_end));
+    rm.adopt_into_shard(c, std::move(rm_end));
+  }
+  rm.poll(0.0);
+  EXPECT_EQ(rm.client_count(), 2u);
+
+  rm.poll(100.0);  // 100 s of silence >> the 5 s lease
+  EXPECT_EQ(rm.client_count(), 0u);
+  EXPECT_EQ(rm.shard(0).lease_evictions(), 1u);
+  EXPECT_EQ(rm.shard(1).lease_evictions(), 1u);
+}
+
+TEST(ShardedRm, EmitsShardTelemetryAndMetrics) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  telemetry::ManualClock clock;
+  telemetry::Tracer tracer(&clock);
+  telemetry::MetricsRegistry metrics;
+
+  ShardedRmOptions options;
+  options.num_shards = 2;
+  options.server.lease_seconds = 0;
+  options.server.tracer = &tracer;
+  options.server.metrics = &metrics;
+  ShardedRmServer rm(hw, options);
+
+  std::unique_ptr<ipc::Channel> rm_end;
+  TestClient client = make_client("traced", 500, {point(hw, 2, 0, 10.0, 5.0)}, &rm_end);
+  rm.adopt_channel(std::move(rm_end));
+  rm.poll(0.0);
+  clock.advance(0.1);
+  rm.poll(0.1);
+
+  int shard_cycle_begins = 0, shard_cycle_ends = 0;
+  bool saw_shard0 = false, saw_shard1 = false, saw_coordinator = false;
+  for (const telemetry::TraceEvent& event : tracer.events()) {
+    if (event.type == telemetry::EventType::kShardCycle) {
+      if (event.phase == telemetry::Phase::kBegin) ++shard_cycle_begins;
+      if (event.phase == telemetry::Phase::kEnd) ++shard_cycle_ends;
+      if (event.scope == "shard0") saw_shard0 = true;
+      if (event.scope == "shard1") saw_shard1 = true;
+    }
+    if (event.type == telemetry::EventType::kAllocCycle && event.scope == "coordinator")
+      saw_coordinator = true;
+  }
+  EXPECT_EQ(shard_cycle_begins, shard_cycle_ends);
+  EXPECT_GE(shard_cycle_begins, 4);  // 2 shards x 2 polls
+  EXPECT_TRUE(saw_shard0);
+  EXPECT_TRUE(saw_shard1);
+  EXPECT_TRUE(saw_coordinator);
+
+  std::string snapshot = metrics.text_snapshot();
+  EXPECT_NE(snapshot.find("rm_eventloop_cycles_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("rm_eventloop_ready_fds"), std::string::npos);
+  EXPECT_NE(snapshot.find("rm_shard_rebalances_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("rm_cycle_seconds_shard0"), std::string::npos);
+  EXPECT_NE(snapshot.find("rm_cycle_seconds_shard1"), std::string::npos);
+}
+
+// Threaded smoke: shards on their own blocking threads must accept
+// cross-thread adoptions (wakeup path) and deliver activations end to end.
+// Bounded wall-clock wait; also exercised under TSan via the `race` label.
+TEST(ShardedRm, ThreadedShardsDeliverActivations) {
+  platform::HardwareDescription hw = platform::raptor_lake();
+  ShardedRmOptions options;
+  options.num_shards = 2;
+  options.rebalance = RebalanceMode::kLambdaDrift;
+  options.server.lease_seconds = 0;
+  ShardedRmServer rm(hw, options);
+  rm.start_threads();
+
+  std::vector<TestClient> clients;
+  for (int c = 0; c < 4; ++c) {
+    std::unique_ptr<ipc::Channel> rm_end;
+    clients.push_back(make_client("threaded" + std::to_string(c), 600 + c,
+                                  {point(hw, 2, 2, 10.0 + c, 5.0)}, &rm_end));
+    rm.adopt_channel(std::move(rm_end));
+  }
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool all_activated = false;
+  while (!all_activated && std::chrono::steady_clock::now() < deadline) {
+    all_activated = true;
+    for (TestClient& client : clients) {
+      drain(client);
+      if (client.activations.empty()) all_activated = false;
+    }
+    if (!all_activated) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rm.stop_threads();
+  EXPECT_TRUE(all_activated);
+  for (TestClient& client : clients) EXPECT_EQ(client.acks, 1);
+}
+
+}  // namespace
+}  // namespace harp::core
