@@ -1,0 +1,85 @@
+// Deterministic data-parallel worker pool for hot-path loops.
+//
+// The contract is bit-reproducibility, not just speed: run(n, kernel, ctx)
+// partitions [0, n) into fixed kBlock-sized blocks and assigns block b to
+// lane (b % lanes) — a pure function of (n, lanes), never of timing. A
+// kernel therefore sees exactly the same index ranges on every run, and a
+// caller that keeps per-lane accumulators and merges them in ascending lane
+// order gets byte-identical results for any lane count, including 1.
+// Cross-lane reductions must stay exact under this merge (integers, argmin
+// with a total tie-break); floating-point sums belong in a single lane or in
+// the caller's serial epilogue.
+//
+// The calling thread participates as lane 0, so a pool with one lane runs
+// the kernel inline with no synchronisation at all — the "parallel" path and
+// the serial path are literally the same code. Kernels are raw function
+// pointers plus a context pointer: dispatching a job performs no heap
+// allocation, keeping run() legal inside allocation-free hot paths.
+//
+// Worker threads are created once and parked on a condition variable between
+// jobs; dispatch publishes the job under the pool mutex, and completion is
+// signalled through an atomic countdown the caller spins on (acquire/release
+// pairing makes every kernel write visible to the caller).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.hpp"
+
+namespace harp {
+
+class ParallelFor {
+ public:
+  /// Processes indices [begin, end) as lane `lane`. Must not throw.
+  using Kernel = void (*)(void* ctx, std::size_t begin, std::size_t end, int lane);
+
+  /// Fixed block size of the cyclic partition. Small enough to balance a
+  /// 1024-group scan over 8 lanes, large enough that a block amortises the
+  /// dispatch bookkeeping.
+  static constexpr std::size_t kBlock = 64;
+
+  /// `lanes` >= 1. Creates lanes-1 worker threads; lane 0 is the caller.
+  explicit ParallelFor(int lanes);
+  ~ParallelFor();
+  ParallelFor(const ParallelFor&) = delete;
+  ParallelFor& operator=(const ParallelFor&) = delete;
+
+  int lanes() const { return lanes_; }
+
+  /// Run `kernel` over [0, n): block b (indices [b*kBlock, ...)) goes to lane
+  /// b % lanes. Blocks within a lane run in ascending order. Returns after
+  /// every lane finished; not reentrant (one job at a time per pool).
+  void run(std::size_t n, Kernel kernel, void* ctx);
+
+ private:
+  void worker_main(int lane);
+  /// Process this lane's blocks of the current job (ascending block index).
+  static void run_lane(std::size_t n, int lanes, Kernel kernel, void* ctx, int lane);
+
+  const int lanes_;
+  std::vector<std::thread> threads_;  // harp-lint: allow(all started in ctor, joined in dtor)
+
+  // Dispatch protocol: run() publishes the job fields and bumps epoch_ under
+  // mutex_; workers copy the fields out under the same lock before running.
+  // The fields are not HARP_GUARDED_BY-annotated because workers reach them
+  // through std::unique_lock (condition_variable_any's wait contract), which
+  // clang's thread-safety analysis cannot see through; the dynamic lockset
+  // checker still observes every acquisition via the harp::Mutex hooks.
+  Mutex mutex_;
+  std::condition_variable_any cv_;          // harp-lint: allow(all waits on mutex_ itself)
+  std::uint64_t epoch_ = 0;                 // harp-lint: allow(all written/read under mutex_)
+  bool stop_ = false;                       // harp-lint: allow(all written/read under mutex_)
+  std::size_t job_n_ = 0;                   // harp-lint: allow(all written/read under mutex_)
+  Kernel job_kernel_ = nullptr;             // harp-lint: allow(all written/read under mutex_)
+  void* job_ctx_ = nullptr;                 // harp-lint: allow(all written/read under mutex_)
+  /// Lanes still running the current job; release-decremented by workers,
+  /// acquire-polled by run() so kernel writes are published to the caller.
+  std::atomic<int> pending_{0};
+};
+
+}  // namespace harp

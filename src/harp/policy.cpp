@@ -78,6 +78,8 @@ void HarpPolicy::attach(sim::RunnerApi& api) {
     group_rebuilds_counter_ = &options_.metrics->counter("rm_group_rebuilds_total");
     group_cache_hits_counter_ = &options_.metrics->counter("rm_group_cache_hits_total");
     solve_replays_counter_ = &options_.metrics->counter("rm_solve_replays_total");
+    solve_incremental_counter_ = &options_.metrics->counter("rm_solve_incremental_total");
+    groups_rescanned_counter_ = &options_.metrics->counter("rm_solve_groups_rescanned_total");
   }
 }
 
@@ -425,6 +427,7 @@ void HarpPolicy::reallocate() {
   const int num_types = static_cast<int>(hw.core_types.size());
   std::vector<sim::AppId> ids;
   group_ptrs_.clear();
+  dirty_scratch_.clear();
   for (auto& [id, app] : managed_) {
     ids.push_back(id);
     std::string key = table_key(*app);
@@ -438,12 +441,27 @@ void HarpPolicy::reallocate() {
       app->group_key = std::move(key);
       app->has_group = true;
       if (group_rebuilds_counter_ != nullptr) group_rebuilds_counter_->inc();
+      // Rebuilt at position group_ptrs_.size(): this cycle's dirty index
+      // (ascending because managed_ iterates in AppId order).
+      dirty_scratch_.push_back(static_cast<std::uint32_t>(group_ptrs_.size()));
     }
     group_ptrs_.push_back(&app->group);
   }
 
-  allocator_->solve(group_ptrs_, solve_ws_, solve_result_);
+  // Dirty-subset solves additionally require the same apps in the same
+  // positions as the previous solve; any arrival/exit changes the AppId
+  // sequence and downgrades to a structural (full) solve.
+  bool same_structure = last_solve_ids_ == ids;
+  last_solve_ids_ = std::move(ids);
+  const std::vector<sim::AppId>& solve_ids = last_solve_ids_;
+
+  allocator_->solve(group_ptrs_, dirty_scratch_, !same_structure, solve_ws_, solve_result_);
   if (solve_ws_.replayed() && solve_replays_counter_ != nullptr) solve_replays_counter_->inc();
+  if (solve_ws_.last_mode() == SolveMode::kIncremental && solve_incremental_counter_ != nullptr)
+    solve_incremental_counter_->inc();
+  if (groups_rescanned_counter_ != nullptr)
+    groups_rescanned_counter_->inc(
+        static_cast<std::uint64_t>(solve_ws_.last_rescanned_groups()));
   AllocationResult& result = solve_result_;
   if (!result.feasible) {
     // §4.2.2 Limitations: demand exceeds capacity even at minimum points —
@@ -466,7 +484,7 @@ void HarpPolicy::reallocate() {
   for (std::size_t t = 0; t < hw.core_types.size(); ++t)
     unassigned_cores_[t] = hw.core_types[t].core_count;
   for (std::size_t g = 0; g < group_ptrs_.size(); ++g) {
-    ManagedApp& app = *managed_.at(ids[g]);
+    ManagedApp& app = *managed_.at(solve_ids[g]);
     const AllocationGroup& group = *group_ptrs_[g];
     const OperatingPoint& point = group.candidates[result.selection[g]];
     app.mmkp_erv = point.erv;

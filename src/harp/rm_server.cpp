@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/parallel_for.hpp"
 #include "src/common/race_registry.hpp"
 #include "src/mlmodels/pareto.hpp"
 
@@ -52,6 +53,11 @@ struct RmServer::Client {
 
 RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
     : hw_(std::move(hw)), options_(options), allocator_(hw_, options.solver, options.tracer) {
+  HARP_CHECK(options_.solver_workers >= 1);
+  if (options_.solver_workers > 1) {
+    solve_pool_ = std::make_unique<harp::ParallelFor>(options_.solver_workers);
+    allocator_.set_parallelism(solve_pool_.get());
+  }
   if (options_.use_event_loop) {
     loop_ = std::make_shared<ipc::EventLoop>();
     if (!loop_->valid()) loop_ = nullptr;  // degrade to the legacy scan cycle
@@ -64,6 +70,8 @@ RmServer::RmServer(platform::HardwareDescription hw, RmServerOptions options)
     group_rebuilds_counter_ = &options_.metrics->counter("rm_group_rebuilds_total");
     group_cache_hits_counter_ = &options_.metrics->counter("rm_group_cache_hits_total");
     solve_replays_counter_ = &options_.metrics->counter("rm_solve_replays_total");
+    solve_incremental_counter_ = &options_.metrics->counter("rm_solve_incremental_total");
+    groups_rescanned_counter_ = &options_.metrics->counter("rm_solve_groups_rescanned_total");
     realloc_skips_counter_ = &options_.metrics->counter("rm_realloc_skips_total");
     eventloop_cycles_counter_ = &options_.metrics->counter("rm_eventloop_cycles_total");
     eventloop_ready_counter_ = &options_.metrics->counter("rm_eventloop_ready_fds");
@@ -491,16 +499,17 @@ AllocationGroup RmServer::build_group(const Client& client) const {
   return group;
 }
 
-void RmServer::refresh_group_locked(Client& client) {
+bool RmServer::refresh_group_locked(Client& client) {
   if (client.has_group && client.group_version == client.table.version()) {
     if (group_cache_hits_counter_ != nullptr) group_cache_hits_counter_->inc();
-    return;
+    return false;
   }
   client.group = build_group(client);
   client.group.prepare(static_cast<int>(hw_.core_types.size()));
   client.group_version = client.table.version();
   client.has_group = true;
   if (group_rebuilds_counter_ != nullptr) group_rebuilds_counter_->inc();
+  return true;
 }
 
 void RmServer::send_activation_locked(Client& client, const OperatingPoint& point,
@@ -584,10 +593,13 @@ void RmServer::set_core_budget(std::vector<std::vector<int>> owned_cores) {
     for (std::size_t t = 0; t < budget_hw.core_types.size(); ++t)
       budget_hw.core_types[t].core_count = static_cast<int>(owned_cores_[t].size());
   allocator_ = Allocator(budget_hw, options_.solver, options_.tracer);
+  if (solve_pool_ != nullptr) allocator_.set_parallelism(solve_pool_.get());
   // The cached fingerprint was computed against the old capacity vector;
-  // replaying it against the new one would hand out stale core ids.
+  // replaying it against the new one would hand out stale core ids. The
+  // solve-identity history goes with it: the next solve must be structural.
   solve_ws_.invalidate();
   last_grant_ids_.clear();
+  last_solve_ids_.clear();
   needs_realloc_ = true;
 }
 
@@ -613,20 +625,40 @@ void RmServer::reallocate() {
                    {"cycle", static_cast<double>(realloc_count_)}});
 
   // Refresh only the groups whose operating-point table changed since the
-  // cached build (per-client dirty bit = stored table version).
-  for (Client* client : registered) refresh_group_locked(*client);
+  // cached build (per-client dirty bit = stored table version); the rebuilt
+  // positions, ascending by construction, become the solver's dirty set.
+  dirty_scratch_.clear();
+  for (std::size_t g = 0; g < registered.size(); ++g)
+    if (refresh_group_locked(*registered[g]))
+      dirty_scratch_.push_back(static_cast<std::uint32_t>(g));
   group_ptrs_.resize(registered.size());
   for (std::size_t g = 0; g < registered.size(); ++g) group_ptrs_[g] = &registered[g]->group;
 
+  // The dirty-subset contract additionally requires structural sameness:
+  // the same clients, in the same positions, as the instance the workspace
+  // state was built from. Positional app_id equality certifies exactly that
+  // (arrivals, departures, and reorderings all change the sequence).
+  bool same_structure = last_solve_ids_.size() == registered.size();
+  for (std::size_t g = 0; same_structure && g < registered.size(); ++g)
+    if (last_solve_ids_[g] != registered[g]->app_id) same_structure = false;
+  last_solve_ids_.resize(registered.size());
+  for (std::size_t g = 0; g < registered.size(); ++g)
+    last_solve_ids_[g] = registered[g]->app_id;
+
   if (solve_histogram_ != nullptr) {
     auto t0 = std::chrono::steady_clock::now();
-    allocator_.solve(group_ptrs_, solve_ws_, solve_result_);
+    allocator_.solve(group_ptrs_, dirty_scratch_, !same_structure, solve_ws_, solve_result_);
     solve_histogram_->observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   } else {
-    allocator_.solve(group_ptrs_, solve_ws_, solve_result_);
+    allocator_.solve(group_ptrs_, dirty_scratch_, !same_structure, solve_ws_, solve_result_);
   }
   if (solve_ws_.replayed() && solve_replays_counter_ != nullptr) solve_replays_counter_->inc();
+  if (solve_ws_.last_mode() == SolveMode::kIncremental && solve_incremental_counter_ != nullptr)
+    solve_incremental_counter_->inc();
+  if (groups_rescanned_counter_ != nullptr)
+    groups_rescanned_counter_->inc(
+        static_cast<std::uint64_t>(solve_ws_.last_rescanned_groups()));
   AllocationResult& result = solve_result_;
 
   // Skip-cycle: the solver replayed a byte-identical instance, so every

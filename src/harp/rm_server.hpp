@@ -64,6 +64,10 @@ struct RmServerOptions {
   /// via export_groups() / push_activation() (ShardedRmServer with
   /// rebalancing disabled).
   bool external_solver = false;
+  /// Worker lanes for the solver's across-groups scan (>= 1; the poll thread
+  /// is lane 0, so 1 means no extra threads). Results are bit-identical for
+  /// any value — this trades cores for latency on large instances only.
+  int solver_workers = 1;
   /// Optional telemetry sinks (may each be null): allocation-cycle spans,
   /// grant/registration/lease instants, and "rm_*_total" counters.
   telemetry::Tracer* tracer = nullptr;
@@ -191,7 +195,9 @@ class RmServer {
       HARP_REQUIRES(mutex_);
   void drop_client(std::size_t index) HARP_REQUIRES(mutex_);
   void reallocate() HARP_REQUIRES(mutex_);
-  void refresh_group_locked(Client& client) HARP_REQUIRES(mutex_);
+  /// Returns true when the group was rebuilt (operating-point table changed
+  /// since the cached build) — the reallocation cycle's dirty signal.
+  bool refresh_group_locked(Client& client) HARP_REQUIRES(mutex_);
   void send_activation_locked(Client& client, const OperatingPoint& point,
                               const platform::CoreAllocation& cores, double cost)
       HARP_REQUIRES(mutex_);
@@ -244,6 +250,16 @@ class RmServer {
   /// again (a new/re-registered client must receive its activation even if
   /// the solved instance is byte-identical).
   std::vector<std::int32_t> last_grant_ids_ HARP_GUARDED_BY(mutex_);
+  /// app_ids (in group order) of the last instance actually handed to the
+  /// solver. The dirty-subset contract needs structural sameness — same
+  /// groups, same order — which positional app_id equality certifies; any
+  /// mismatch downgrades the solve to structure_changed.
+  std::vector<std::int32_t> last_solve_ids_ HARP_GUARDED_BY(mutex_);
+  /// Ascending indices of groups rebuilt this cycle (the solver's dirty set).
+  std::vector<std::uint32_t> dirty_scratch_ HARP_GUARDED_BY(mutex_);
+  /// Solver worker pool (null when options.solver_workers == 1). Created at
+  /// construction, attached to every Allocator this server builds.
+  std::unique_ptr<harp::ParallelFor> solve_pool_;  // harp-lint: allow(all immutable after construction)
   /// Counters resolved once at construction from options.metrics (all null
   /// when metrics are off, making every increment a single null check).
   telemetry::Counter* reallocs_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
@@ -253,6 +269,8 @@ class RmServer {
   telemetry::Counter* group_rebuilds_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* group_cache_hits_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* solve_replays_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* solve_incremental_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* groups_rescanned_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* realloc_skips_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* eventloop_cycles_counter_ HARP_GUARDED_BY(mutex_) = nullptr;
   telemetry::Counter* eventloop_ready_counter_ HARP_GUARDED_BY(mutex_) = nullptr;

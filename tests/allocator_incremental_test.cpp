@@ -436,6 +436,122 @@ TEST(WorkspaceReuse, OneWorkspaceAcrossChangingInstances) {
 }
 
 // ---------------------------------------------------------------------------
+// Dirty-subset incremental solves
+// ---------------------------------------------------------------------------
+
+/// Shape-preserving mutation of one group: always reprices one candidate and
+/// optionally redraws one candidate's resource vector (re-prepared so the
+/// bound usage rows see it). The candidate count never changes — dirty-subset
+/// clean-state reuse requires a stable shape, and shape changes are covered
+/// by the structural path anyway.
+void mutate_group(const platform::HardwareDescription& hw, AllocationGroup& group,
+                  harp::Rng& rng, bool mutate_rows) {
+  const std::size_t c = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(group.costs.size()) - 1));
+  group.costs[c] += rng.uniform(0.05, 1.5);
+  if (mutate_rows) {
+    const int num_types = static_cast<int>(hw.core_types.size());
+    std::vector<int> threads(static_cast<std::size_t>(num_types), 0);
+    int total = 0;
+    for (int t = 0; t < num_types; ++t) {
+      const platform::CoreType& type = hw.core_types[static_cast<std::size_t>(t)];
+      int limit = std::max(1, type.core_count * type.smt_width / 2);
+      threads[static_cast<std::size_t>(t)] = rng.uniform_int(0, limit);
+      total += threads[static_cast<std::size_t>(t)];
+    }
+    if (total == 0) threads[0] = 1;
+    group.candidates[c].erv = platform::ExtendedResourceVector::from_threads(hw, threads);
+    group.prepare(num_types);
+  }
+}
+
+class DirtySubsetEquivalence : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(DirtySubsetEquivalence, MatchesFreshColdSolveOnMutatedInstances) {
+  const SolverKind kind = GetParam();
+  const int max_groups = kind == SolverKind::kExhaustive ? 5 : 12;
+  const int max_candidates = kind == SolverKind::kExhaustive ? 5 : 10;
+  std::uint64_t incremental_solves_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    harp::Rng rng(seed * 48611u);
+    platform::HardwareDescription hw = pick_hw(rng);
+    std::vector<AllocationGroup> groups = random_groups(hw, rng, max_groups, max_candidates);
+    for (AllocationGroup& group : groups)
+      group.prepare(static_cast<int>(hw.core_types.size()));
+    std::vector<const AllocationGroup*> ptrs = pointers_to(groups);
+    const std::size_t n = groups.size();
+    Allocator allocator(hw, kind);
+    SolveWorkspace ws;
+    AllocationResult out;
+    allocator.solve(ptrs, ws, out);  // structural first solve seeds the cache
+
+    // Flip one group.
+    std::vector<std::uint32_t> dirty;
+    const std::size_t one =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+    mutate_group(hw, groups[one], rng, seed % 2 == 0);
+    dirty.assign(1, static_cast<std::uint32_t>(one));
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+    if (kind == SolverKind::kLagrangian) {
+      EXPECT_EQ(ws.last_mode(), SolveMode::kIncremental) << "seed=" << seed;
+      EXPECT_EQ(ws.last_rescanned_groups(), 1u) << "seed=" << seed;
+      // Iteration 1 always replays (λ starts at zero in both trajectories).
+      EXPECT_GE(ws.last_sync_iterations(), 1) << "seed=" << seed;
+    }
+    expect_identical(out, allocator.solve(groups), seed, "dirty-one");
+
+    // Flip a k-subset (ascending by construction; never empty).
+    dirty.clear();
+    for (std::size_t g = 0; g < n; ++g)
+      if (rng.uniform_int(0, 2) == 0 || (dirty.empty() && g + 1 == n))
+        dirty.push_back(static_cast<std::uint32_t>(g));
+    for (std::uint32_t g : dirty) mutate_group(hw, groups[g], rng, g % 2 == 0);
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+    if (kind == SolverKind::kLagrangian) {
+      EXPECT_EQ(ws.last_rescanned_groups(), dirty.size()) << "seed=" << seed;
+    }
+    expect_identical(out, allocator.solve(groups), seed, "dirty-k");
+
+    // Flip every group: the dirty path with a full dirty set must still
+    // match — it degenerates to rescanning everything under the replayed λ.
+    dirty.resize(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      dirty[g] = static_cast<std::uint32_t>(g);
+      mutate_group(hw, groups[g], rng, g % 2 == 1);
+    }
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+    expect_identical(out, allocator.solve(groups), seed, "dirty-all");
+
+    // Spuriously dirty (listed but unchanged): the per-group fingerprints
+    // see a byte-identical instance and replay the cached result.
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+    EXPECT_TRUE(ws.replayed()) << "seed=" << seed;
+    EXPECT_EQ(ws.last_mode(), SolveMode::kReplay) << "seed=" << seed;
+    expect_identical(out, allocator.solve(groups), seed, "dirty-spurious");
+
+    incremental_solves_seen += ws.incremental_solves();
+  }
+  // Every mutated solve of the sweep must have taken the incremental path
+  // for the Lagrangian solver (3 per seed); the others always run full.
+  if (kind == SolverKind::kLagrangian)
+    EXPECT_EQ(incremental_solves_seen, 600u);
+  else
+    EXPECT_EQ(incremental_solves_seen, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, DirtySubsetEquivalence,
+                         ::testing::Values(SolverKind::kLagrangian, SolverKind::kGreedy,
+                                           SolverKind::kExhaustive),
+                         [](const ::testing::TestParamInfo<SolverKind>& info) {
+                           switch (info.param) {
+                             case SolverKind::kLagrangian: return "Lagrangian";
+                             case SolverKind::kGreedy: return "Greedy";
+                             case SolverKind::kExhaustive: return "Exhaustive";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------------------------------------------------------------------------
 // Zero-allocation steady state
 // ---------------------------------------------------------------------------
 
@@ -502,6 +618,57 @@ INSTANTIATE_TEST_SUITE_P(AllSolvers, SteadyStateAllocations,
                            }
                            return "Unknown";
                          });
+
+TEST(SteadyStateAllocationsDirty, IncrementalSolveIsHeapAllocationFree) {
+  // The dirty-subset path adds trajectory buffers (λ rows, pick rows) to the
+  // workspace; like every other scratch vector they must reach steady state
+  // during warm-up and never allocate again.
+  platform::HardwareDescription hw = platform::raptor_lake();
+  const int num_types = static_cast<int>(hw.core_types.size());
+  std::vector<AllocationGroup> groups;
+  for (int g = 0; g < 4; ++g) {
+    AllocationGroup group;
+    group.app_name = "app" + std::to_string(g);
+    for (int c = 0; c < 4; ++c) {
+      OperatingPoint point;
+      point.erv = platform::ExtendedResourceVector::from_threads(hw, {1 + c, g % 2});
+      point.nfc.utility = 1.0;
+      group.candidates.push_back(point);
+      group.costs.push_back(1.0 + 2.0 * c + 0.25 * g);
+    }
+    group.prepare(num_types);
+    groups.push_back(std::move(group));
+  }
+
+  Allocator allocator(hw, SolverKind::kLagrangian);
+  std::vector<const AllocationGroup*> ptrs = pointers_to(groups);
+  std::vector<std::uint32_t> dirty(1, 0);
+  SolveWorkspace ws;
+  AllocationResult out;
+
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    groups[0].costs[0] += 1e-9;
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+    ASSERT_FALSE(ws.replayed());
+  }
+  allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+  ASSERT_TRUE(ws.replayed());
+  ASSERT_EQ(ws.last_mode(), SolveMode::kReplay);
+  ASSERT_TRUE(out.feasible);
+
+  const std::uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    groups[0].costs[0] += 1e-9;  // dirty for real: forces an incremental solve
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);
+    allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, out);  // spurious: replay
+  }
+  const std::uint64_t delta = g_allocation_count.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0u) << "dirty-path solve allocated " << delta << " times in 100 cycles";
+  EXPECT_EQ(ws.last_mode(), SolveMode::kReplay);
+  EXPECT_GT(ws.incremental_solves(), 50u);
+  EXPECT_TRUE(out.feasible);
+}
 
 }  // namespace
 }  // namespace harp::core

@@ -246,6 +246,15 @@ TEST(LintFixtures, R6EventLoopHotPaths) {
   expect_exact({fixture("r6_eventloop_bad.cpp"), fixture("r6_eventloop_good.cpp")}, {"r6"});
 }
 
+TEST(LintFixtures, R6ParallelSolverHotPaths) {
+  // Fixtures shaped like the deterministic worker-pool kernel and the
+  // incremental λ iteration (src/common/parallel_for.cpp and
+  // src/harp/allocator.cpp are hot-path annotated): per-block scratch,
+  // per-iteration pick buffers, and per-lane labels must be hoisted into the
+  // caller-owned workspace.
+  expect_exact({fixture("r6_parallel_bad.cpp"), fixture("r6_parallel_good.cpp")}, {"r6"});
+}
+
 TEST(LintFixtures, R6IsOptIn) {
   // The same per-iteration constructions without the annotation: silent.
   EXPECT_TRUE(run({fixture("r6_unannotated.cpp")}, Options{{"r6"}}).empty());

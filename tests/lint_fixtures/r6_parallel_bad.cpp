@@ -1,0 +1,32 @@
+// Bad fixture for r6 shaped like the mistakes the parallel scan kernel and
+// the incremental λ iteration must avoid: per-block scratch vectors built
+// inside the worker kernel, per-iteration relaxed-cost buffers, and a lane
+// debug label formatted on every dispatch.
+// harp-lint: hot-path
+#include <cstddef>
+#include <string>
+#include <vector>
+
+void scan_block(const double* rows, std::size_t begin, std::size_t end,
+                std::vector<double>& relaxed);
+
+void scan_kernel(const double* rows, std::size_t begin, std::size_t end, int lane) {
+  for (std::size_t b = begin; b < end; b += 64) {
+    std::vector<double> relaxed(64);  // expect: r6
+    scan_block(rows, b, b + 64, relaxed);
+    std::string label = "lane" + std::to_string(lane);  // expect: r6
+    (void)label;
+  }
+}
+
+void lambda_iterations(const double* rows, std::size_t num_groups, int iterations) {
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<std::size_t> picks(num_groups);  // expect: r6
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      std::vector<double> relaxed(64);  // expect: r6
+      scan_block(rows, g, g + 1, relaxed);
+      picks[g] = g;
+    }
+    (void)picks;
+  }
+}

@@ -1,0 +1,216 @@
+// Determinism tests for the data-parallel solver path (DESIGN.md "Hot path &
+// incrementality"):
+//
+//  1. Partition — ParallelFor's block-cyclic split is a pure function of
+//     (n, lanes): every index is visited exactly once, by the lane
+//     (index / kBlock) % lanes, for any n including the n = 0 and sub-block
+//     edges; a pool survives hundreds of back-to-back jobs.
+//  2. Worker-count invariance — Allocator results (cold, warm, dirty-subset
+//     incremental) are byte-identical for 1, 2, 4, and 8 worker lanes over
+//     seeded random instances. The across-groups scan writes disjoint
+//     selection slots and does no cross-lane arithmetic, so lane count can
+//     influence nothing but wall-clock time.
+//
+// This suite is also registered under the `race` ctest label: the lockset /
+// TSan CI job runs it to check the pool's dispatch protocol (epoch + parked
+// condition variable + atomic countdown) for data races.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel_for.hpp"
+#include "src/common/rng.hpp"
+#include "src/harp/allocator.hpp"
+#include "src/platform/hardware.hpp"
+
+namespace harp::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partition properties
+// ---------------------------------------------------------------------------
+
+struct PartitionCtx {
+  int* visits = nullptr;   // per-index visit count
+  int* lane_of = nullptr;  // per-index executing lane
+};
+
+void partition_kernel(void* p, std::size_t begin, std::size_t end, int lane) {
+  const PartitionCtx& ctx = *static_cast<const PartitionCtx*>(p);
+  for (std::size_t i = begin; i < end; ++i) {
+    ctx.visits[i] += 1;  // disjoint ranges: no two lanes touch one index
+    ctx.lane_of[i] = lane;
+  }
+}
+
+TEST(ParallelForPartition, BlockCyclicCoversEveryIndexOnceOnTheRightLane) {
+  for (int lanes : {1, 2, 3, 4, 8}) {
+    harp::ParallelFor pool(lanes);
+    EXPECT_EQ(pool.lanes(), lanes);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{640}, std::size_t{1000}}) {
+      std::vector<int> visits(n, 0);
+      std::vector<int> lane_of(n, -1);
+      PartitionCtx ctx{visits.data(), lane_of.data()};
+      pool.run(n, partition_kernel, &ctx);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(visits[i], 1) << "lanes=" << lanes << " n=" << n << " i=" << i;
+        const int expected_lane =
+            static_cast<int>((i / harp::ParallelFor::kBlock) % static_cast<std::size_t>(lanes));
+        ASSERT_EQ(lane_of[i], expected_lane) << "lanes=" << lanes << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+struct SumCtx {
+  const std::uint64_t* values = nullptr;
+  std::uint64_t* lane_sums = nullptr;  // one accumulator per lane
+};
+
+void sum_kernel(void* p, std::size_t begin, std::size_t end, int lane) {
+  const SumCtx& ctx = *static_cast<const SumCtx*>(p);
+  for (std::size_t i = begin; i < end; ++i) ctx.lane_sums[lane] += ctx.values[i];
+}
+
+TEST(ParallelForReuse, HundredsOfBackToBackJobsOnOnePool) {
+  // Stresses the dispatch epoch protocol: repeated jobs must never deadlock,
+  // drop a lane, or let a stale job run (each job's sum is checked exactly).
+  harp::ParallelFor pool(4);
+  harp::Rng rng(0x5eed);
+  for (int job = 0; job < 300; ++job) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 500));
+    std::vector<std::uint64_t> values(n);
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+      expected += values[i];
+    }
+    std::vector<std::uint64_t> lane_sums(4, 0);
+    SumCtx ctx{values.data(), lane_sums.data()};
+    pool.run(n, sum_kernel, &ctx);
+    // Ordered (ascending-lane) exact reduction — the sanctioned merge.
+    std::uint64_t total = 0;
+    for (std::uint64_t s : lane_sums) total += s;
+    ASSERT_EQ(total, expected) << "job=" << job << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count invariance of the solver
+// ---------------------------------------------------------------------------
+
+platform::HardwareDescription pick_hw(harp::Rng& rng) {
+  return rng.uniform_int(0, 1) == 0 ? platform::raptor_lake() : platform::odroid_xu3e();
+}
+
+std::vector<AllocationGroup> random_groups(const platform::HardwareDescription& hw,
+                                           harp::Rng& rng, int max_groups, int max_candidates) {
+  const int num_types = static_cast<int>(hw.core_types.size());
+  const int num_groups = rng.uniform_int(1, max_groups);
+  std::vector<AllocationGroup> groups;
+  groups.reserve(static_cast<std::size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    AllocationGroup group;
+    group.app_name = "app" + std::to_string(g);
+    const int num_candidates = rng.uniform_int(1, max_candidates);
+    for (int c = 0; c < num_candidates; ++c) {
+      std::vector<int> threads(static_cast<std::size_t>(num_types), 0);
+      int total = 0;
+      for (int t = 0; t < num_types; ++t) {
+        const platform::CoreType& type = hw.core_types[static_cast<std::size_t>(t)];
+        int limit = std::max(1, type.core_count * type.smt_width / 2);
+        threads[static_cast<std::size_t>(t)] = rng.uniform_int(0, limit);
+        total += threads[static_cast<std::size_t>(t)];
+      }
+      if (total == 0) threads[0] = 1;
+      OperatingPoint point;
+      point.erv = platform::ExtendedResourceVector::from_threads(hw, threads);
+      point.nfc.utility = 1.0;
+      group.candidates.push_back(point);
+      group.costs.push_back(rng.uniform(0.1, 10.0));
+    }
+    group.prepare(num_types);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+void expect_identical(const AllocationResult& actual, const AllocationResult& expected,
+                      std::uint64_t seed, int lanes, const char* what) {
+  EXPECT_EQ(actual.feasible, expected.feasible) << what << " seed=" << seed << " lanes=" << lanes;
+  EXPECT_EQ(actual.selection, expected.selection)
+      << what << " seed=" << seed << " lanes=" << lanes;
+  // Bit-level: any lane count must run the exact same arithmetic.
+  EXPECT_EQ(actual.total_cost, expected.total_cost)
+      << what << " seed=" << seed << " lanes=" << lanes;
+  ASSERT_EQ(actual.allocations.size(), expected.allocations.size())
+      << what << " seed=" << seed << " lanes=" << lanes;
+  for (std::size_t g = 0; g < actual.allocations.size(); ++g)
+    EXPECT_EQ(actual.allocations[g].cores, expected.allocations[g].cores)
+        << what << " seed=" << seed << " lanes=" << lanes << " group=" << g;
+}
+
+TEST(WorkerCountInvariance, SolveSequenceIsByteIdenticalForOneToEightLanes) {
+  const int kLaneCounts[] = {1, 2, 4, 8};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    // Draw the instance and a deterministic mutation plan once, then replay
+    // the identical solve sequence under every lane count.
+    harp::Rng rng(seed * 75989u);
+    platform::HardwareDescription hw = pick_hw(rng);
+    const std::vector<AllocationGroup> original = random_groups(hw, rng, 12, 10);
+    const std::size_t n = original.size();
+    const std::size_t flip =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+    const double nudge = rng.uniform(0.05, 1.5);
+
+    std::vector<AllocationResult> cold(4), warm(4), dirty_out(4);
+    for (int k = 0; k < 4; ++k) {
+      harp::ParallelFor pool(kLaneCounts[k]);
+      Allocator allocator(hw, SolverKind::kLagrangian);
+      allocator.set_parallelism(&pool);
+      std::vector<AllocationGroup> groups = original;  // fresh copy per lane count
+      std::vector<const AllocationGroup*> ptrs;
+      for (const AllocationGroup& group : groups) ptrs.push_back(&group);
+
+      cold[k] = allocator.solve(groups);
+      SolveWorkspace ws;
+      allocator.solve(ptrs, ws, warm[k]);
+
+      groups[flip].costs[0] += nudge;
+      std::vector<std::uint32_t> dirty(1, static_cast<std::uint32_t>(flip));
+      allocator.solve(ptrs, dirty, /*structure_changed=*/false, ws, dirty_out[k]);
+      EXPECT_EQ(ws.last_mode(), SolveMode::kIncremental)
+          << "seed=" << seed << " lanes=" << kLaneCounts[k];
+    }
+    for (int k = 1; k < 4; ++k) {
+      expect_identical(cold[k], cold[0], seed, kLaneCounts[k], "cold");
+      expect_identical(warm[k], warm[0], seed, kLaneCounts[k], "warm");
+      expect_identical(dirty_out[k], dirty_out[0], seed, kLaneCounts[k], "dirty");
+    }
+  }
+}
+
+TEST(WorkerCountInvariance, PooledSolveMatchesPoollessSolve) {
+  // lanes = 1 through the pool and no pool at all are literally the same
+  // code path; a multi-lane pool must still match the pool-less baseline.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    harp::Rng rng(seed * 104651u);
+    platform::HardwareDescription hw = pick_hw(rng);
+    std::vector<AllocationGroup> groups = random_groups(hw, rng, 12, 10);
+    Allocator plain(hw, SolverKind::kLagrangian);
+    AllocationResult expected = plain.solve(groups);
+
+    harp::ParallelFor pool(3);  // non-power-of-two on purpose
+    Allocator pooled(hw, SolverKind::kLagrangian);
+    pooled.set_parallelism(&pool);
+    expect_identical(pooled.solve(groups), expected, seed, 3, "pooled-cold");
+  }
+}
+
+}  // namespace
+}  // namespace harp::core

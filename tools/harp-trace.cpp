@@ -56,8 +56,8 @@ void print_summary(const std::vector<TraceEvent>& events) {
 
 void print_cycles(const std::vector<TraceEvent>& events) {
   std::printf("== allocation cycles ==\n");
-  std::printf("%10s %7s %5s %9s %11s %11s\n", "t", "cycle", "apps", "feasible", "total_cost",
-              "duration_s");
+  std::printf("%10s %7s %5s %9s %11s %11s %7s\n", "t", "cycle", "apps", "feasible", "total_cost",
+              "duration_s", "solver");
   // Grants arrive between a cycle's begin and end; the allocator span
   // (mmkp_solve) nests inside, so match on the alloc_cycle type alone.
   bool in_cycle = false;
@@ -65,6 +65,11 @@ void print_cycles(const std::vector<TraceEvent>& events) {
   double cycle = 0.0, apps = 0.0;
   std::vector<const TraceEvent*> grants;
   std::size_t printed = 0;
+  // Solver-path mix: mmkp_solve end events carry {"replayed", 1.0} when the
+  // cached selection was replayed wholesale and {"incremental", 0/1} when a
+  // dirty-subset re-solve ran vs a cold/full one.
+  const char* solver_mode = "-";
+  std::size_t n_replay = 0, n_inc = 0, n_full = 0;
   for (const TraceEvent& event : events) {
     if (event.type == EventType::kAllocCycle && event.phase == Phase::kBegin) {
       in_cycle = true;
@@ -72,18 +77,33 @@ void print_cycles(const std::vector<TraceEvent>& events) {
       cycle = num_arg(event, "cycle");
       apps = num_arg(event, "apps");
       grants.clear();
+      solver_mode = "-";
       continue;
     }
     if (in_cycle && event.type == EventType::kGrant) {
       grants.push_back(&event);
       continue;
     }
+    if (in_cycle && event.type == EventType::kMmkpSolve && event.phase == Phase::kEnd) {
+      if (num_arg(event, "replayed") > 0.5) {
+        solver_mode = "replay";
+        ++n_replay;
+      } else if (num_arg(event, "incremental") > 0.5) {
+        solver_mode = "inc";
+        ++n_inc;
+      } else {
+        solver_mode = "full";
+        ++n_full;
+      }
+      continue;
+    }
     if (in_cycle && event.type == EventType::kAllocCycle && event.phase == Phase::kEnd) {
       in_cycle = false;
       ++printed;
       bool feasible = num_arg(event, "feasible") > 0.5;
-      std::printf("%10.4f %7.0f %5.0f %9s %11.2f %11.6f\n", begin_t, cycle, apps,
-                  feasible ? "yes" : "no", num_arg(event, "total_cost"), event.t - begin_t);
+      std::printf("%10.4f %7.0f %5.0f %9s %11.2f %11.6f %7s\n", begin_t, cycle, apps,
+                  feasible ? "yes" : "no", num_arg(event, "total_cost"), event.t - begin_t,
+                  solver_mode);
       for (const TraceEvent* grant : grants)
         std::printf("    %-12s %-24s u=%-8.2f p=%-7.2f zeta=%-8.1f meas=%.0f\n",
                     grant->scope.c_str(), str_arg(*grant, "erv").c_str(),
@@ -91,7 +111,13 @@ void print_cycles(const std::vector<TraceEvent>& events) {
                     num_arg(*grant, "cost"), num_arg(*grant, "measured"));
     }
   }
-  if (printed == 0) std::printf("no allocation cycles in trace\n");
+  if (printed == 0) {
+    std::printf("no allocation cycles in trace\n");
+    return;
+  }
+  if (n_replay + n_inc + n_full > 0)
+    std::printf("solver mix: %zu replay, %zu incremental, %zu full (%zu cycles)\n", n_replay,
+                n_inc, n_full, printed);
 }
 
 void print_exploration(const std::vector<TraceEvent>& events) {
