@@ -5,8 +5,10 @@
 // so both clang's analysis and harp-lint's R5 rule apply.
 // Under HARP_RACE_CHECK every acquisition/release additionally maintains the
 // calling thread's held-lock set for the Eraser-style dynamic lockset
-// detector (src/common/race_registry.hpp); the hooks are thread-local
-// bookkeeping only and add no blocking.
+// detector and the global lock-order witness (src/common/race_registry.hpp).
+// The release hook is thread-local bookkeeping only; the acquire hook takes
+// the registry's leaf guard the first time a nesting pair is seen per epoch
+// and is cache-hit lock-free afterwards.
 #pragma once
 
 #include <mutex>

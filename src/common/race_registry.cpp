@@ -2,6 +2,8 @@
 #include "src/common/race_registry.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -9,6 +11,7 @@
 #include <set>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace harp {
@@ -51,6 +54,15 @@ struct Registry {
   std::map<const void*, int> object_ids;      // harp-lint: allow(r5 guarded by raw guard mutex above)
   std::map<const void*, int> mutex_ids;       // harp-lint: allow(r5 guarded by raw guard mutex above)
   std::map<std::thread::id, int> thread_ids;  // harp-lint: allow(r5 guarded by raw guard mutex above)
+  // Lock-order witness state: the global "from was held while to was
+  // acquired" graph, inversion count and the latest inversion report. The
+  // epoch is atomic because the acquire hook reads it BEFORE deciding
+  // whether it needs the guard at all (thread_local seen-edge caches tag
+  // themselves with it; reset() bumps it to invalidate every cache).
+  std::map<const void*, std::set<const void*>> lock_order;  // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::size_t inversions = 0;           // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::string last_order_report;        // harp-lint: allow(r5 guarded by raw guard mutex above)
+  std::atomic<std::uint64_t> order_epoch{0};
 };
 
 Registry& registry() {
@@ -82,6 +94,89 @@ std::string describe_access(Registry& reg, const char* label) {
   return out.str();
 }
 
+/// Order edges this thread already pushed into the global graph, valid for
+/// one epoch. Steady-state acquires (same nesting as before) hit this cache
+/// and never touch the registry guard.
+struct EdgeCache {
+  std::uint64_t epoch = 0;
+  std::set<std::pair<const void*, const void*>> seen;
+};
+
+EdgeCache& edge_cache() {
+  thread_local EdgeCache cache;
+  return cache;
+}
+
+/// Shortest path from -> ... -> to over the order graph, empty when
+/// unreachable (caller holds reg.guard).
+std::vector<const void*> find_order_path(Registry& reg, const void* from, const void* to) {
+  std::map<const void*, const void*> parent;
+  std::vector<const void*> frontier{from};
+  parent[from] = nullptr;
+  for (std::size_t at = 0; at < frontier.size(); ++at) {
+    const void* node = frontier[at];
+    if (node == to) {
+      std::vector<const void*> path;
+      for (const void* walk = to; walk != nullptr; walk = parent[walk]) path.push_back(walk);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    auto edges = reg.lock_order.find(node);
+    if (edges == reg.lock_order.end()) continue;
+    for (const void* next : edges->second)
+      if (parent.emplace(next, node).second) frontier.push_back(next);
+  }
+  return {};
+}
+
+/// Record edges held -> acquired; report when a new edge closes a cycle.
+void note_lock_order(const std::vector<const void*>& held, const void* acquired) {
+  Registry& reg = registry();
+  EdgeCache& cache = edge_cache();
+  std::uint64_t epoch = reg.order_epoch.load(std::memory_order_acquire);
+  if (cache.epoch != epoch) {
+    cache.seen.clear();
+    cache.epoch = epoch;
+  }
+  bool all_seen = true;
+  for (const void* h : held)
+    if (cache.seen.count({h, acquired}) == 0) {
+      all_seen = false;
+      break;
+    }
+  if (all_seen) return;
+
+  std::lock_guard<std::mutex> lock(reg.guard);
+  for (const void* h : held) {
+    if (h == acquired) continue;  // re-entry is the lockset checker's concern
+    if (!cache.seen.insert({h, acquired}).second) continue;
+    std::set<const void*>& out_edges = reg.lock_order[h];
+    if (out_edges.count(acquired) != 0) continue;  // established (and checked) earlier
+    // New edge h -> acquired: a pre-existing path acquired ~> h means some
+    // thread took these locks in the opposite order — a deadlock-capable
+    // inversion, witnessed even though this run never interleaved into the
+    // deadlock itself.
+    std::vector<const void*> reverse_path = find_order_path(reg, acquired, h);
+    if (!reverse_path.empty()) {
+      std::ostringstream out;
+      out << "HARP_RACE_CHECK: lock-order inversion: thread "
+          << stable_id(reg.thread_ids, std::this_thread::get_id(), 't') << " acquires "
+          << stable_id(reg.mutex_ids, acquired, 'm') << " while holding "
+          << describe_lockset(reg, held) << ", but the order ";
+      for (std::size_t i = 0; i < reverse_path.size(); ++i)
+        out << (i ? " -> " : "") << stable_id(reg.mutex_ids, reverse_path[i], 'm');
+      out << " is already established; two threads following both orders deadlock";
+      reg.last_order_report = out.str();
+      ++reg.inversions;
+      if (reg.abort_on_race) {
+        std::fprintf(stderr, "%s\n", reg.last_order_report.c_str());
+        std::abort();
+      }
+    }
+    out_edges.insert(acquired);
+  }
+}
+
 }  // namespace
 
 RaceRegistry& RaceRegistry::instance() {
@@ -89,7 +184,11 @@ RaceRegistry& RaceRegistry::instance() {
   return inst;
 }
 
-void RaceRegistry::on_lock_acquired(const void* mutex) { held_locks().push_back(mutex); }
+void RaceRegistry::on_lock_acquired(const void* mutex) {
+  std::vector<const void*>& held = held_locks();
+  if (!held.empty()) note_lock_order(held, mutex);
+  held.push_back(mutex);
+}
 
 void RaceRegistry::on_lock_released(const void* mutex) {
   std::vector<const void*>& held = held_locks();
@@ -167,6 +266,18 @@ std::string RaceRegistry::last_report() const {
   return reg.last_report;
 }
 
+std::size_t RaceRegistry::inversion_count() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  return reg.inversions;
+}
+
+std::string RaceRegistry::last_order_report() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.guard);
+  return reg.last_order_report;
+}
+
 void RaceRegistry::reset() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.guard);
@@ -176,6 +287,12 @@ void RaceRegistry::reset() {
   reg.object_ids.clear();
   reg.mutex_ids.clear();
   reg.thread_ids.clear();
+  reg.lock_order.clear();
+  reg.inversions = 0;
+  reg.last_order_report.clear();
+  // Invalidate every thread's seen-edge cache: a test that resets in SetUp
+  // must re-witness edges its threads already pushed in an earlier test.
+  reg.order_epoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace harp

@@ -18,6 +18,16 @@
 // paths that touch the shared structure. Under HARP_RACE_CHECK it records an
 // access with the current thread's lockset; otherwise it compiles to nothing.
 //
+// Lock-order witness: the acquisition hook also maintains a global "A was
+// held while B was acquired" order graph. When a thread first establishes an
+// edge A -> B and a path B ~> A already exists, the orders contradict — two
+// threads following them can deadlock — so the registry reports an inversion
+// AT ACQUIRE TIME, even on runs that never interleave into the deadlock
+// (join-sequenced two-thread tests can drive it deterministically, exactly
+// like the lockset checker above). Static counterpart: harp-lint r11, which
+// sees lock identities per class; the witness sees instances and indirect
+// calls the syntactic pass cannot.
+//
 // The registry's own state is guarded by a raw std::mutex, NOT harp::Mutex:
 // the instrumented Mutex::lock() hook calls back into the registry, and a
 // harp::Mutex here would recurse into its own instrumentation.
@@ -34,8 +44,12 @@ class RaceRegistry {
   /// static destruction order).
   static RaceRegistry& instance();
 
-  /// Mutex hooks: maintain the calling thread's held-lock set. Lock-free of
-  /// registry state (the held set is thread_local), so they cannot deadlock.
+  /// Mutex hooks: maintain the calling thread's held-lock set (thread_local)
+  /// and the global lock-order graph. The acquire hook takes the registry's
+  /// raw guard only the first time a (held, acquired) pair is seen per epoch
+  /// — a thread_local seen-edge cache keeps the steady state lock-free — and
+  /// the guard is a leaf (nothing is called while it is held), so the hooks
+  /// cannot deadlock. The release hook never locks.
   void on_lock_acquired(const void* mutex);
   void on_lock_released(const void* mutex);
 
@@ -56,8 +70,14 @@ class RaceRegistry {
   void set_abort_on_race(bool abort_on_race);
   std::size_t race_count() const;
   std::string last_report() const;
-  /// Clears tracked objects, races, reports and the stable report-id maps
-  /// (not per-thread held sets).
+  /// Lock-order inversions witnessed so far (reported once per offending
+  /// edge) and the most recent inversion report. Gated by the same
+  /// abort-on-race switch as lockset violations.
+  std::size_t inversion_count() const;
+  std::string last_order_report() const;
+  /// Clears tracked objects, races, reports, the lock-order graph and the
+  /// stable report-id maps (not per-thread held sets), and bumps the order
+  /// epoch so every thread's seen-edge cache is invalidated.
   void reset();
 
  private:

@@ -244,6 +244,7 @@ void RmServer::poll_impl(double now_seconds, int timeout_ms) {
 void RmServer::accept_pending_locked() {
   if (server_ == nullptr) return;
   while (true) {
+    // harp-lint: allow(r12 listener fd is nonblocking: accept reports no-peer on EAGAIN, never waits)
     auto accepted = server_->accept();
     if (!accepted.ok()) {
       HARP_WARN << "accept failed: " << accepted.error().message;
@@ -303,6 +304,7 @@ void RmServer::process_cycle_locked(double now_seconds) {
     last_utility_poll_ = now_seconds;
     for (const auto& client : clients_)
       if (client->registered && client->provides_utility)
+        // harp-lint: allow(r12 channel sends are nonblocking: partial frames buffer and drain via the loop)
         (void)client->channel->send(ipc::Message(ipc::UtilityRequest{}));
   }
 
@@ -321,6 +323,7 @@ void RmServer::process_cycle_locked(double now_seconds) {
 
 void RmServer::process_client_messages(Client& client, double now_seconds) {
   while (true) {
+    // harp-lint: allow(r12 channel poll is nonblocking: reports empty when no full frame is buffered)
     Result<std::optional<ipc::Message>> message = client.channel->poll();
     if (!message.ok()) {
       const std::string& what = message.error().message;
@@ -394,8 +397,10 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
       // Idempotent re-registration: the client lost our ack (flaky link) and
       // retried. Re-ack with the original id and replay the last activation
       // so both sides converge without a fresh allocation round.
+      // harp-lint: allow(r12 channel sends are nonblocking: partial frames buffer and drain via the loop)
       (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
       if (client.activation_sent)
+        // harp-lint: allow(r12 channel sends are nonblocking: partial frames buffer and drain via the loop)
         (void)client.channel->send(ipc::Message(client.last_activation));
       return;
     }
@@ -434,6 +439,7 @@ void RmServer::handle_registration(Client& client, const ipc::RegisterRequest& r
   // the version comparison cannot pair the fresh table with a stale build.
   client.has_group = false;
   identity_[key] = &client;
+  // harp-lint: allow(r12 channel sends are nonblocking: partial frames buffer and drain via the loop)
   (void)client.channel->send(ipc::Message(ipc::RegisterAck{client.app_id}));
   needs_realloc_ = true;
   if (registrations_counter_ != nullptr) registrations_counter_->inc();
@@ -532,6 +538,7 @@ void RmServer::send_activation_locked(Client& client, const OperatingPoint& poin
   client.has_active = true;
   client.last_activation = activate;
   client.activation_sent = true;
+  // harp-lint: allow(r12 channel sends are nonblocking: partial frames buffer and drain via the loop)
   (void)client.channel->send(ipc::Message(activate));
   if (options_.tracer != nullptr)
     options_.tracer->instant(telemetry::EventType::kGrant, client.name,
@@ -549,6 +556,7 @@ void RmServer::send_coallocation_locked(Client& client) {
   client.has_active = false;
   client.last_activation = activate;
   client.activation_sent = true;
+  // harp-lint: allow(r12 channel sends are nonblocking: partial frames buffer and drain via the loop)
   (void)client.channel->send(ipc::Message(activate));
 }
 

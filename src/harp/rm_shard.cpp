@@ -95,21 +95,24 @@ void ShardedRmServer::adopt_into_shard(int index, std::unique_ptr<ipc::Channel> 
 }
 
 void ShardedRmServer::poll(double now_seconds) {
-  // Accept pending connections, adopting round-robin in accept order.
-  while (true) {
-    std::unique_ptr<ipc::Channel> channel;
-    {
-      MutexLock lock(mutex_);
-      if (listener_ == nullptr) break;
-      auto accepted = listener_->accept();
-      if (!accepted.ok()) {
-        HARP_WARN << "sharded accept failed: " << accepted.error().message;
-        break;
-      }
-      if (!accepted.value().has_value()) break;
-      channel = std::move(*accepted.value());
+  // Accept pending connections, adopting round-robin in accept order. The
+  // coordinator mutex guards only the listener pointer — listen() installs it
+  // before polling starts and it lives until destruction — so the accept
+  // syscall runs outside the critical section and shard threads reading
+  // coordinator counters never stall behind listener I/O (r12).
+  ipc::UnixServer* listener = nullptr;
+  {
+    MutexLock lock(mutex_);
+    listener = listener_.get();
+  }
+  while (listener != nullptr) {
+    auto accepted = listener->accept();
+    if (!accepted.ok()) {
+      HARP_WARN << "sharded accept failed: " << accepted.error().message;
+      break;
     }
-    adopt_channel(std::move(channel));
+    if (!accepted.value().has_value()) break;
+    adopt_channel(std::move(*accepted.value()));
   }
 
   // Unthreaded: run every shard's cycle here, in index order, timed.

@@ -121,6 +121,7 @@ ipc::Message HarpClient::register_request() const {
 Status HarpClient::begin_registration() {
   state_ = LinkState::kRegistering;
   register_sent_at_ = last_now_;
+  // harp-lint: allow(r12 channel sends are nonblocking: transient errors enqueue and retry, never wait)
   Status sent = channel_->send(register_request());
   if (!sent.ok()) {
     if (is_transient(*channel_)) return Status{};  // kRegistering retry timer re-sends
@@ -187,6 +188,7 @@ Status HarpClient::poll_locked(double now_seconds, DeferredWork& deferred) {
   }
 
   while (true) {
+    // harp-lint: allow(r12 channel poll is nonblocking: reports empty when no full frame is buffered)
     Result<std::optional<ipc::Message>> message = channel_->poll();
     if (!message.ok()) {
       const std::string& what = message.error().message;
@@ -211,6 +213,7 @@ Status HarpClient::poll_locked(double now_seconds, DeferredWork& deferred) {
   if (state_ == LinkState::kRegistering && config_.register_retry_s > 0.0 &&
       now_seconds - register_sent_at_ >= config_.register_retry_s) {
     register_sent_at_ = now_seconds;
+    // harp-lint: allow(r12 channel sends are nonblocking: transient errors enqueue and retry, never wait)
     Status sent = channel_->send(register_request());
     if (!sent.ok() && !is_transient(*channel_)) return link_down(sent.error(), now_seconds);
   }
@@ -293,6 +296,7 @@ Status HarpClient::transmit(const ipc::Message& message, bool droppable, double 
     enqueue(message, droppable);
     return factory_ ? Status{} : Status(make_error("io: link down and no reconnect factory"));
   }
+  // harp-lint: allow(r12 channel sends are nonblocking: transient errors enqueue and retry, never wait)
   Status sent = channel_->send(message);
   if (sent.ok()) {
     last_tx_ = now_seconds;
@@ -331,6 +335,7 @@ void HarpClient::flush_pending(double now_seconds) {
   while (!pending_.empty() && state_ == LinkState::kConnected) {
     Pending entry = std::move(pending_.front());
     pending_.pop_front();
+    // harp-lint: allow(r12 channel sends are nonblocking: transient errors enqueue and retry, never wait)
     Status sent = channel_->send(entry.message);
     if (sent.ok()) {
       last_tx_ = now_seconds;
@@ -406,18 +411,29 @@ int HarpClient::recommended_parallelism(int user_requested) const {
 }
 
 Status HarpClient::deregister() {
-  MutexLock lock(mutex_);
-  HARP_TRACK_SHARED(&pending_);
-  deregistered_ = true;
-  if (channel_ != nullptr && !channel_->closed() &&
-      (state_ == LinkState::kConnected || state_ == LinkState::kRegistering)) {
+  // Take ownership of the channel under the lock, then do the farewell I/O
+  // outside it (r12): once state_ is kClosed every other locked path bails
+  // before touching channel_, so a slow half-open peer can no longer hold the
+  // client mutex against concurrent pollers during shutdown.
+  std::unique_ptr<ipc::Channel> channel;
+  {
+    MutexLock lock(mutex_);
+    HARP_TRACK_SHARED(&pending_);
+    deregistered_ = true;
+    if (channel_ != nullptr && !channel_->closed() &&
+        (state_ == LinkState::kConnected || state_ == LinkState::kRegistering))
+      channel = std::move(channel_);
+    else if (channel_ != nullptr)
+      channel_->close();
+    pending_.clear();
+    state_ = LinkState::kClosed;
+  }
+  if (channel != nullptr) {
     // Single bounded, best-effort send: a half-open peer must not block or
     // fail shutdown — the RM's lease reclaims the grant either way.
-    (void)channel_->send(ipc::Message(ipc::Deregister{}));
+    (void)channel->send(ipc::Message(ipc::Deregister{}));
+    channel->close();
   }
-  if (channel_ != nullptr) channel_->close();
-  pending_.clear();
-  state_ = LinkState::kClosed;
   return Status{};
 }
 

@@ -135,6 +135,7 @@ std::size_t Tracer::capacity() const {
 }
 
 void Tracer::clear() {
+  // harp-lint: allow(r11 ring_.clear() is std::vector::clear; the unique-bare-name rule misreads it as self-recursion)
   MutexLock lock(mutex_);
   ring_.clear();
   next_seq_ = 0;

@@ -209,13 +209,21 @@ TEST(LintFixtures, JsonFormatIsStable) {
   Finding plain{"src/a.cpp", 7, "r10", "iteration over unordered container 'm'"};
   Finding with_path{"src/b.cpp", 12, "r9", "quote \" backslash \\ tab \t done"};
   with_path.path = {"caller", "Class::callee"};
-  EXPECT_EQ(format_json({plain, with_path}),
+  Finding with_cycle{"src/c.cpp", 3, "r11", "lock-order cycle"};
+  with_cycle.path = {"A::m_ @ src/c.cpp:3", "B::n_ @ src/c.cpp:9"};
+  with_cycle.cycle = {{"A::m_", "src/c.cpp", 3}, {"B::n_", "src/c.cpp", 9}};
+  EXPECT_EQ(format_json({plain, with_path, with_cycle}),
             "[\n"
             "  {\"file\": \"src/a.cpp\", \"line\": 7, \"rule\": \"r10\", \"message\": "
-            "\"iteration over unordered container 'm'\", \"path\": []},\n"
+            "\"iteration over unordered container 'm'\", \"path\": [], \"cycle\": []},\n"
             "  {\"file\": \"src/b.cpp\", \"line\": 12, \"rule\": \"r9\", \"message\": "
             "\"quote \\\" backslash \\\\ tab \\t done\", \"path\": [\"caller\", "
-            "\"Class::callee\"]}\n"
+            "\"Class::callee\"], \"cycle\": []},\n"
+            "  {\"file\": \"src/c.cpp\", \"line\": 3, \"rule\": \"r11\", \"message\": "
+            "\"lock-order cycle\", \"path\": [\"A::m_ @ src/c.cpp:3\", "
+            "\"B::n_ @ src/c.cpp:9\"], \"cycle\": "
+            "[{\"mutex\": \"A::m_\", \"file\": \"src/c.cpp\", \"line\": 3}, "
+            "{\"mutex\": \"B::n_\", \"file\": \"src/c.cpp\", \"line\": 9}]}\n"
             "]\n");
 }
 
@@ -284,6 +292,89 @@ TEST(LintFixtures, FindingFormat) {
 TEST(LintFixtures, RuleFilterRestrictsOutput) {
   // The r2 fixture under an r1-only run is silent: filtering works.
   EXPECT_TRUE(run({fixture("r2_bad.cpp")}, Options{{"r1"}}).empty());
+}
+
+TEST(LintFixtures, R11LockOrderCycles) {
+  // Opposite nesting orders fire once (on the closing edge's witness);
+  // consistent nesting and release-before-acquire stay silent.
+  expect_exact({fixture("r11_bad.cpp"), fixture("r11_good.cpp")}, {"r11"});
+}
+
+TEST(LintFixtures, R11InterproceduralCycle) {
+  // No single function nests both mutexes: the cycle closes only through
+  // callee may-acquire summaries.
+  expect_exact({fixture("r11_interproc.cpp")}, {"r11"});
+}
+
+TEST(LintFixtures, R11MessagePrintsTheFullAcquisitionPath) {
+  std::vector<Finding> findings = run({fixture("r11_bad.cpp")}, Options{{"r11"}});
+  ASSERT_EQ(findings.size(), 1u);
+  const Finding& f = findings[0];
+  EXPECT_EQ(f.file, "tests/lint_fixtures/r11_bad.cpp");
+  EXPECT_EQ(f.line, 35);
+  EXPECT_EQ(f.message,
+            "lock-order cycle: Left::lmutex_ @ tests/lint_fixtures/r11_bad.cpp:35 -> "
+            "Right::rmutex_ @ tests/lint_fixtures/r11_bad.cpp:30 -> "
+            "Left::lmutex_ @ tests/lint_fixtures/r11_bad.cpp:35; impose one canonical "
+            "acquisition order (see DESIGN.md \"Deadlock detection\") or suppress with "
+            "a reason");
+  ASSERT_EQ(f.cycle.size(), 3u);
+  EXPECT_EQ(f.cycle[0].mutex, "Left::lmutex_");
+  EXPECT_EQ(f.cycle[0].line, 35);
+  EXPECT_EQ(f.cycle[1].mutex, "Right::rmutex_");
+  EXPECT_EQ(f.cycle[1].line, 30);
+  EXPECT_EQ(f.cycle[2].mutex, "Left::lmutex_");
+  EXPECT_EQ(f.cycle[2].line, 35);
+}
+
+TEST(LintFixtures, R11InterprocWitnessesAreCalleeAcquisitionSites) {
+  std::vector<Finding> findings = run({fixture("r11_interproc.cpp")}, Options{{"r11"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].message,
+            "lock-order cycle: "
+            "Coordinator::cmutex_ @ tests/lint_fixtures/r11_interproc.cpp:39 -> "
+            "Shard::shmutex_ @ tests/lint_fixtures/r11_interproc.cpp:30 -> "
+            "Coordinator::cmutex_ @ tests/lint_fixtures/r11_interproc.cpp:39; impose "
+            "one canonical acquisition order (see DESIGN.md \"Deadlock detection\") or "
+            "suppress with a reason");
+}
+
+TEST(LintFixtures, R12BlockingCallsUnderLock) {
+  expect_exact({fixture("r12_bad.cpp"), fixture("r12_good.cpp")}, {"r12"});
+}
+
+TEST(LintFixtures, R12MessagesNameTheCallAndHeldLock) {
+  std::vector<Finding> findings = run({fixture("r12_bad.cpp")}, Options{{"r12"}});
+  const Finding* transport = nullptr;
+  const Finding* cv_wait = nullptr;
+  for (const Finding& f : findings) {
+    if (f.line == 19) transport = &f;
+    if (f.line == 36) cv_wait = &f;
+  }
+  ASSERT_NE(transport, nullptr);
+  EXPECT_EQ(transport->message,
+            "potentially blocking transport call 'send()' while 'Pump::mutex_' is "
+            "held; all I/O under a lock must be nonblocking — move it outside the "
+            "critical section or suppress with a reason");
+  ASSERT_NE(cv_wait, nullptr);
+  EXPECT_EQ(cv_wait->message,
+            "condition-variable wait while 'Pump::mutex_' is held; the wait releases "
+            "only its own mutex — restructure or suppress with a reason");
+}
+
+TEST(LintFixtures, JsonIncludesTheCycleArrayForR11) {
+  std::vector<Finding> findings = run({fixture("r11_interproc.cpp")}, Options{{"r11"}});
+  ASSERT_EQ(findings.size(), 1u);
+  std::string json = format_json(findings);
+  EXPECT_NE(json.find(
+                "\"cycle\": ["
+                "{\"mutex\": \"Coordinator::cmutex_\", \"file\": "
+                "\"tests/lint_fixtures/r11_interproc.cpp\", \"line\": 39}, "
+                "{\"mutex\": \"Shard::shmutex_\", \"file\": "
+                "\"tests/lint_fixtures/r11_interproc.cpp\", \"line\": 30}, "
+                "{\"mutex\": \"Coordinator::cmutex_\", \"file\": "
+                "\"tests/lint_fixtures/r11_interproc.cpp\", \"line\": 39}]"),
+            std::string::npos);
 }
 
 }  // namespace

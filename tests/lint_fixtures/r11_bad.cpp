@@ -1,0 +1,36 @@
+// r11: two-function lock-order cycle. Left::forward nests Left::lmutex_
+// before Right::rmutex_ while Right::backward nests the reverse; one thread
+// running each function can deadlock. The finding lands on the closing
+// edge's witness — the acquisition of the cycle's first mutex
+// (Left::lmutex_) while the previous hop's mutex is held.
+#include "src/common/mutex.hpp"
+
+class Right;
+
+class Left {
+ public:
+  void forward(Right& other);
+
+ private:
+  friend class Right;
+  harp::Mutex lmutex_;
+};
+
+class Right {
+ public:
+  void backward(Left& other);
+
+ private:
+  friend class Left;
+  harp::Mutex rmutex_;
+};
+
+void Left::forward(Right& other) {
+  harp::MutexLock mine(lmutex_);
+  harp::MutexLock theirs(other.rmutex_);
+}
+
+void Right::backward(Left& other) {
+  harp::MutexLock mine(rmutex_);
+  harp::MutexLock theirs(other.lmutex_);  // expect: r11
+}

@@ -1,0 +1,35 @@
+// r11: consistent canonical order — every path nests Gate::gmutex_ before
+// Store::stmutex_, whether directly or through a callee, and the relay path
+// releases the gate lock before the callee acquires, so the order graph
+// stays acyclic and the pass is silent.
+#include "src/common/mutex.hpp"
+
+class Store {
+ public:
+  void put() { harp::MutexLock lock(stmutex_); }
+
+ private:
+  friend class Gate;
+  harp::Mutex stmutex_;
+};
+
+class Gate {
+ public:
+  void admit(Store& store) {
+    harp::MutexLock lock(gmutex_);
+    harp::MutexLock inner(store.stmutex_);
+  }
+  void route(Store& store) {
+    harp::MutexLock lock(gmutex_);
+    store.put();  // callee locks Store::stmutex_: same direction, no cycle
+  }
+  void relay(Store& store) {
+    {
+      harp::MutexLock lock(gmutex_);
+    }
+    store.put();  // gate lock released before the callee locks: no edge
+  }
+
+ private:
+  harp::Mutex gmutex_;
+};

@@ -1,0 +1,45 @@
+// r11: the cycle closes only through callee may-acquire summaries — no
+// single function nests both mutexes. Coordinator::rebalance holds
+// Coordinator::cmutex_ and calls Shard::ingest (locks Shard::shmutex_);
+// Shard::drain holds Shard::shmutex_ and calls Coordinator::audit (locks
+// Coordinator::cmutex_). Each hop's witness is the callee-side acquisition
+// site, so the printed path points at real source lines.
+#include "src/common/mutex.hpp"
+
+class Coordinator;
+
+class Shard {
+ public:
+  void ingest();
+  void drain(Coordinator& coord);
+
+ private:
+  harp::Mutex shmutex_;
+};
+
+class Coordinator {
+ public:
+  void audit();
+  void rebalance(Shard& shard);
+
+ private:
+  harp::Mutex cmutex_;
+};
+
+void Shard::ingest() {
+  harp::MutexLock lock(shmutex_);
+}
+
+void Shard::drain(Coordinator& coord) {
+  harp::MutexLock lock(shmutex_);
+  coord.audit();
+}
+
+void Coordinator::audit() {
+  harp::MutexLock lock(cmutex_);  // expect: r11
+}
+
+void Coordinator::rebalance(Shard& shard) {
+  harp::MutexLock lock(cmutex_);
+  shard.ingest();
+}

@@ -1,0 +1,44 @@
+// r12: the same operations are fine outside the critical section, after a
+// scoped release, when the cv wait holds only its own mutex, or when a
+// reviewed site carries a reasoned suppression.
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/mutex.hpp"
+
+struct Sink {
+  bool send(int frame);
+};
+
+class QuietPump {
+ public:
+  void flush() {
+    int frame = 0;
+    {
+      harp::MutexLock lock(mutex_);
+      frame = staged_;
+    }
+    sink_.send(frame);  // lock released before the transport call
+  }
+  void backoff() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    harp::MutexLock lock(mutex_);
+    staged_ = 0;
+  }
+  void wait_ready() {
+    std::unique_lock<std::mutex> lk(aux_);
+    cv_.wait(lk);  // the wait releases the only lock it holds
+  }
+  void flush_now() {
+    harp::MutexLock lock(mutex_);
+    // harp-lint: allow(r12 loopback sink send is nonblocking by construction)
+    sink_.send(staged_);
+  }
+
+ private:
+  harp::Mutex mutex_;
+  std::mutex aux_;
+  std::condition_variable cv_;
+  Sink sink_;
+  int staged_ = 0;
+};

@@ -1,0 +1,244 @@
+// Structural tests for the interprocedural lock-order pass
+// (tools/harp_lint/lockorder) behind r11/r12: edge construction with
+// member-mutex identity resolution, callee-side witnesses for edges closed
+// through may-acquire summaries, scoped release breaking the nesting, and
+// the deterministic cycle enumeration (canonical start, byte-identical
+// across reruns) the reproducible diagnostics rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tools/harp_lint/callgraph.hpp"
+#include "tools/harp_lint/lexer.hpp"
+#include "tools/harp_lint/lint.hpp"
+#include "tools/harp_lint/lockorder.hpp"
+
+namespace harp::lint {
+namespace {
+
+/// Owns the SourceFiles and LexedFiles the CgUnit views point into.
+class LockHarness {
+ public:
+  void add(const std::string& rel_path, const std::string& text) {
+    files_.push_back(std::make_unique<SourceFile>(SourceFile{rel_path, text}));
+    lexed_.push_back(std::make_unique<LexedFile>(lex(files_.back()->text)));
+    units_.push_back(CgUnit{files_.back().get(), lexed_.back().get()});
+  }
+
+  LockOrderGraph graph() const {
+    CallGraph cg = build_call_graph(units_);
+    return build_lock_order_graph(cg, units_);
+  }
+
+  std::vector<Finding> findings(bool r11, bool r12) const {
+    CallGraph cg = build_call_graph(units_);
+    std::vector<Finding> out;
+    check_lock_order(cg, units_, r11, r12, out);
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SourceFile>> files_;
+  std::vector<std::unique_ptr<LexedFile>> lexed_;
+  std::vector<CgUnit> units_;
+};
+
+/// "from -> to @ file:line" per edge, in stored order.
+std::vector<std::string> edge_keys(const LockOrderGraph& g) {
+  std::vector<std::string> out;
+  for (const OrderEdge& e : g.edges)
+    out.push_back(e.from + " -> " + e.to + " @ " + e.file + ":" + std::to_string(e.line));
+  return out;
+}
+
+/// "mutex @ file:line" per hop, for comparing enumerated cycles.
+std::vector<std::string> hop_keys(const std::vector<CycleHop>& hops) {
+  std::vector<std::string> out;
+  for (const CycleHop& h : hops)
+    out.push_back(h.mutex + " @ " + h.file + ":" + std::to_string(h.line));
+  return out;
+}
+
+TEST(LockOrder, DirectNestingResolvesMemberIdentities) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class B { public: friend class A; harp::Mutex bm_; };\n"  // 1
+        "class A {\n"                                              // 2
+        " public:\n"                                               // 3
+        "  void both(B& b) {\n"                                    // 4
+        "    harp::MutexLock first(am_);\n"                        // 5
+        "    harp::MutexLock second(b.bm_);\n"                     // 6
+        "  }\n"
+        "\n"
+        " private:\n"
+        "  harp::Mutex am_;\n"
+        "};\n");
+  EXPECT_EQ(edge_keys(h.graph()), std::vector<std::string>{"A::am_ -> B::bm_ @ a.cpp:6"});
+}
+
+TEST(LockOrder, InterproceduralEdgeUsesCalleeWitness) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class S {\n"                                    // 1
+        " public:\n"                                     // 2
+        "  void fill() { harp::MutexLock l(sm_); }\n"    // 3
+        "  harp::Mutex sm_;\n"                           // 4
+        "};\n"                                           // 5
+        "class C {\n"                                    // 6
+        " public:\n"                                     // 7
+        "  void drive(S& s) {\n"                         // 8
+        "    harp::MutexLock l(cm_);\n"                  // 9
+        "    s.fill();\n"                                // 10
+        "  }\n"
+        "  harp::Mutex cm_;\n"
+        "};\n");
+  // The edge's witness is the acquisition inside the CALLEE, not the call
+  // site: the printed cycle path must point at real lock statements.
+  EXPECT_EQ(edge_keys(h.graph()), std::vector<std::string>{"C::cm_ -> S::sm_ @ a.cpp:3"});
+}
+
+TEST(LockOrder, ScopedReleaseBreaksTheEdge) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class U {\n"
+        " public:\n"
+        "  void seq() {\n"
+        "    { harp::MutexLock a(ua_); }\n"
+        "    harp::MutexLock b(ub_);\n"
+        "  }\n"
+        "  harp::Mutex ua_;\n"
+        "  harp::Mutex ub_;\n"
+        "};\n");
+  EXPECT_TRUE(h.graph().edges.empty());
+}
+
+TEST(LockOrder, TwoMutexCycleStartsAtSmallestIdentity) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class R;\n"                                  // 1
+        "class L {\n"                                 // 2
+        " public:\n"                                  // 3
+        "  void forward(R& r);\n"                     // 4
+        "  harp::Mutex lm_;\n"                        // 5
+        "};\n"                                        // 6
+        "class R {\n"                                 // 7
+        " public:\n"                                  // 8
+        "  void backward(L& l);\n"                    // 9
+        "  harp::Mutex rm_;\n"                        // 10
+        "};\n"                                        // 11
+        "void L::forward(R& r) {\n"                   // 12
+        "  harp::MutexLock a(lm_);\n"                 // 13
+        "  harp::MutexLock b(r.rm_);\n"               // 14
+        "}\n"                                         // 15
+        "void R::backward(L& l) {\n"                  // 16
+        "  harp::MutexLock a(rm_);\n"                 // 17
+        "  harp::MutexLock b(l.lm_);\n"               // 18
+        "}\n");                                       // 19
+  auto cycles = enumerate_cycles(h.graph());
+  ASSERT_EQ(cycles.size(), 1u);
+  // Closed walk from the lexicographically smallest identity; each hop's
+  // witness is where that hop's mutex is acquired while the previous one is
+  // held (the opening hop uses the closing edge).
+  EXPECT_EQ(hop_keys(cycles[0]),
+            (std::vector<std::string>{"L::lm_ @ a.cpp:18", "R::rm_ @ a.cpp:14",
+                                      "L::lm_ @ a.cpp:18"}));
+}
+
+TEST(LockOrder, TransitiveThreeMutexCycle) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class Y;\n"                                  // 1
+        "class Z;\n"                                  // 2
+        "class X {\n"                                 // 3
+        " public:\n"                                  // 4
+        "  void f1(Y& y);\n"                          // 5
+        "  harp::Mutex xm_;\n"                        // 6
+        "};\n"                                        // 7
+        "class Y {\n"                                 // 8
+        " public:\n"                                  // 9
+        "  void f2(Z& z);\n"                          // 10
+        "  harp::Mutex ym_;\n"                        // 11
+        "};\n"                                        // 12
+        "class Z {\n"                                 // 13
+        " public:\n"                                  // 14
+        "  void f3(X& x);\n"                          // 15
+        "  harp::Mutex zm_;\n"                        // 16
+        "};\n"                                        // 17
+        "void X::f1(Y& y) {\n"                        // 18
+        "  harp::MutexLock a(xm_);\n"                 // 19
+        "  harp::MutexLock b(y.ym_);\n"               // 20
+        "}\n"                                         // 21
+        "void Y::f2(Z& z) {\n"                        // 22
+        "  harp::MutexLock a(ym_);\n"                 // 23
+        "  harp::MutexLock b(z.zm_);\n"               // 24
+        "}\n"                                         // 25
+        "void Z::f3(X& x) {\n"                        // 26
+        "  harp::MutexLock a(zm_);\n"                 // 27
+        "  harp::MutexLock b(x.xm_);\n"               // 28
+        "}\n");                                       // 29
+  auto cycles = enumerate_cycles(h.graph());
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(hop_keys(cycles[0]),
+            (std::vector<std::string>{"X::xm_ @ a.cpp:28", "Y::ym_ @ a.cpp:20",
+                                      "Z::zm_ @ a.cpp:24", "X::xm_ @ a.cpp:28"}));
+}
+
+TEST(LockOrder, SelfDeadlockThroughHelperCall) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class T {\n"                                    // 1
+        " public:\n"                                     // 2
+        "  void inner() { harp::MutexLock l(tm_); }\n"   // 3
+        "  void outer() {\n"                             // 4
+        "    harp::MutexLock l(tm_);\n"                  // 5
+        "    inner();\n"                                 // 6
+        "  }\n"
+        "  harp::Mutex tm_;\n"
+        "};\n");
+  auto cycles = enumerate_cycles(h.graph());
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(hop_keys(cycles[0]),
+            (std::vector<std::string>{"T::tm_ @ a.cpp:3", "T::tm_ @ a.cpp:3"}));
+  // check_lock_order renders the 2-hop same-mutex cycle as a self-deadlock.
+  std::vector<Finding> findings = h.findings(/*r11=*/true, /*r12=*/false);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "r11");
+  EXPECT_EQ(findings[0].message.find("self-deadlock:"), 0u);
+}
+
+TEST(LockOrder, EnumerationIsDeterministicAcrossReruns) {
+  LockHarness h;
+  h.add("a.cpp",
+        "class Q;\n"
+        "class P {\n"
+        " public:\n"
+        "  void pq(Q& q);\n"
+        "  harp::Mutex pm_;\n"
+        "};\n"
+        "class Q {\n"
+        " public:\n"
+        "  void qp(P& p);\n"
+        "  harp::Mutex qm_;\n"
+        "};\n"
+        "void P::pq(Q& q) {\n"
+        "  harp::MutexLock a(pm_);\n"
+        "  harp::MutexLock b(q.qm_);\n"
+        "}\n"
+        "void Q::qp(P& p) {\n"
+        "  harp::MutexLock a(qm_);\n"
+        "  harp::MutexLock b(p.pm_);\n"
+        "}\n");
+  LockOrderGraph first = h.graph();
+  LockOrderGraph second = h.graph();
+  EXPECT_EQ(edge_keys(first), edge_keys(second));
+  auto cycles_a = enumerate_cycles(first);
+  auto cycles_b = enumerate_cycles(second);
+  ASSERT_EQ(cycles_a.size(), cycles_b.size());
+  for (std::size_t i = 0; i < cycles_a.size(); ++i)
+    EXPECT_EQ(hop_keys(cycles_a[i]), hop_keys(cycles_b[i]));
+}
+
+}  // namespace
+}  // namespace harp::lint

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <thread>
 #include <unordered_set>
 
+#include "src/common/parallel_for.hpp"
 #include "tools/harp_lint/callgraph.hpp"
 #include "tools/harp_lint/lexer.hpp"
+#include "tools/harp_lint/lockorder.hpp"
 #include "tools/harp_lint/lockset.hpp"
 #include "tools/harp_lint/taint.hpp"
 
@@ -790,8 +793,9 @@ std::string format(const Finding& finding) {
 
 namespace {
 
-/// Minimal JSON string escaping (the linter depends on nothing but the
-/// standard library, so it cannot use src/json).
+/// Minimal JSON string escaping (the linter deliberately stays off src/json
+/// — its only src/ dependency is the leaf parallel_for pool — so the rules
+/// can never be broken by the serialization code they lint).
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -830,16 +834,44 @@ std::string format_json(const std::vector<Finding>& findings) {
       if (p != 0) out += ", ";
       out += "\"" + json_escape(f.path[p]) + "\"";
     }
+    out += "], \"cycle\": [";
+    for (std::size_t c = 0; c < f.cycle.size(); ++c) {
+      if (c != 0) out += ", ";
+      out += "{\"mutex\": \"" + json_escape(f.cycle[c].mutex) + "\", \"file\": \"" +
+             json_escape(f.cycle[c].file) + "\", \"line\": " + std::to_string(f.cycle[c].line) +
+             "}";
+    }
     out += "]}";
   }
   out += findings.empty() ? "]\n" : "\n]\n";
   return out;
 }
 
+namespace {
+
+/// Scan-phase kernel: lex files [begin, end) into their slots. Output is
+/// indexed by file position, so the result is identical for any lane count.
+void lex_kernel(void* ctx, std::size_t begin, std::size_t end, int /*lane*/) {
+  auto* scans = static_cast<std::vector<Scanned>*>(ctx);
+  for (std::size_t i = begin; i < end; ++i)
+    (*scans)[i].lexed = lex((*scans)[i].src->text);
+}
+
+}  // namespace
+
 std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& options) {
-  std::vector<Scanned> scans;
-  scans.reserve(files.size());
-  for (const SourceFile& src : files) scans.push_back(Scanned{&src, lex(src.text)});
+  std::vector<Scanned> scans(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) scans[i].src = &files[i];
+  // Data-parallel scan phase: one block of files per lane slot. Lane count is
+  // capped by the block count so small inputs (the fixture suites drive run()
+  // hundreds of times) stay on the caller thread with zero pool setup.
+  std::size_t blocks =
+      (files.size() + harp::ParallelFor::kBlock - 1) / harp::ParallelFor::kBlock;
+  unsigned hw = std::thread::hardware_concurrency();
+  int lanes = static_cast<int>(
+      std::min({blocks, static_cast<std::size_t>(8), static_cast<std::size_t>(hw > 0 ? hw : 1)}));
+  harp::ParallelFor pool(std::max(1, lanes));
+  pool.run(files.size(), lex_kernel, &scans);
 
   auto enabled = [&](const char* rule) {
     if (options.rules.empty()) return true;
@@ -869,12 +901,15 @@ std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& op
     for (const Scanned& f : scans) units.push_back(LockUnit{f.src, &f.lexed});
     check_locksets(units, enabled("r7"), enabled("r8"), findings);
   }
-  if (enabled("r9") || enabled("r10")) {
+  if (enabled("r9") || enabled("r10") || enabled("r11") || enabled("r12")) {
     std::vector<CgUnit> units;
     units.reserve(scans.size());
     for (const Scanned& f : scans) units.push_back(CgUnit{f.src, &f.lexed});
     CallGraph cg = build_call_graph(units);
-    check_determinism_taint(cg, units, enabled("r9"), enabled("r10"), findings);
+    if (enabled("r9") || enabled("r10"))
+      check_determinism_taint(cg, units, enabled("r9"), enabled("r10"), findings);
+    if (enabled("r11") || enabled("r12"))
+      check_lock_order(cg, units, enabled("r11"), enabled("r12"), findings);
   }
 
   // Apply suppressions: an allow on the finding's line or the line above.

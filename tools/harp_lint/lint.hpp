@@ -41,6 +41,23 @@
 //                          non-commutatively (push_back/append, string or
 //                          float +=, stream insertion); collect-then-sort
 //                          is the sanctioned pattern.
+//   r11 lock-order          interprocedural: "lock A held while acquiring
+//                          lock B" edges collected from every function's
+//                          lockset dataflow (member mutexes resolved to
+//                          Class::field identities, callee acquisitions
+//                          propagated over the whole-tree call graph), then
+//                          cycle detection on the global order graph; the
+//                          message carries the full acquisition path
+//                          (mutex @ file:line -> ...) and the finding's
+//                          `cycle` field the structured hops
+//                          (lockorder.hpp).
+//   r12 blocking-under-lock a blocking operation on a CFG path where a lock
+//                          is held: transport calls (send/recv/poll/accept/
+//                          connect), sleeps, blocking syscalls (epoll_wait,
+//                          select), condition-variable waits on *other*
+//                          mutexes, and ParallelFor dispatch. Sanctioned
+//                          nonblocking sites (the PR 8 event-loop transport
+//                          invariant) carry reasoned allow(r12 ...) comments.
 //   allow                  malformed suppression (missing mandatory reason),
 //                          or — under audit_suppressions — a stale allow()
 //                          that no longer matches any finding.
@@ -55,6 +72,14 @@
 
 namespace harp::lint {
 
+/// One hop of an r11 lock-order cycle: a mutex identity and the acquisition
+/// site where it is taken while the previous hop's mutex is held.
+struct CycleHop {
+  std::string mutex;
+  std::string file;
+  int line = 1;
+};
+
 struct Finding {
   std::string file;
   int line = 1;
@@ -65,6 +90,9 @@ struct Finding {
   /// default member initializer keeps four-field aggregate initialization
   /// (used throughout the rule implementations) warning-free.
   std::vector<std::string> path = {};
+  /// r11 only: the ordered acquisition hops of the reported cycle, closed
+  /// (the first hop is repeated at the end). Empty for every other rule.
+  std::vector<CycleHop> cycle = {};
 };
 
 /// One input translation unit. `rel_path` is the repo-relative path with
@@ -98,8 +126,11 @@ std::vector<Finding> run(const std::vector<SourceFile>& files, const Options& op
 std::string format(const Finding& finding);
 
 /// Stable machine-readable form: a JSON array of
-/// `{"file","line","rule","message","path"}` objects in the engine's sorted
-/// finding order, so CI artifacts diff cleanly across runs.
+/// `{"file","line","rule","message","path","cycle"}` objects in the engine's
+/// sorted finding order, so CI artifacts diff cleanly across runs. `cycle`
+/// is the r11 hop list (`{"mutex","file","line"}` objects, closed); an empty
+/// array for every other rule — additive, so consumers of the pre-r11 schema
+/// keep parsing.
 std::string format_json(const std::vector<Finding>& findings);
 
 }  // namespace harp::lint

@@ -1,0 +1,79 @@
+// Interprocedural deadlock analysis for harp-lint (rules r11 and r12).
+//
+//   r11  lock-order          cycles in the global "lock A held while
+//                            acquiring lock B" order graph.
+//   r12  blocking-under-lock a blocking operation on a CFG path where any
+//                            lock is held.
+//
+// The pass walks every function's CFG with the same forward lockset dataflow
+// r7 uses (cfg.hpp: RAII guard acquire/release plus explicit
+// `.lock()`/`.unlock()`, entry seeded from HARP_REQUIRES), and at every
+// acquisition records an order edge from each currently-held lock to the one
+// being acquired. Lock expressions are resolved to stable identities before
+// they enter the graph:
+//
+//   - a bare expression naming a lockable member of the enclosing class
+//     becomes `Class::member` (so `mutex_` in two classes never collides);
+//   - `obj->field` / `obj.field` becomes `Class::field` when exactly one
+//     scanned class declares a lockable member `field` (the same
+//     unique-bare-name pragmatism the call graph uses for member calls);
+//   - everything else (locals, globals, unresolved members) keeps its
+//     normalised spelling.
+//
+// Interprocedural depth comes from the whole-tree call graph (callgraph.hpp):
+// each function's transitive may-acquire summary — the set of identities it
+// or any callee acquires, with a first-witness file:line per identity — is
+// propagated callee→caller to a fixpoint, and a call made while locks are
+// held adds edges from every held identity to everything the callee may
+// acquire. Cycle detection then runs over the global graph: one canonical
+// cycle per strongly-connected component (rooted at the lexicographically
+// smallest identity, shortest deterministic walk back to it), reported as
+// r11 with the full acquisition path in r9's diagnostic style and the
+// structured hops in Finding::cycle.
+//
+// Known limitations (see DESIGN.md "Deadlock detection"): identities
+// collapse instances (two objects of one class share `Class::member`, so a
+// hand-over-hand traversal of same-class objects reports a self-cycle even
+// when a runtime instance order exists — suppress with a reason), lock
+// expressions are compared syntactically (no aliasing), constructors /
+// destructors / HARP_NO_THREAD_SAFETY_ANALYSIS bodies are skipped, and
+// virtual calls resolve only through the call graph's unique-bare-name rule.
+// The dynamic lock-order witness (src/common/race_registry.hpp) covers the
+// instance-level and indirect-call blind spots at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/harp_lint/callgraph.hpp"
+#include "tools/harp_lint/lint.hpp"
+
+namespace harp::lint {
+
+/// One edge of the global lock-order graph: `to` was (possibly transitively)
+/// acquired at file:line on a path where `from` was held. First witness per
+/// (from, to) pair wins, deterministically (node-id, statement order).
+struct OrderEdge {
+  std::string from;
+  std::string to;
+  std::string file;  ///< acquisition site of `to`
+  int line = 1;
+};
+
+struct LockOrderGraph {
+  std::vector<OrderEdge> edges;  ///< sorted by (from, to), unique
+};
+
+/// Build the global order graph alone (the structural surface
+/// tests/lint_lockorder_test.cpp pins; check_lock_order uses the same walk).
+LockOrderGraph build_lock_order_graph(const CallGraph& cg, const std::vector<CgUnit>& units);
+
+/// Canonical cycle enumeration: one closed hop sequence per SCC with a cycle
+/// (first hop repeated at the end), sorted by first hop's mutex identity.
+std::vector<std::vector<CycleHop>> enumerate_cycles(const LockOrderGraph& graph);
+
+/// Run the r11/r12 passes over the scanned set and append findings.
+void check_lock_order(const CallGraph& cg, const std::vector<CgUnit>& units, bool enable_r11,
+                      bool enable_r12, std::vector<Finding>& findings);
+
+}  // namespace harp::lint

@@ -487,6 +487,39 @@ void analyze_functions(const LockUnit& unit, const std::map<std::string, ClassIn
 
 }  // namespace
 
+std::map<std::string, std::set<std::string>> collect_mutex_members(
+    const std::vector<LockUnit>& units) {
+  std::map<std::string, std::set<std::string>> table;
+  for (const LockUnit& unit : units) {
+    const std::vector<Token>& t = unit.lexed->tokens;
+    for (const ClassOpen& open : find_class_opens(t)) {
+      int depth = 0;
+      std::size_t body_begin = open.brace + 1, body_end = open.brace;
+      for (std::size_t m = open.brace; m < t.size(); ++m) {
+        if (is(t[m], "{")) ++depth;
+        if (is(t[m], "}") && --depth == 0) {
+          body_end = m;
+          break;
+        }
+      }
+      if (body_end <= body_begin) continue;
+      for (const MemberRun& member : member_runs(t, body_begin, body_end)) {
+        if (!is_variable_member(t, member)) continue;
+        std::string lockable = lockable_member_name(t, member, nullptr);
+        if (!lockable.empty()) table[open.name].insert(lockable);
+      }
+    }
+  }
+  return table;
+}
+
+std::map<std::string, std::vector<std::string>> collect_requires_index(
+    const std::vector<LockUnit>& units) {
+  std::map<std::string, std::vector<std::string>> index;
+  for (const LockUnit& unit : units) collect_requires(unit.lexed->tokens, index);
+  return index;
+}
+
 void check_locksets(const std::vector<LockUnit>& units, bool enable_r7, bool enable_r8,
                     std::vector<Finding>& findings) {
   std::map<std::string, ClassInfo> table;

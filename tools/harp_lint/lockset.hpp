@@ -23,6 +23,9 @@
 // internally is invisible.
 #pragma once
 
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "tools/harp_lint/lexer.hpp"
@@ -35,6 +38,19 @@ struct LockUnit {
   const SourceFile* src = nullptr;
   const LexedFile* lexed = nullptr;
 };
+
+/// Class name → declared lockable member names (harp::Mutex plus the std
+/// lockables), collected over the whole scanned set. Shared with the
+/// lock-order pass (lockorder.hpp), which resolves lock expressions to
+/// `Class::member` identities through this table.
+std::map<std::string, std::set<std::string>> collect_mutex_members(
+    const std::vector<LockUnit>& units);
+
+/// "Class::method" → locks its HARP_REQUIRES contract names, collected from
+/// declarations and definitions over the whole scanned set. Shared with the
+/// lock-order pass, which seeds entry locksets from it the way r7 does.
+std::map<std::string, std::vector<std::string>> collect_requires_index(
+    const std::vector<LockUnit>& units);
 
 /// Run the r7/r8 passes over the whole scanned set (class field tables and
 /// HARP_REQUIRES contracts are collected globally so out-of-line methods see

@@ -1,4 +1,4 @@
-// harp-lint — HARP-specific static analysis (rules r1–r10, see lint.hpp).
+// harp-lint — HARP-specific static analysis (rules r1–r12, see lint.hpp).
 //
 // Usage:
 //   harp-lint [--root <dir>] [--rules r1,r3] [--format text|json]
@@ -7,7 +7,10 @@
 // --audit-suppressions additionally reports stale `// harp-lint: allow(...)`
 // directives — ones whose rule ran but which silenced nothing.
 // --format=json emits the findings as a stable JSON array (file/line/rule/
-// message/path) on stdout for CI artifacts; exit codes are unchanged.
+// message/path/cycle) on stdout for CI artifacts; exit codes are unchanged.
+// --rules accepts both `--rules r1,r2` and `--rules=r1,r2`, so CI can stage
+// a new rule non-gating (run everything-but, diff the candidate separately)
+// before flipping it into the default set.
 //
 // Paths (files or directories, default: src tests tools bench examples) are
 // resolved against --root (default: cwd). Directory walks collect *.cpp and
@@ -91,9 +94,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--root") {
       if (i + 1 >= argc) return usage(), 2;
       root = fs::path(argv[++i]);
-    } else if (arg == "--rules") {
-      if (i + 1 >= argc) return usage(), 2;
-      std::string list = argv[++i];
+    } else if (arg == "--rules" || arg.rfind("--rules=", 0) == 0) {
+      std::string list;
+      if (arg == "--rules") {
+        if (i + 1 >= argc) return usage(), 2;
+        list = argv[++i];
+      } else {
+        list = arg.substr(8);
+      }
       std::size_t start = 0;
       while (start <= list.size()) {
         std::size_t comma = list.find(',', start);
